@@ -1,0 +1,76 @@
+// Ablation — graph attention vs. uniform mean aggregation: quantifies what
+// the importance scores of Eq. (10) contribute to LST-GAT's accuracy, one
+// of the design choices called out in DESIGN.md. Both variants share the
+// architecture; the ablated one fixes α = 1/7.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+
+#include "eval/table.h"
+#include "eval/workbench.h"
+#include "perception/lst_gat.h"
+#include "perception/trainer.h"
+
+namespace {
+
+using namespace head;
+
+std::shared_ptr<perception::LstGat> g_attention;
+std::shared_ptr<perception::LstGat> g_mean;
+std::shared_ptr<data::RealDataset> g_dataset;
+
+void RunAblation() {
+  const eval::BenchProfile profile = eval::BenchProfile::FromEnv();
+  g_dataset =
+      std::make_shared<data::RealDataset>(eval::BuildRealDataset(profile));
+
+  Rng rng(profile.seed);
+  perception::LstGatConfig with;
+  perception::LstGatConfig without;
+  without.use_attention = false;
+  g_attention = std::make_shared<perception::LstGat>(with, rng);
+  g_mean = std::make_shared<perception::LstGat>(without, rng);
+
+  eval::TablePrinter table(
+      {"Variant", "MAE", "MSE", "RMSE", "TCT (s)"});
+  for (auto& [name, model] :
+       {std::pair<std::string, std::shared_ptr<perception::LstGat>>{
+            "LST-GAT (attention)", g_attention},
+        {"LST-GAT (mean aggregation)", g_mean}}) {
+    const perception::PredictionTrainResult result =
+        perception::TrainPredictor(*model, g_dataset->train,
+                                   profile.pred_train);
+    const perception::PredictionMetrics m =
+        perception::EvaluatePredictor(*model, g_dataset->test);
+    table.AddRow({name, eval::FormatDouble(m.mae, 3),
+                  eval::FormatDouble(m.mse, 3), eval::FormatDouble(m.rmse, 3),
+                  eval::FormatDouble(result.convergence_seconds, 2)});
+  }
+  table.Print(std::cout,
+              "Ablation — importance scores (Eq. 10) vs uniform mean "
+              "aggregation (" + profile.name + " profile)");
+}
+
+void BM_Forward(benchmark::State& state) {
+  auto& model = state.range(0) == 0 ? g_attention : g_mean;
+  state.SetLabel(state.range(0) == 0 ? "attention" : "mean");
+  const perception::StGraph& graph = g_dataset->test.front().graph;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->Predict(graph));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunAblation();
+  benchmark::RegisterBenchmark("BM_Forward", &BM_Forward)
+      ->Arg(0)
+      ->Arg(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

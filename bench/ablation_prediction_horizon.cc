@@ -1,0 +1,92 @@
+// Ablation — prediction accuracy vs. horizon (the design argument of
+// Sec. III-A): rolling the one-step predictors out recursively shows the
+// error growth that motivates HEAD's one-step state prediction. One trained
+// LST-GAT and one LSTM-MLP are rolled out 1..H steps; the table reports
+// MAE/RMSE per horizon.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+
+#include "data/real_dataset.h"
+#include "eval/table.h"
+#include "eval/workbench.h"
+#include "perception/baselines/lstm_mlp.h"
+#include "perception/multi_step.h"
+#include "perception/trainer.h"
+
+namespace {
+
+using namespace head;
+
+constexpr int kHorizon = 5;
+
+std::shared_ptr<perception::LstGat> g_model;
+std::vector<perception::MultiStepSample> g_samples;
+RoadConfig g_road;
+
+void RunAblation() {
+  const eval::BenchProfile profile = eval::BenchProfile::FromEnv();
+  g_road = profile.real.sim.road;
+
+  data::RealDatasetConfig data_config = profile.real;
+  g_samples = data::GenerateMultiStepSamples(data_config, kHorizon);
+  std::cout << "multi-step corpus: " << g_samples.size() << " samples, "
+            << "horizon " << kHorizon << " (" << kHorizon * 0.5 << "s)\n";
+
+  // Train the two predictors on the standard one-step corpus.
+  const data::RealDataset dataset = eval::BuildRealDataset(profile);
+  Rng rng(profile.seed);
+  g_model =
+      std::make_shared<perception::LstGat>(perception::LstGatConfig{}, rng);
+  auto lstm_mlp = std::make_shared<perception::LstmMlp>(64, rng);
+  perception::TrainPredictor(*g_model, dataset.train, profile.pred_train);
+  perception::TrainPredictor(*lstm_mlp, dataset.train, profile.pred_train);
+
+  const perception::MultiStepPredictor gat_rollout(*g_model, g_road);
+  const perception::MultiStepPredictor mlp_rollout(*lstm_mlp, g_road);
+  const perception::HorizonMetrics gat =
+      perception::EvaluateHorizons(gat_rollout, g_samples, kHorizon);
+  const perception::HorizonMetrics mlp =
+      perception::EvaluateHorizons(mlp_rollout, g_samples, kHorizon);
+
+  eval::TablePrinter table({"Horizon (steps)", "LST-GAT MAE", "LST-GAT RMSE",
+                            "LSTM-MLP MAE", "LSTM-MLP RMSE"});
+  for (int h = 0; h < kHorizon; ++h) {
+    table.AddRow({std::to_string(h + 1), eval::FormatDouble(gat.mae[h], 3),
+                  eval::FormatDouble(gat.rmse[h], 3),
+                  eval::FormatDouble(mlp.mae[h], 3),
+                  eval::FormatDouble(mlp.rmse[h], 3)});
+  }
+  table.Print(std::cout,
+              "Ablation — error growth of recursive multi-step prediction "
+              "(" + profile.name + " profile; Sec. III-A's argument for "
+              "one-step prediction)");
+  const double growth = gat.mae[kHorizon - 1] / std::max(gat.mae[0], 1e-9);
+  std::cout << "LST-GAT MAE grows " << eval::FormatDouble(growth, 1)
+            << "x from horizon 1 to " << kHorizon << "\n";
+}
+
+void BM_Rollout(benchmark::State& state) {
+  const perception::MultiStepPredictor rollout(*g_model, g_road);
+  const int horizon = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rollout.Rollout(g_samples.front().graph, horizon));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunAblation();
+  benchmark::RegisterBenchmark("BM_Rollout", &BM_Rollout)
+      ->Arg(1)
+      ->Arg(3)
+      ->Arg(5)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Table I — End-to-end performance of baselines and HEAD in the simulated
+// environment: IDM-LC, ACC-LC, DRL-SC, TP-BTS vs HEAD on the macroscopic
+// (AvgDT-A, AvgDT-C, Avg#-CA) and microscopic (MinTTC-A, AvgV-A, AvgJ-A,
+// AvgD-CA) metrics of Sec. V-B.
+//
+// Profile: fast by default; HEAD_BENCH_PROFILE=paper for paper-scale runs.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "decision/acc_lc.h"
+#include "decision/idm_lc.h"
+#include "decision/tp_bts.h"
+#include "eval/episode_runner.h"
+#include "eval/table.h"
+#include "eval/workbench.h"
+
+namespace {
+
+using namespace head;
+
+struct MethodResult {
+  std::string name;
+  eval::AggregateMetrics metrics;
+  std::shared_ptr<decision::Policy> policy;  // kept for latency benchmarks
+};
+
+std::vector<MethodResult> g_results;
+eval::RunnerConfig g_runner;
+
+void RunTable1() {
+  const eval::BenchProfile profile = eval::BenchProfile::FromEnv();
+  g_runner.sim = profile.rl_sim;
+  g_runner.episodes = profile.test_episodes;
+  g_runner.seed_base = profile.seed * 1000;
+
+  const decision::RuleBasedConfig rule_config =
+      decision::RuleBasedConfig::ForRoad(profile.rl_sim.road);
+
+  auto idm = std::make_shared<decision::IdmLcPolicy>(rule_config);
+  auto acc = std::make_shared<decision::AccLcPolicy>(rule_config);
+  decision::TpBtsConfig tp_config;
+  tp_config.road = profile.rl_sim.road;
+  auto tp_bts = std::make_shared<decision::TpBtsPolicy>(tp_config);
+
+  auto predictor = eval::TrainOrLoadLstGat(profile);
+  std::shared_ptr<rl::DrlScAgent> drl_sc_agent =
+      eval::TrainOrLoadDrlSc(profile, predictor);
+  std::shared_ptr<decision::Policy> drl_sc = eval::MakePolicy(
+      profile, core::HeadVariant::WithoutLstGat(), predictor, drl_sc_agent);
+
+  std::shared_ptr<rl::PdqnAgent> head_agent =
+      eval::TrainOrLoadHeadPolicy(profile, core::HeadVariant::Full(),
+                                  predictor);
+  std::shared_ptr<decision::Policy> head_policy = eval::MakePolicy(
+      profile, core::HeadVariant::Full(), predictor, head_agent);
+
+  const std::vector<std::pair<std::string, std::shared_ptr<decision::Policy>>>
+      methods = {{"IDM-LC", idm},
+                 {"ACC-LC", acc},
+                 {"DRL-SC", drl_sc},
+                 {"TP-BTS", tp_bts},
+                 {"HEAD", head_policy}};
+
+  eval::TablePrinter table(
+      {"Method", "AvgDT-A(s)", "AvgDT-C(s)", "Avg#-CA", "MinTTC-A(s)",
+       "AvgV-A(m/s)", "AvgJ-A(m/s2)", "AvgD-CA(m/s)", "Done/Coll"});
+  for (const auto& [name, policy] : methods) {
+    const eval::AggregateMetrics m = eval::RunPolicy(*policy, g_runner);
+    table.AddRow({name, eval::FormatDouble(m.avg_dt_a_s, 1),
+                  eval::FormatDouble(m.avg_dt_c_s, 1),
+                  eval::FormatDouble(m.avg_num_ca, 1),
+                  eval::FormatDouble(m.min_ttc_a_s, 2),
+                  eval::FormatDouble(m.avg_v_a_mps, 2),
+                  eval::FormatDouble(m.avg_j_a_mps2, 2),
+                  eval::FormatDouble(m.avg_d_ca_mps, 2),
+                  std::to_string(m.completed) + "/" +
+                      std::to_string(m.collisions)});
+    g_results.push_back({name, m, policy});
+  }
+  table.Print(std::cout,
+              "Table I — End-to-end performance (" + profile.name +
+                  " profile, " + std::to_string(g_runner.episodes) +
+                  " test episodes)");
+}
+
+/// Per-method single-episode benchmark exposing the Table I metrics as
+/// google-benchmark counters.
+void BM_Episode(benchmark::State& state) {
+  MethodResult& r = g_results[state.range(0)];
+  state.SetLabel(r.name);
+  uint64_t seed = g_runner.seed_base + 777;
+  for (auto _ : state) {
+    const eval::EpisodeRecord rec =
+        eval::RunEpisode(*r.policy, g_runner, seed++);
+    benchmark::DoNotOptimize(rec);
+  }
+  state.counters["AvgDT_A_s"] = r.metrics.avg_dt_a_s;
+  state.counters["AvgV_A_mps"] = r.metrics.avg_v_a_mps;
+  state.counters["Avg_CA"] = r.metrics.avg_num_ca;
+  state.counters["MinTTC_A_s"] = r.metrics.min_ttc_a_s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunTable1();
+  for (size_t i = 0; i < g_results.size(); ++i) {
+    const std::string bench_name = "BM_Episode/" + g_results[i].name;
+    benchmark::RegisterBenchmark(bench_name.c_str(), &BM_Episode)
+        ->Arg(static_cast<int>(i))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

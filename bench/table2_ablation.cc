@@ -1,0 +1,95 @@
+// Table II — Ablation study: HEAD-w/o-PVC, HEAD-w/o-LST-GAT,
+// HEAD-w/o-BP-DQN, HEAD-w/o-IMP vs full HEAD on the same macroscopic /
+// microscopic metrics as Table I.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "eval/episode_runner.h"
+#include "eval/table.h"
+#include "eval/workbench.h"
+
+namespace {
+
+using namespace head;
+
+struct VariantResult {
+  std::string name;
+  eval::AggregateMetrics metrics;
+  std::shared_ptr<decision::Policy> policy;
+};
+
+std::vector<VariantResult> g_results;
+eval::RunnerConfig g_runner;
+
+void RunTable2() {
+  const eval::BenchProfile profile = eval::BenchProfile::FromEnv();
+  g_runner.sim = profile.rl_sim;
+  g_runner.episodes = profile.test_episodes;
+  g_runner.seed_base = profile.seed * 1000;
+
+  auto predictor = eval::TrainOrLoadLstGat(profile);
+  const std::vector<core::HeadVariant> variants = {
+      core::HeadVariant::WithoutPvc(),
+      core::HeadVariant::WithoutLstGat(),
+      core::HeadVariant::WithoutBpDqn(),
+      core::HeadVariant::WithoutImpact(),
+      core::HeadVariant::Full(),
+  };
+
+  eval::TablePrinter table(
+      {"Method", "AvgDT-A(s)", "AvgDT-C(s)", "Avg#-CA", "MinTTC-A(s)",
+       "AvgV-A(m/s)", "AvgJ-A(m/s2)", "AvgD-CA(m/s)", "Done/Coll"});
+  for (const core::HeadVariant& variant : variants) {
+    std::shared_ptr<rl::PdqnAgent> agent =
+        eval::TrainOrLoadHeadPolicy(profile, variant, predictor);
+    std::shared_ptr<decision::Policy> policy =
+        eval::MakePolicy(profile, variant, predictor, agent);
+    const eval::AggregateMetrics m = eval::RunPolicy(*policy, g_runner);
+    table.AddRow({variant.Name(), eval::FormatDouble(m.avg_dt_a_s, 1),
+                  eval::FormatDouble(m.avg_dt_c_s, 1),
+                  eval::FormatDouble(m.avg_num_ca, 1),
+                  eval::FormatDouble(m.min_ttc_a_s, 2),
+                  eval::FormatDouble(m.avg_v_a_mps, 2),
+                  eval::FormatDouble(m.avg_j_a_mps2, 2),
+                  eval::FormatDouble(m.avg_d_ca_mps, 2),
+                  std::to_string(m.completed) + "/" +
+                      std::to_string(m.collisions)});
+    g_results.push_back({variant.Name(), m, policy});
+  }
+  table.Print(std::cout, "Table II — Ablation study (" + profile.name +
+                             " profile, " +
+                             std::to_string(g_runner.episodes) +
+                             " test episodes)");
+}
+
+void BM_Episode(benchmark::State& state) {
+  VariantResult& r = g_results[state.range(0)];
+  state.SetLabel(r.name);
+  uint64_t seed = g_runner.seed_base + 999;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::RunEpisode(*r.policy, g_runner, seed++));
+  }
+  state.counters["AvgDT_A_s"] = r.metrics.avg_dt_a_s;
+  state.counters["Avg_CA"] = r.metrics.avg_num_ca;
+  state.counters["AvgV_A_mps"] = r.metrics.avg_v_a_mps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunTable2();
+  for (size_t i = 0; i < g_results.size(); ++i) {
+    const std::string name = "BM_Episode/" + g_results[i].name;
+    benchmark::RegisterBenchmark(name.c_str(), &BM_Episode)
+        ->Arg(static_cast<int>(i))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Table III — Accuracy of the state-prediction methods on REAL:
+// MAE / MSE / RMSE of LSTM-MLP, ED-LSTM, GAS-LED and LST-GAT on the
+// one-step state-prediction task (Sec. V-C break-down evaluation).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+
+#include "eval/table.h"
+#include "eval/workbench.h"
+#include "perception/baselines/ed_lstm.h"
+#include "perception/baselines/gas_led.h"
+#include "perception/baselines/lstm_mlp.h"
+#include "perception/lst_gat.h"
+
+namespace {
+
+using namespace head;
+
+struct ModelEntry {
+  std::shared_ptr<perception::StatePredictor> model;
+  perception::PredictionMetrics metrics;
+};
+
+std::vector<ModelEntry> g_models;
+std::shared_ptr<data::RealDataset> g_dataset;
+
+void RunTable3() {
+  const eval::BenchProfile profile = eval::BenchProfile::FromEnv();
+  g_dataset =
+      std::make_shared<data::RealDataset>(eval::BuildRealDataset(profile));
+  std::cout << "REAL surrogate: " << g_dataset->train.size() << " train / "
+            << g_dataset->test.size() << " test samples\n";
+
+  Rng rng(profile.seed);
+  std::vector<std::shared_ptr<perception::StatePredictor>> models = {
+      std::make_shared<perception::LstmMlp>(64, rng),
+      std::make_shared<perception::EdLstm>(64, rng),
+      std::make_shared<perception::GasLed>(64, rng),
+      std::make_shared<perception::LstGat>(perception::LstGatConfig{}, rng),
+  };
+
+  eval::TablePrinter table({"Metric", "LSTM-MLP", "ED-LSTM", "GAS-LED",
+                            "LST-GAT"});
+  std::vector<std::string> mae_row = {"MAE"};
+  std::vector<std::string> mse_row = {"MSE"};
+  std::vector<std::string> rmse_row = {"RMSE"};
+  for (auto& model : models) {
+    perception::TrainPredictor(*model, g_dataset->train, profile.pred_train);
+    const perception::PredictionMetrics m =
+        perception::EvaluatePredictor(*model, g_dataset->test);
+    mae_row.push_back(eval::FormatDouble(m.mae, 3));
+    mse_row.push_back(eval::FormatDouble(m.mse, 3));
+    rmse_row.push_back(eval::FormatDouble(m.rmse, 3));
+    g_models.push_back({model, m});
+  }
+  table.AddRow(mae_row);
+  table.AddRow(mse_row);
+  table.AddRow(rmse_row);
+  table.Print(std::cout, "Table III — Prediction accuracy on REAL (" +
+                             profile.name + " profile; raw units: m, m/s)");
+}
+
+void BM_Evaluate(benchmark::State& state) {
+  ModelEntry& entry = g_models[state.range(0)];
+  state.SetLabel(entry.model->name());
+  for (auto _ : state) {
+    const perception::PredictionMetrics m =
+        perception::EvaluatePredictor(*entry.model, g_dataset->test);
+    benchmark::DoNotOptimize(m);
+  }
+  state.counters["MAE"] = entry.metrics.mae;
+  state.counters["MSE"] = entry.metrics.mse;
+  state.counters["RMSE"] = entry.metrics.rmse;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunTable3();
+  for (size_t i = 0; i < g_models.size(); ++i) {
+    const std::string name = "BM_Evaluate/" + g_models[i].model->name();
+    benchmark::RegisterBenchmark(name.c_str(), &BM_Evaluate)
+        ->Arg(static_cast<int>(i))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

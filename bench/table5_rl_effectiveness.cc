@@ -1,0 +1,122 @@
+// Table V — Effectiveness of the RL methods solving the PAMDP in the
+// simulated environment: MinR / MaxR / AvgR (per-step reward statistics over
+// greedy test episodes) for P-QP, P-DDPG, P-DQN and BP-DQN.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+
+#include "eval/table.h"
+#include "eval/workbench.h"
+#include "rl/p_ddpg.h"
+#include "rl/pdqn_agent.h"
+#include "rl/trainer.h"
+
+namespace {
+
+using namespace head;
+
+struct AgentEntry {
+  std::string name;
+  std::shared_ptr<rl::PamdpAgent> agent;
+  rl::RewardStats stats;
+};
+
+std::vector<AgentEntry> g_agents;
+std::shared_ptr<perception::LstGat> g_predictor;
+eval::BenchProfile g_profile;
+
+std::shared_ptr<rl::PamdpAgent> MakeAgent(const std::string& name,
+                                          const rl::PdqnConfig& config,
+                                          Rng& rng) {
+  if (name == "P-QP") return rl::MakePQpAgent(config, rng);
+  if (name == "P-DDPG") {
+    rl::PddpgConfig c;
+    c.hidden = config.hidden;
+    c.batch_size = config.batch_size;
+    c.warmup_transitions = config.warmup_transitions;
+    c.update_every = config.update_every;
+    c.a_max = config.a_max;
+    return std::make_shared<rl::PddpgAgent>(c, rng);
+  }
+  if (name == "P-DQN") return rl::MakePDqnAgent(config, rng);
+  return rl::MakeBpDqnAgent(config, rng);
+}
+
+void RunTable5() {
+  g_profile = eval::BenchProfile::FromEnv();
+  g_predictor = eval::TrainOrLoadLstGat(g_profile);
+
+  const core::HeadConfig head =
+      eval::MakeHeadConfig(g_profile, core::HeadVariant::Full());
+
+  eval::TablePrinter table({"Metric", "P-QP", "P-DDPG", "P-DQN", "BP-DQN"});
+  std::vector<std::string> min_row = {"MinR"};
+  std::vector<std::string> max_row = {"MaxR"};
+  std::vector<std::string> avg_row = {"AvgR"};
+  std::vector<std::string> coll_row = {"Collisions"};
+
+  for (const std::string name : {"P-QP", "P-DDPG", "P-DQN", "BP-DQN"}) {
+    Rng rng(g_profile.seed + 17);
+    std::shared_ptr<rl::PamdpAgent> agent =
+        MakeAgent(name, head.pdqn, rng);
+    rl::DrivingEnv env(head.MakeEnvConfig(g_profile.rl_sim),
+                       g_predictor.get(), g_profile.seed);
+    rl::RlTrainConfig train = g_profile.rl_train;
+    // Method comparison needs a ranking, not a final policy: half budget.
+    train.episodes = std::max(100, train.episodes / 2);
+    train.seed = g_profile.seed + 29;
+    std::cout << "training " << name << " (" << train.episodes
+              << " episodes)...\n";
+    rl::TrainAgent(*agent, env, train);
+    const rl::RewardStats stats = rl::EvaluateAgent(
+        *agent, env, g_profile.test_episodes, g_profile.seed * 1000);
+    min_row.push_back(eval::FormatDouble(stats.min_reward, 2));
+    max_row.push_back(eval::FormatDouble(stats.max_reward, 2));
+    avg_row.push_back(eval::FormatDouble(stats.avg_reward, 2));
+    coll_row.push_back(std::to_string(stats.collisions));
+    g_agents.push_back({name, agent, stats});
+  }
+  table.AddRow(min_row);
+  table.AddRow(max_row);
+  table.AddRow(avg_row);
+  table.AddRow(coll_row);
+  table.Print(std::cout, "Table V — RL effectiveness (" + g_profile.name +
+                             " profile, " +
+                             std::to_string(g_profile.test_episodes) +
+                             " greedy test episodes)");
+}
+
+void BM_GreedyEpisode(benchmark::State& state) {
+  AgentEntry& entry = g_agents[state.range(0)];
+  state.SetLabel(entry.name);
+  const core::HeadConfig head =
+      eval::MakeHeadConfig(g_profile, core::HeadVariant::Full());
+  rl::DrivingEnv env(head.MakeEnvConfig(g_profile.rl_sim), g_predictor.get(),
+                     g_profile.seed);
+  uint64_t seed = g_profile.seed * 555;
+  for (auto _ : state) {
+    const rl::RewardStats s = rl::EvaluateAgent(*entry.agent, env, 1, seed++);
+    benchmark::DoNotOptimize(s);
+  }
+  state.counters["MinR"] = entry.stats.min_reward;
+  state.counters["MaxR"] = entry.stats.max_reward;
+  state.counters["AvgR"] = entry.stats.avg_reward;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunTable5();
+  for (size_t i = 0; i < g_agents.size(); ++i) {
+    const std::string name = "BM_GreedyEpisode/" + g_agents[i].name;
+    benchmark::RegisterBenchmark(name.c_str(), &BM_GreedyEpisode)
+        ->Arg(static_cast<int>(i))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

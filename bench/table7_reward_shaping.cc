@@ -1,0 +1,123 @@
+// Table VII — Reward shaping: coordinate grid search over the hybrid-reward
+// coefficients w1 (safety), w2 (efficiency), w3 (comfort), w4 (impact),
+// reporting the best value per coefficient. The paper's grid:
+//   w1 ∈ [0.5, 1] step 0.1,  w2, w3 ∈ [0, 1] step 0.2,  w4 ∈ [0, 0.5] step 0.1
+//
+// Each grid point trains a (shortened) BP-DQN run and scores the greedy
+// policy with a coefficient-independent fitness combining collision-free
+// completion, velocity and low impact — so different reward weightings are
+// comparable.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+
+#include "eval/episode_runner.h"
+#include "eval/table.h"
+#include "eval/workbench.h"
+#include "rl/trainer.h"
+
+namespace {
+
+using namespace head;
+
+eval::BenchProfile g_profile;
+std::shared_ptr<perception::LstGat> g_predictor;
+
+/// Coefficient-independent score of a trained policy (bigger is better):
+/// completion-weighted velocity minus impact events and collision penalty.
+double ScorePolicy(const core::HeadConfig& head,
+                   std::shared_ptr<rl::PdqnAgent> agent) {
+  auto policy = std::make_unique<core::HeadAgent>(
+      head, g_predictor,
+      std::static_pointer_cast<rl::PamdpAgent>(agent));
+  eval::RunnerConfig runner;
+  runner.sim = g_profile.rl_sim;
+  runner.episodes = std::max(5, g_profile.test_episodes / 4);
+  runner.seed_base = g_profile.seed * 1000 + 7;
+  const eval::AggregateMetrics m = eval::RunPolicy(*policy, runner);
+  const double completion =
+      static_cast<double>(m.completed) / runner.episodes;
+  return completion * m.avg_v_a_mps - 0.5 * m.avg_num_ca -
+         10.0 * (static_cast<double>(m.collisions) / runner.episodes);
+}
+
+double TrainAndScore(const rl::RewardWeights& weights) {
+  core::HeadConfig head =
+      eval::MakeHeadConfig(g_profile, core::HeadVariant::Full());
+  head.reward.weights = weights;
+  Rng rng(g_profile.seed + 17);
+  std::shared_ptr<rl::PdqnAgent> agent = rl::MakeBpDqnAgent(head.pdqn, rng);
+  rl::DrivingEnv env(head.MakeEnvConfig(g_profile.rl_sim), g_predictor.get(),
+                     g_profile.seed);
+  rl::RlTrainConfig train = g_profile.rl_train;
+  // Shortened runs: the sweep needs a ranking, not a final policy.
+  train.episodes = std::max(40, train.episodes / 10);
+  train.seed = g_profile.seed + 29;
+  rl::TrainAgent(*agent, env, train);
+  return ScorePolicy(head, agent);
+}
+
+struct SweepSpec {
+  const char* name;
+  double min;
+  double max;
+  double step;
+  double* slot;  // coefficient being swept inside the weight set
+};
+
+void RunTable7() {
+  g_profile = eval::BenchProfile::FromEnv();
+  g_predictor = eval::TrainOrLoadLstGat(g_profile);
+
+  rl::RewardWeights weights;  // start from the paper's best values
+  SweepSpec sweeps[] = {
+      {"w1", 0.5, 1.0, 0.1, &weights.safety},
+      {"w2", 0.0, 1.0, 0.2, &weights.efficiency},
+      {"w3", 0.0, 1.0, 0.2, &weights.comfort},
+      {"w4", 0.0, 0.5, 0.1, &weights.impact},
+  };
+
+  eval::TablePrinter table({"Coefficient", "Min", "Max", "Step", "Best"});
+  for (SweepSpec& sweep : sweeps) {
+    double best_value = *sweep.slot;
+    double best_score = -1e18;
+    for (double v = sweep.min; v <= sweep.max + 1e-9; v += sweep.step) {
+      *sweep.slot = v;
+      const double score = TrainAndScore(weights);
+      std::cout << "  " << sweep.name << "=" << eval::FormatDouble(v, 1)
+                << " -> score " << eval::FormatDouble(score, 2) << "\n";
+      if (score > best_score) {
+        best_score = score;
+        best_value = v;
+      }
+    }
+    *sweep.slot = best_value;  // keep the winner for later coordinates
+    table.AddRow({sweep.name, eval::FormatDouble(sweep.min, 1),
+                  eval::FormatDouble(sweep.max, 1),
+                  eval::FormatDouble(sweep.step, 1),
+                  eval::FormatDouble(best_value, 1)});
+  }
+  table.Print(std::cout, "Table VII — Effect of the hybrid-reward "
+                         "coefficients (" + g_profile.name + " profile)");
+}
+
+void BM_SweepPoint(benchmark::State& state) {
+  rl::RewardWeights weights;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TrainAndScore(weights));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunTable7();
+  benchmark::RegisterBenchmark("BM_SweepPoint", &BM_SweepPoint)
+      ->Unit(benchmark::kSecond)
+      ->Iterations(1);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Pre-trains every component the bench suite needs and stores the weights
+// in the cache directory (.head_cache/), so the table benches start from
+// warm caches instead of retraining. Useful before running
+// `for b in build/bench/*; do $b; done`.
+//
+//   ./build/examples/pretrain_all
+#include <cstdio>
+
+#include "eval/workbench.h"
+
+int main() {
+  using namespace head;
+  const eval::BenchProfile profile = eval::BenchProfile::FromEnv();
+  std::printf("pretraining all components (%s profile) into %s/\n",
+              profile.name.c_str(), profile.cache_dir.c_str());
+  auto predictor = eval::TrainOrLoadLstGat(profile);
+  eval::TrainOrLoadHeadPolicy(profile, core::HeadVariant::Full(), predictor);
+  eval::TrainOrLoadDrlSc(profile, predictor);
+  eval::TrainOrLoadHeadPolicy(profile, core::HeadVariant::WithoutPvc(),
+                              predictor);
+  eval::TrainOrLoadHeadPolicy(profile, core::HeadVariant::WithoutLstGat(),
+                              predictor);
+  eval::TrainOrLoadHeadPolicy(profile, core::HeadVariant::WithoutBpDqn(),
+                              predictor);
+  eval::TrainOrLoadHeadPolicy(profile, core::HeadVariant::WithoutImpact(),
+                              predictor);
+  std::printf("done.\n");
+  return 0;
+}

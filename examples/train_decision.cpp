@@ -1,0 +1,60 @@
+// Train the BP-DQN maneuver-decision agent from scratch and watch the
+// learning curve. Useful for tuning and as a template for custom training.
+//
+//   ./build/examples/train_decision [episodes] [seed]
+//
+// Environment knobs: HEAD_BENCH_PROFILE=paper for the 3 km road.
+#include <cstdio>
+#include <cstdlib>
+
+#include "eval/episode_runner.h"
+#include "eval/workbench.h"
+#include "rl/trainer.h"
+
+int main(int argc, char** argv) {
+  using namespace head;
+
+  eval::BenchProfile profile = eval::BenchProfile::FromEnv();
+  if (argc > 1) profile.rl_train.episodes = std::atoi(argv[1]);
+  if (argc > 2) profile.seed = std::atoi(argv[2]);
+  profile.rl_train.verbose = true;
+
+  std::printf("training BP-DQN for %d episodes (%s profile, seed %llu)\n",
+              profile.rl_train.episodes, profile.name.c_str(),
+              static_cast<unsigned long long>(profile.seed));
+
+  auto predictor = eval::TrainOrLoadLstGat(profile);
+  rl::RlTrainResult result;
+  auto agent = eval::TrainOrLoadHeadPolicy(profile, core::HeadVariant::Full(),
+                                           predictor, &result,
+                                           /*use_cache=*/false);
+
+  // Learning curve, coarse: mean step reward in 10 buckets.
+  const size_t n = result.episode_rewards.size();
+  std::printf("\nlearning curve (mean step reward per decile):\n");
+  for (int b = 0; b < 10; ++b) {
+    const size_t lo = b * n / 10;
+    const size_t hi = (b + 1) * n / 10;
+    double sum = 0.0;
+    for (size_t i = lo; i < hi; ++i) sum += result.episode_rewards[i];
+    std::printf("  episodes %4zu-%-4zu : %+.3f\n", lo, hi,
+                sum / std::max<size_t>(1, hi - lo));
+  }
+  std::printf("convergence: %.1fs of %.1fs total\n",
+              result.convergence_seconds, result.total_seconds);
+
+  // Greedy evaluation.
+  auto policy =
+      eval::MakePolicy(profile, core::HeadVariant::Full(), predictor, agent);
+  eval::RunnerConfig runner;
+  runner.sim = profile.rl_sim;
+  runner.episodes = 10;
+  runner.seed_base = profile.seed * 1000;
+  const eval::AggregateMetrics m = eval::RunPolicy(*policy, runner);
+  std::printf(
+      "\ngreedy eval over %d episodes: DT-A=%.1fs V-A=%.2fm/s J-A=%.2f "
+      "TTC=%.2fs #-CA=%.1f done=%d coll=%d\n",
+      runner.episodes, m.avg_dt_a_s, m.avg_v_a_mps, m.avg_j_a_mps2,
+      m.min_ttc_a_s, m.avg_num_ca, m.completed, m.collisions);
+  return 0;
+}

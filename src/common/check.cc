@@ -1,0 +1,14 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace head::internal {
+
+void CheckFailed(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "%s:%d: %s\n", file, line, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace head::internal

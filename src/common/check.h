@@ -1,0 +1,64 @@
+// Contract-checking macros. Following the project style (no exceptions on the
+// hot path), violated contracts log a message with source location and abort.
+#ifndef HEAD_COMMON_CHECK_H_
+#define HEAD_COMMON_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace head::internal {
+
+/// Prints the failure message to stderr and aborts. Never returns.
+[[noreturn]] void CheckFailed(const char* file, int line, const std::string& msg);
+
+}  // namespace head::internal
+
+/// Aborts with a diagnostic when `cond` is false. Always evaluated.
+#define HEAD_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::head::internal::CheckFailed(__FILE__, __LINE__,                    \
+                                    "HEAD_CHECK failed: " #cond);          \
+    }                                                                      \
+  } while (false)
+
+/// HEAD_CHECK with an extra streamed message: HEAD_CHECK_MSG(x > 0, "x=" << x)
+#define HEAD_CHECK_MSG(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream head_check_oss_;                                  \
+      head_check_oss_ << "HEAD_CHECK failed: " #cond " — " << msg;         \
+      ::head::internal::CheckFailed(__FILE__, __LINE__,                    \
+                                    head_check_oss_.str());                \
+    }                                                                      \
+  } while (false)
+
+#define HEAD_CHECK_BINOP(a, b, op)                                         \
+  do {                                                                     \
+    const auto& head_check_a_ = (a);                                       \
+    const auto& head_check_b_ = (b);                                       \
+    if (!(head_check_a_ op head_check_b_)) {                               \
+      std::ostringstream head_check_oss_;                                  \
+      head_check_oss_ << "HEAD_CHECK failed: " #a " " #op " " #b " ("      \
+                      << head_check_a_ << " vs " << head_check_b_ << ")";  \
+      ::head::internal::CheckFailed(__FILE__, __LINE__,                    \
+                                    head_check_oss_.str());                \
+    }                                                                      \
+  } while (false)
+
+#define HEAD_CHECK_EQ(a, b) HEAD_CHECK_BINOP(a, b, ==)
+#define HEAD_CHECK_NE(a, b) HEAD_CHECK_BINOP(a, b, !=)
+#define HEAD_CHECK_LT(a, b) HEAD_CHECK_BINOP(a, b, <)
+#define HEAD_CHECK_LE(a, b) HEAD_CHECK_BINOP(a, b, <=)
+#define HEAD_CHECK_GT(a, b) HEAD_CHECK_BINOP(a, b, >)
+#define HEAD_CHECK_GE(a, b) HEAD_CHECK_BINOP(a, b, >=)
+
+#ifdef NDEBUG
+#define HEAD_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#else
+#define HEAD_DCHECK(cond) HEAD_CHECK(cond)
+#endif
+
+#endif  // HEAD_COMMON_CHECK_H_

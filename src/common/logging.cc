@@ -1,0 +1,48 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace head {
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg) {
+  if (static_cast<int>(level) <
+      g_log_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), file, line,
+               msg.c_str());
+}
+
+}  // namespace internal
+}  // namespace head

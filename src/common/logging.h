@@ -1,0 +1,54 @@
+// Minimal leveled logging to stderr. Intended for library diagnostics; the
+// evaluation harness prints its tables directly to stdout.
+#ifndef HEAD_COMMON_LOGGING_H_
+#define HEAD_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace head {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+/// Global threshold; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Emits one formatted log line to stderr (if `level` passes the threshold).
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg);
+
+class LogCapture {
+ public:
+  LogCapture(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogCapture() { LogMessage(level_, file_, line_, oss_.str()); }
+
+  template <typename T>
+  LogCapture& operator<<(const T& value) {
+    oss_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream oss_;
+};
+
+}  // namespace internal
+}  // namespace head
+
+#define HEAD_LOG(level)                                      \
+  ::head::internal::LogCapture(::head::LogLevel::k##level,   \
+                               __FILE__, __LINE__)
+
+#endif  // HEAD_COMMON_LOGGING_H_

@@ -1,0 +1,40 @@
+#include "common/rng.h"
+
+#include "common/check.h"
+
+namespace head {
+
+double Rng::Uniform(double lo, double hi) {
+  HEAD_DCHECK(lo <= hi);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+int Rng::UniformInt(int lo, int hi) {
+  HEAD_DCHECK(lo <= hi);
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+Rng Rng::Fork() {
+  // splitmix-style decorrelation of a fresh seed drawn from this engine.
+  uint64_t s = engine_();
+  s ^= s >> 30;
+  s *= 0xbf58476d1ce4e5b9ULL;
+  s ^= s >> 27;
+  s *= 0x94d049bb133111ebULL;
+  s ^= s >> 31;
+  return Rng(s);
+}
+
+}  // namespace head

@@ -1,0 +1,44 @@
+// Deterministic random-number source. Every stochastic component in the
+// library draws through an explicitly passed Rng so that episodes, dataset
+// generation, and training are reproducible from a single seed.
+#ifndef HEAD_COMMON_RNG_H_
+#define HEAD_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace head {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  Rng(const Rng&) = delete;
+  Rng& operator=(const Rng&) = delete;
+  Rng(Rng&&) = default;
+  Rng& operator=(Rng&&) = default;
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int UniformInt(int lo, int hi);
+
+  /// Standard normal scaled by `stddev` and shifted by `mean`.
+  double Normal(double mean, double stddev);
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p);
+
+  /// Derives an independent child generator (stable split for sub-systems).
+  Rng Fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace head
+
+#endif  // HEAD_COMMON_RNG_H_

@@ -1,0 +1,46 @@
+#include "common/types.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace head {
+
+const char* ToString(LaneChange b) {
+  switch (b) {
+    case LaneChange::kLeft:
+      return "ll";
+    case LaneChange::kKeep:
+      return "lk";
+    case LaneChange::kRight:
+      return "lr";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const Maneuver& m) {
+  return os << "(" << ToString(m.lane_change) << ", " << m.accel_mps2 << ")";
+}
+
+std::ostream& operator<<(std::ostream& os, const VehicleState& s) {
+  return os << "{lane=" << s.lane << ", lon=" << s.lon_m << ", v=" << s.v_mps
+            << "}";
+}
+
+VehicleState StepKinematics(const VehicleState& s, const Maneuver& m,
+                            const RoadConfig& road) {
+  HEAD_DCHECK(road.dt_s > 0.0);
+  const double a = std::clamp(m.accel_mps2, -road.a_max_mps2, road.a_max_mps2);
+  const double v_raw = s.v_mps + a * road.dt_s;
+  // The v_min restriction is a traffic rule, not physics: it enters through
+  // the efficiency reward. Physically a vehicle can always brake to a stop
+  // (otherwise stalled traffic would make collisions unavoidable).
+  const double v_new = std::clamp(v_raw, 0.0, road.v_max_mps);
+  // Trapezoidal advance — equals Eq. (18) when the velocity clamp is
+  // inactive, and stays consistent with the clamped velocity otherwise.
+  const double lon_new = s.lon_m + 0.5 * (s.v_mps + v_new) * road.dt_s;
+  return VehicleState{s.lane + LaneDelta(m.lane_change), lon_new, v_new};
+}
+
+}  // namespace head

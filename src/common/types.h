@@ -1,0 +1,99 @@
+// Domain vocabulary shared by every module: lane-aware vehicle states,
+// maneuvers (paper Sec. II), the road configuration and its traffic
+// restrictions, and the relative-state helpers of Eqs. (1)-(3).
+#ifndef HEAD_COMMON_TYPES_H_
+#define HEAD_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace head {
+
+using VehicleId = int32_t;
+inline constexpr VehicleId kInvalidVehicleId = -1;
+/// Id reserved for the autonomous (ego) vehicle in every simulation.
+inline constexpr VehicleId kEgoVehicleId = 0;
+
+/// Lateral lane-change behavior b ∈ {ll, lr, lk} (paper Sec. II, "Maneuver").
+enum class LaneChange : int8_t {
+  kLeft = -1,  // ll: lane index decreases (lanes numbered left→right from 1)
+  kKeep = 0,   // lk
+  kRight = 1,  // lr: lane index increases
+};
+
+/// Signed lane delta \overline{A.b} of Eq. (18).
+inline int LaneDelta(LaneChange b) { return static_cast<int>(b); }
+
+const char* ToString(LaneChange b);
+
+/// A maneuver (A.b, A.a): discrete lane-change behavior plus continuous
+/// longitudinal acceleration — the parameterized action of the PAMDP.
+struct Maneuver {
+  LaneChange lane_change = LaneChange::kKeep;
+  double accel_mps2 = 0.0;
+
+  friend bool operator==(const Maneuver&, const Maneuver&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Maneuver& m);
+
+/// Lane-aware kinematic state of one vehicle at one time step.
+/// `lane` is the lateral lane number (1 = leftmost, κ = rightmost);
+/// `lon_m` the longitudinal position from the road origin; `v_mps` the
+/// longitudinal velocity. Lateral motion within a lane is abstracted away
+/// (paper Sec. II, "Location").
+struct VehicleState {
+  int lane = 1;
+  double lon_m = 0.0;
+  double v_mps = 0.0;
+
+  friend bool operator==(const VehicleState&, const VehicleState&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const VehicleState& s);
+
+/// Road geometry plus the paper's traffic restrictions (Sec. II and V-A).
+struct RoadConfig {
+  double length_m = 3000.0;    ///< road length (paper: 3 km)
+  int num_lanes = 6;           ///< κ
+  double lane_width_m = 3.2;   ///< wid_l
+  double v_min_mps = 1.39;     ///< speed floor (5 km/h)
+  double v_max_mps = 25.0;     ///< speed cap (90 km/h)
+  double a_max_mps2 = 3.0;     ///< a': |acceleration| bound
+  double dt_s = 0.5;           ///< Δt between maneuvers
+
+  /// True iff `lane` ∈ [1, num_lanes].
+  bool IsValidLane(int lane) const { return lane >= 1 && lane <= num_lanes; }
+};
+
+/// Physical vehicle length used for gaps, collisions and occlusion geometry.
+inline constexpr double kVehicleLengthM = 5.0;
+/// Physical vehicle width (for occlusion shadows), < lane width.
+inline constexpr double kVehicleWidthM = 1.8;
+
+/// Relative longitudinal distance d_lon(C, A) = C.lon − A.lon  (Eq. 1).
+inline double DLon(const VehicleState& c, const VehicleState& a) {
+  return c.lon_m - a.lon_m;
+}
+
+/// Relative lateral distance d_lat(C, A) = (C.lat − A.lat)·wid_l  (Eq. 2).
+inline double DLat(const VehicleState& c, const VehicleState& a,
+                   double lane_width_m) {
+  return static_cast<double>(c.lane - a.lane) * lane_width_m;
+}
+
+/// Relative longitudinal velocity v(C, A) = C.v − A.v  (Eq. 3).
+inline double RelV(const VehicleState& c, const VehicleState& a) {
+  return c.v_mps - a.v_mps;
+}
+
+/// Advances a state by one maneuver under the kinematics of Eq. (18).
+/// Velocity is clamped to [v_min, v_max]; the caller is responsible for lane
+/// validity (driving off-road is a collision handled by the simulator).
+VehicleState StepKinematics(const VehicleState& s, const Maneuver& m,
+                            const RoadConfig& road);
+
+}  // namespace head
+
+#endif  // HEAD_COMMON_TYPES_H_

@@ -1,0 +1,51 @@
+#include "core/head_agent.h"
+
+#include "common/check.h"
+
+namespace head::core {
+
+HeadAgent::HeadAgent(const HeadConfig& config,
+                     std::shared_ptr<const perception::StatePredictor> predictor,
+                     std::shared_ptr<rl::PamdpAgent> agent)
+    : config_(config),
+      predictor_(std::move(predictor)),
+      agent_(std::move(agent)),
+      history_(config.history_z),
+      act_rng_(0xC0FFEE) {
+  HEAD_CHECK(agent_ != nullptr);
+  if (config_.variant.use_lst_gat) {
+    HEAD_CHECK_MSG(predictor_ != nullptr,
+                   "LST-GAT variant requires a predictor");
+  }
+}
+
+std::string HeadAgent::name() const { return config_.variant.Name(); }
+
+void HeadAgent::OnEpisodeStart() { history_.Clear(); }
+
+rl::AugmentedState HeadAgent::Perceive(const decision::EgoView& view) {
+  perception::ObservationFrame frame;
+  frame.ego = view.ego;
+  frame.observed = view.observed;
+  history_.Push(std::move(frame));
+  const perception::CompletedScene scene = perception::ConstructPhantoms(
+      history_, config_.road, config_.sensor.range_m,
+      config_.variant.use_pvc);
+  graph_ = perception::BuildStGraph(scene, config_.road, config_.scale);
+  perception::Prediction prediction{};
+  if (config_.variant.use_lst_gat) {
+    prediction = predictor_->Predict(graph_);
+  }
+  return rl::BuildAugmentedState(graph_, prediction, config_.road,
+                                 config_.scale,
+                                 config_.variant.use_lst_gat);
+}
+
+Maneuver HeadAgent::Decide(const decision::EgoView& view) {
+  last_state_ = Perceive(view);
+  const rl::AgentAction action =
+      agent_->Act(last_state_, /*epsilon=*/0.0, act_rng_);
+  return action.maneuver;
+}
+
+}  // namespace head::core

@@ -1,0 +1,135 @@
+#include "data/real_dataset.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "data/sample_extractor.h"
+#include "decision/idm_lc.h"
+
+namespace head::data {
+
+RealDatasetConfig RealDatasetConfig::Default() {
+  RealDatasetConfig c;
+  c.sim.road.length_m = 1140.0;  // the REAL segment is 1.14 km, six lanes
+  c.sim.road.num_lanes = 6;
+  c.sim.spawn.density_veh_per_km = 180.0;
+  c.sensor.range_m = 100.0;
+  return c;
+}
+
+RealDataset GenerateRealDataset(const RealDatasetConfig& config) {
+  HEAD_CHECK_GT(config.episodes, 0);
+  Rng noise_rng(config.seed ^ 0x5eed);
+  std::vector<perception::PredictionSample> samples;
+
+  sim::Simulation sim(config.sim, config.seed);
+  decision::IdmLcPolicy observer(
+      decision::RuleBasedConfig::ForRoad(config.sim.road));
+  SampleExtractor extractor(config.sim.road, config.sensor, config.history_z);
+
+  for (int ep = 0; ep < config.episodes; ++ep) {
+    sim.Reset(config.seed + 31 * ep);
+    observer.OnEpisodeStart();
+    extractor.Reset();
+    double prev_accel = 0.0;
+    for (int step = 0; step < config.max_steps_per_episode; ++step) {
+      const std::vector<sim::VehicleSnapshot> global = sim.GlobalSnapshot();
+      std::vector<sim::VehicleSnapshot> observed = sensor::Observe(
+          global, sim.ego_state(), config.sensor, config.sim.road);
+      if (config.obs_noise_pos_m > 0.0 || config.obs_noise_v_mps > 0.0) {
+        for (sim::VehicleSnapshot& v : observed) {
+          v.state.lon_m += noise_rng.Normal(0.0, config.obs_noise_pos_m);
+          v.state.v_mps += noise_rng.Normal(0.0, config.obs_noise_v_mps);
+        }
+      }
+      std::optional<perception::PredictionSample> sample =
+          extractor.Push(sim.ego_state(), observed, global);
+      if (sample.has_value()) samples.push_back(std::move(*sample));
+
+      decision::EgoView view{sim.ego_state(), observed, prev_accel};
+      const Maneuver m = observer.Decide(view);
+      prev_accel = m.accel_mps2;
+      if (sim.Step(m) != sim::EpisodeStatus::kRunning) break;
+    }
+  }
+
+  // Deterministic shuffle then split (the paper splits REAL 4:1).
+  Rng shuffle_rng(config.seed ^ 0xD47A);
+  std::shuffle(samples.begin(), samples.end(), shuffle_rng.engine());
+  const size_t train_count = static_cast<size_t>(
+      config.train_fraction * static_cast<double>(samples.size()));
+  RealDataset out;
+  out.train.assign(samples.begin(), samples.begin() + train_count);
+  out.test.assign(samples.begin() + train_count, samples.end());
+  return out;
+}
+
+std::vector<perception::MultiStepSample> GenerateMultiStepSamples(
+    const RealDatasetConfig& config, int horizon) {
+  HEAD_CHECK_GT(horizon, 0);
+  std::vector<perception::MultiStepSample> samples;
+
+  sim::Simulation sim(config.sim, config.seed);
+  decision::IdmLcPolicy observer(
+      decision::RuleBasedConfig::ForRoad(config.sim.road));
+
+  for (int ep = 0; ep < config.episodes; ++ep) {
+    sim.Reset(config.seed + 31 * ep);
+    observer.OnEpisodeStart();
+
+    // Record the whole episode first: ego states + sensor frames + truth.
+    std::vector<VehicleState> ego_states;
+    std::vector<std::vector<sim::VehicleSnapshot>> observed_frames;
+    std::vector<std::vector<sim::VehicleSnapshot>> truth_frames;
+    double prev_accel = 0.0;
+    for (int step = 0; step < config.max_steps_per_episode; ++step) {
+      const std::vector<sim::VehicleSnapshot> global = sim.GlobalSnapshot();
+      std::vector<sim::VehicleSnapshot> observed = sensor::Observe(
+          global, sim.ego_state(), config.sensor, config.sim.road);
+      ego_states.push_back(sim.ego_state());
+      observed_frames.push_back(observed);
+      truth_frames.push_back(global);
+      decision::EgoView view{sim.ego_state(), std::move(observed),
+                             prev_accel};
+      const Maneuver m = observer.Decide(view);
+      prev_accel = m.accel_mps2;
+      if (sim.Step(m) != sim::EpisodeStatus::kRunning) break;
+    }
+
+    // Build one sample per eligible base step t.
+    const int n = static_cast<int>(ego_states.size());
+    perception::HistoryBuffer buffer(config.history_z);
+    for (int t = 0; t < n; ++t) {
+      buffer.Push(
+          perception::ObservationFrame{ego_states[t], observed_frames[t]});
+      if (t + 1 < config.history_z || t + horizon >= n) continue;
+      const perception::CompletedScene scene = perception::ConstructPhantoms(
+          buffer, config.sim.road, config.sensor.range_m);
+      perception::MultiStepSample sample;
+      sample.graph = perception::BuildStGraph(scene, config.sim.road);
+      sample.truth.resize(horizon);
+      sample.valid.resize(horizon);
+      bool any_valid = false;
+      for (int h = 0; h < horizon; ++h) {
+        for (int i = 0; i < perception::kNumAreas; ++i) {
+          sample.valid[h][i] = false;
+          if (sample.graph.target_is_phantom[i]) continue;
+          const VehicleId id = sample.graph.target_ids[i];
+          for (const sim::VehicleSnapshot& v : truth_frames[t + h + 1]) {
+            if (v.id != id) continue;
+            sample.valid[h][i] = true;
+            any_valid = true;
+            sample.truth[h][i] = {
+                DLat(v.state, ego_states[t], config.sim.road.lane_width_m),
+                DLon(v.state, ego_states[t]), RelV(v.state, ego_states[t])};
+            break;
+          }
+        }
+      }
+      if (any_valid) samples.push_back(std::move(sample));
+    }
+  }
+  return samples;
+}
+
+}  // namespace head::data

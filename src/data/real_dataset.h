@@ -1,0 +1,53 @@
+// The REAL-surrogate trajectory corpus. The paper evaluates its predictors
+// on NGSIM US-101 + I-80 ("REAL": a 1.14 km six-lane highway segment).
+// NGSIM recordings cannot be shipped, so we synthesize an equivalent corpus:
+// heterogeneous IDM/MOBIL traffic on the same geometry, observed from a
+// rule-driven ego through the same limited/occluded sensor — yielding the
+// same kind of ego-relative interaction histories the paper's models train
+// on (DESIGN.md §3 documents the substitution).
+#ifndef HEAD_DATA_REAL_DATASET_H_
+#define HEAD_DATA_REAL_DATASET_H_
+
+#include <vector>
+
+#include "perception/multi_step.h"
+#include "perception/predictor.h"
+#include "sensor/sensor_model.h"
+#include "sim/simulation.h"
+
+namespace head::data {
+
+struct RealDatasetConfig {
+  sim::SimConfig sim;              ///< defaults to the REAL geometry below
+  sensor::SensorConfig sensor;     ///< R = 100 m
+  int episodes = 6;
+  int max_steps_per_episode = 400;
+  int history_z = 5;
+  double train_fraction = 0.8;     ///< paper splits REAL 4:1
+  /// Gaussian position/velocity observation noise applied to sensor output
+  /// (NGSIM-like measurement noise); 0 disables.
+  double obs_noise_pos_m = 0.0;
+  double obs_noise_v_mps = 0.0;
+  uint64_t seed = 20230101;
+
+  static RealDatasetConfig Default();
+};
+
+struct RealDataset {
+  std::vector<perception::PredictionSample> train;
+  std::vector<perception::PredictionSample> test;
+};
+
+/// Generates the corpus: runs episodes with an IDM/MOBIL-driven observer
+/// vehicle and extracts one-step prediction samples.
+RealDataset GenerateRealDataset(const RealDatasetConfig& config);
+
+/// Multi-horizon variant: each sample carries the true relative target
+/// states for horizons 1..`horizon` (used by the prediction-horizon
+/// ablation that regenerates the accuracy-decay argument of Sec. III-A).
+std::vector<perception::MultiStepSample> GenerateMultiStepSamples(
+    const RealDatasetConfig& config, int horizon);
+
+}  // namespace head::data
+
+#endif  // HEAD_DATA_REAL_DATASET_H_

@@ -1,0 +1,67 @@
+#include "data/sample_extractor.h"
+
+namespace head::data {
+
+SampleExtractor::SampleExtractor(const RoadConfig& road,
+                                 const sensor::SensorConfig& sensor,
+                                 int history_z,
+                                 perception::FeatureScale scale,
+                                 bool use_phantoms)
+    : road_(road),
+      sensor_(sensor),
+      scale_(scale),
+      use_phantoms_(use_phantoms),
+      history_(history_z) {}
+
+void SampleExtractor::Reset() {
+  history_.Clear();
+  frames_seen_ = 0;
+  pending_graph_.reset();
+}
+
+std::optional<perception::PredictionSample> SampleExtractor::Push(
+    const VehicleState& ego,
+    const std::vector<sim::VehicleSnapshot>& observed,
+    const std::vector<sim::VehicleSnapshot>& ground_truth) {
+  std::optional<perception::PredictionSample> out;
+
+  // Complete the pending sample with this frame's ground truth.
+  if (pending_graph_.has_value()) {
+    perception::PredictionSample sample;
+    sample.graph = std::move(*pending_graph_);
+    pending_graph_.reset();
+    for (int i = 0; i < perception::kNumAreas; ++i) {
+      sample.truth.valid[i] = false;
+      if (sample.graph.target_is_phantom[i]) continue;  // masked (Eq. 14)
+      const VehicleId id = sample.graph.target_ids[i];
+      for (const sim::VehicleSnapshot& v : ground_truth) {
+        if (v.id != id) continue;
+        sample.truth.valid[i] = true;
+        // Relative to the ego at time t (the step the graph was built at).
+        sample.truth.value[i] = {
+            DLat(v.state, pending_ego_, road_.lane_width_m),
+            DLon(v.state, pending_ego_), RelV(v.state, pending_ego_)};
+        break;
+      }
+    }
+    bool any_valid = false;
+    for (bool v : sample.truth.valid) any_valid |= v;
+    if (any_valid) out = std::move(sample);
+  }
+
+  // Ingest the new frame and stage the next sample.
+  perception::ObservationFrame frame;
+  frame.ego = ego;
+  frame.observed = observed;
+  history_.Push(std::move(frame));
+  ++frames_seen_;
+  if (frames_seen_ >= history_.capacity()) {
+    const perception::CompletedScene scene = perception::ConstructPhantoms(
+        history_, road_, sensor_.range_m, use_phantoms_);
+    pending_graph_ = perception::BuildStGraph(scene, road_, scale_);
+    pending_ego_ = ego;
+  }
+  return out;
+}
+
+}  // namespace head::data

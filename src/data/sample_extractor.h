@@ -1,0 +1,44 @@
+// Turns a stream of (sensor frame, ground-truth snapshot) pairs into
+// supervised one-step prediction samples: the completed spatial-temporal
+// graph at t plus the true relative states of the targets at t+1.
+#ifndef HEAD_DATA_SAMPLE_EXTRACTOR_H_
+#define HEAD_DATA_SAMPLE_EXTRACTOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "perception/predictor.h"
+#include "sensor/sensor_model.h"
+
+namespace head::data {
+
+class SampleExtractor {
+ public:
+  SampleExtractor(const RoadConfig& road, const sensor::SensorConfig& sensor,
+                  int history_z, perception::FeatureScale scale = {},
+                  bool use_phantoms = true);
+
+  /// Feeds the frame at time t. Returns the completed sample for time t−1
+  /// (whose ground truth is this frame) once enough history exists.
+  std::optional<perception::PredictionSample> Push(
+      const VehicleState& ego,
+      const std::vector<sim::VehicleSnapshot>& observed,
+      const std::vector<sim::VehicleSnapshot>& ground_truth);
+
+  void Reset();
+
+ private:
+  RoadConfig road_;
+  sensor::SensorConfig sensor_;
+  perception::FeatureScale scale_;
+  bool use_phantoms_;
+  perception::HistoryBuffer history_;
+  int frames_seen_ = 0;
+  /// Graph built at the previous step, waiting for its ground truth.
+  std::optional<perception::StGraph> pending_graph_;
+  VehicleState pending_ego_;
+};
+
+}  // namespace head::data
+
+#endif  // HEAD_DATA_SAMPLE_EXTRACTOR_H_

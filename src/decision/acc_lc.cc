@@ -1,0 +1,26 @@
+#include "decision/acc_lc.h"
+
+#include <algorithm>
+
+namespace head::decision {
+
+Maneuver AccLcPolicy::Decide(const EgoView& view) {
+  const LaneChange lc = DecideLaneChange(view, config_, cooldown_);
+  const int lane_after = view.ego.lane + LaneDelta(lc);
+
+  std::vector<sim::VehicleSnapshot> all = view.observed;
+  all.push_back({kEgoVehicleId, view.ego});
+  const sim::RoadView road_view(std::move(all));
+  const sim::VehicleSnapshot* leader =
+      road_view.Leader(lane_after, view.ego.lon_m, kEgoVehicleId);
+  const double gap =
+      leader != nullptr ? sim::Gap(leader->state.lon_m, view.ego.lon_m) : 1e9;
+  const double dv =
+      leader != nullptr ? view.ego.v_mps - leader->state.v_mps : 0.0;
+  const double a =
+      sim::AccAccel(config_.params, gains_, view.ego.v_mps, gap, dv);
+  return Maneuver{
+      lc, std::clamp(a, -config_.road.a_max_mps2, config_.road.a_max_mps2)};
+}
+
+}  // namespace head::decision

@@ -1,0 +1,27 @@
+// ACC-LC baseline (paper refs [6]–[8]): linear Adaptive Cruise Control for
+// the longitudinal acceleration plus the same MOBIL lane-change logic.
+#ifndef HEAD_DECISION_ACC_LC_H_
+#define HEAD_DECISION_ACC_LC_H_
+
+#include "decision/idm_lc.h"
+#include "sim/acc.h"
+
+namespace head::decision {
+
+class AccLcPolicy : public Policy {
+ public:
+  explicit AccLcPolicy(const RuleBasedConfig& config) : config_(config) {}
+
+  std::string name() const override { return "ACC-LC"; }
+  void OnEpisodeStart() override { cooldown_ = 0; }
+  Maneuver Decide(const EgoView& view) override;
+
+ private:
+  RuleBasedConfig config_;
+  sim::AccGains gains_;
+  int cooldown_ = 0;
+};
+
+}  // namespace head::decision
+
+#endif  // HEAD_DECISION_ACC_LC_H_

@@ -1,0 +1,61 @@
+#include "decision/idm_lc.h"
+
+#include <algorithm>
+
+#include "sim/idm.h"
+#include "sim/lane_change.h"
+
+namespace head::decision {
+
+RuleBasedConfig RuleBasedConfig::ForRoad(const RoadConfig& road) {
+  RuleBasedConfig c;
+  c.road = road;
+  c.params.desired_speed_mps = road.v_max_mps;
+  c.params.time_headway_s = 1.0;  // human-like tailgating baseline
+  c.params.min_gap_m = 1.5;
+  c.params.max_accel_mps2 = road.a_max_mps2;
+  c.params.comfort_decel_mps2 = 2.5;
+  c.params.politeness = 0.1;
+  c.params.lc_threshold_mps2 = 0.1;
+  return c;
+}
+
+LaneChange DecideLaneChange(const EgoView& view, const RuleBasedConfig& config,
+                            int& cooldown) {
+  if (cooldown > 0) {
+    --cooldown;
+    return LaneChange::kKeep;
+  }
+  std::vector<sim::VehicleSnapshot> all = view.observed;
+  all.push_back({kEgoVehicleId, view.ego});
+  const sim::RoadView road_view(std::move(all));
+  sim::Vehicle ego;
+  ego.id = kEgoVehicleId;
+  ego.state = view.ego;
+  ego.params = config.params;
+  const std::optional<LaneChange> change =
+      sim::MobilDecide(road_view, ego, config.road);
+  if (!change.has_value()) return LaneChange::kKeep;
+  cooldown = config.lane_change_cooldown_steps;
+  return *change;
+}
+
+Maneuver IdmLcPolicy::Decide(const EgoView& view) {
+  const LaneChange lc = DecideLaneChange(view, config_, cooldown_);
+  const int lane_after = view.ego.lane + LaneDelta(lc);
+
+  std::vector<sim::VehicleSnapshot> all = view.observed;
+  all.push_back({kEgoVehicleId, view.ego});
+  const sim::RoadView road_view(std::move(all));
+  const sim::VehicleSnapshot* leader =
+      road_view.Leader(lane_after, view.ego.lon_m, kEgoVehicleId);
+  const double gap =
+      leader != nullptr ? sim::Gap(leader->state.lon_m, view.ego.lon_m) : 1e9;
+  const double dv =
+      leader != nullptr ? view.ego.v_mps - leader->state.v_mps : 0.0;
+  const double a = sim::IdmAccel(config_.params, view.ego.v_mps, gap, dv);
+  return Maneuver{
+      lc, std::clamp(a, -config_.road.a_max_mps2, config_.road.a_max_mps2)};
+}
+
+}  // namespace head::decision

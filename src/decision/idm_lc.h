@@ -1,0 +1,42 @@
+// IDM-LC baseline (paper refs [8], [69]): the Intelligent Driver Model for
+// the longitudinal acceleration plus a MOBIL-style lane-change model —
+// the classical rule-based decision stack of Table I.
+#ifndef HEAD_DECISION_IDM_LC_H_
+#define HEAD_DECISION_IDM_LC_H_
+
+#include "decision/policy.h"
+#include "sim/vehicle.h"
+
+namespace head::decision {
+
+struct RuleBasedConfig {
+  RoadConfig road;
+  /// Ego driver parameters; desired speed defaults to the road's v_max so
+  /// the baseline drives as efficiently as its rules allow.
+  sim::DriverParams params;
+  int lane_change_cooldown_steps = 4;
+
+  static RuleBasedConfig ForRoad(const RoadConfig& road);
+};
+
+class IdmLcPolicy : public Policy {
+ public:
+  explicit IdmLcPolicy(const RuleBasedConfig& config) : config_(config) {}
+
+  std::string name() const override { return "IDM-LC"; }
+  void OnEpisodeStart() override { cooldown_ = 0; }
+  Maneuver Decide(const EgoView& view) override;
+
+ private:
+  RuleBasedConfig config_;
+  int cooldown_ = 0;
+};
+
+/// Shared by IDM-LC / ACC-LC: MOBIL decision for the ego over its view.
+/// Decrements/respects `cooldown` in place.
+LaneChange DecideLaneChange(const EgoView& view, const RuleBasedConfig& config,
+                            int& cooldown);
+
+}  // namespace head::decision
+
+#endif  // HEAD_DECISION_IDM_LC_H_

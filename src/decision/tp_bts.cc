@@ -1,0 +1,138 @@
+#include "decision/tp_bts.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace head::decision {
+
+namespace {
+constexpr double kPruned = -std::numeric_limits<double>::infinity();
+constexpr std::array<LaneChange, 3> kLaneChanges = {
+    LaneChange::kLeft, LaneChange::kKeep, LaneChange::kRight};
+}  // namespace
+
+std::vector<std::vector<sim::VehicleSnapshot>> TpBtsPolicy::PredictTrajectories(
+    const EgoView& view) const {
+  std::vector<std::vector<sim::VehicleSnapshot>> pred(config_.search_depth);
+  const double dt = config_.road.dt_s;
+  for (const sim::VehicleSnapshot& v : view.observed) {
+    // Acceleration estimate from the previous observation of this vehicle.
+    double accel = 0.0;
+    const auto it = last_velocities_.find(v.id);
+    if (it != last_velocities_.end()) {
+      accel = std::clamp((v.state.v_mps - it->second) / dt,
+                         -config_.road.a_max_mps2, config_.road.a_max_mps2);
+    }
+    VehicleState s = v.state;
+    for (int d = 0; d < config_.search_depth; ++d) {
+      const double v_new = std::clamp(s.v_mps + accel * dt,
+                                      config_.road.v_min_mps,
+                                      config_.road.v_max_mps);
+      s.lon_m += 0.5 * (s.v_mps + v_new) * dt;
+      s.v_mps = v_new;
+      pred[d].push_back({v.id, s});
+    }
+  }
+  return pred;
+}
+
+double TpBtsPolicy::StepScore(const VehicleState& ego, double accel,
+                              double prev_accel,
+                              const std::vector<sim::VehicleSnapshot>& others,
+                              bool changed_lane) const {
+  if (!config_.road.IsValidLane(ego.lane)) return kPruned;
+
+  double min_front_gap = 1e9;
+  double rear_gap = 1e9;
+  double rear_v = 0.0;
+  for (const sim::VehicleSnapshot& o : others) {
+    if (o.state.lane != ego.lane) continue;
+    const double d = o.state.lon_m - ego.lon_m;
+    if (std::fabs(d) < kVehicleLengthM + config_.collision_gap_m) {
+      return kPruned;  // collision branch
+    }
+    if (changed_lane && d < 0.0 &&
+        -d < kVehicleLengthM + 0.5 * o.state.v_mps) {
+      return kPruned;  // cutting in without a safe rear gap
+    }
+    if (d > 0.0) {
+      min_front_gap = std::min(min_front_gap, d - kVehicleLengthM);
+    } else if (-d - kVehicleLengthM < rear_gap) {
+      rear_gap = -d - kVehicleLengthM;
+      rear_v = o.state.v_mps;
+    }
+  }
+
+  double score = config_.w_efficiency * ego.v_mps / config_.road.v_max_mps;
+  // Safety: exponential penalty as the front gap shrinks below ~2 s headway.
+  const double desired = std::max(2.0 * ego.v_mps, 10.0);
+  if (min_front_gap < desired) {
+    score -= config_.w_safety * std::exp(-min_front_gap / 10.0);
+  }
+  // Comfort: jerk proxy.
+  score -= config_.w_comfort * std::fabs(accel - prev_accel) /
+           (2.0 * config_.road.a_max_mps2);
+  // Impact: cutting in close in front of a faster follower forces it to brake.
+  if (changed_lane && rear_gap < std::max(1.5 * rear_v, 8.0)) {
+    score -= config_.w_impact *
+             std::exp(-rear_gap / std::max(rear_v, 1.0));
+  }
+  return score;
+}
+
+double TpBtsPolicy::Search(
+    const VehicleState& ego, double prev_accel, int depth,
+    const std::vector<std::vector<sim::VehicleSnapshot>>& pred) const {
+  if (depth >= config_.search_depth) return 0.0;
+  double best = kPruned;
+  for (const LaneChange lc : kLaneChanges) {
+    for (const double a : config_.accel_levels_mps2) {
+      const VehicleState next =
+          StepKinematics(ego, Maneuver{lc, a}, config_.road);
+      const double step = StepScore(next, a, prev_accel, pred[depth],
+                                    lc != LaneChange::kKeep);
+      if (step == kPruned) continue;
+      const double future =
+          Search(next, a, depth + 1, pred);
+      if (future == kPruned) continue;
+      best = std::max(best, step + config_.discount * future);
+    }
+  }
+  return best;
+}
+
+Maneuver TpBtsPolicy::Decide(const EgoView& view) {
+  const auto pred = PredictTrajectories(view);
+
+  Maneuver best_maneuver{LaneChange::kKeep, -config_.road.a_max_mps2};
+  double best = kPruned;
+  for (const LaneChange lc : kLaneChanges) {
+    for (const double a : config_.accel_levels_mps2) {
+      const VehicleState next =
+          StepKinematics(view.ego, Maneuver{lc, a}, config_.road);
+      const double step = StepScore(next, a, view.prev_accel_mps2, pred[0],
+                                    lc != LaneChange::kKeep);
+      if (step == kPruned) continue;
+      const double future = Search(next, a, 1, pred);
+      if (future == kPruned) continue;
+      const double total = step + config_.discount * future;
+      if (total > best) {
+        best = total;
+        best_maneuver = Maneuver{lc, a};
+      }
+    }
+  }
+
+  // Update the acceleration-estimation memory for the next call.
+  last_velocities_.clear();
+  for (const sim::VehicleSnapshot& v : view.observed) {
+    last_velocities_[v.id] = v.state.v_mps;
+  }
+  return best_maneuver;
+}
+
+}  // namespace head::decision

@@ -1,0 +1,62 @@
+// TP-BTS baseline (Liu et al., KDD'21 [14]): Trajectory Prediction +
+// Behavior Tree Search. Predicts surrounding vehicles forward with a
+// constant-acceleration motion model (acceleration estimated from
+// consecutive observations), then exhaustively searches a tree of
+// *discretized* maneuvers, scoring safety, efficiency, comfort and impact.
+// Its discreteness in the velocity dimension is exactly the limitation the
+// paper's continuous-action HEAD removes.
+#ifndef HEAD_DECISION_TP_BTS_H_
+#define HEAD_DECISION_TP_BTS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "decision/policy.h"
+
+namespace head::decision {
+
+struct TpBtsConfig {
+  RoadConfig road;
+  int search_depth = 3;
+  std::vector<double> accel_levels_mps2 = {-3.0, 0.0, 3.0};
+  double discount = 0.9;
+  double w_safety = 2.0;
+  double w_efficiency = 1.0;
+  double w_comfort = 0.15;
+  double w_impact = 0.4;
+  /// Gaps below this (bumper-to-bumper) prune the branch as colliding.
+  double collision_gap_m = 3.0;
+};
+
+class TpBtsPolicy : public Policy {
+ public:
+  explicit TpBtsPolicy(const TpBtsConfig& config) : config_(config) {}
+
+  std::string name() const override { return "TP-BTS"; }
+  void OnEpisodeStart() override { last_velocities_.clear(); }
+  Maneuver Decide(const EgoView& view) override;
+
+ private:
+  /// Predicted absolute states of the observed vehicles at each future step
+  /// 1..depth (constant-acceleration, lane-keeping).
+  std::vector<std::vector<sim::VehicleSnapshot>> PredictTrajectories(
+      const EgoView& view) const;
+
+  /// Recursive tree search; returns the best discounted score reachable
+  /// from `ego` at `depth` (0-based), where prev_accel drives comfort.
+  double Search(const VehicleState& ego, double prev_accel, int depth,
+                const std::vector<std::vector<sim::VehicleSnapshot>>& pred)
+      const;
+
+  /// One-step score of arriving at `ego` among `others` (< 0 on collision).
+  double StepScore(const VehicleState& ego, double accel, double prev_accel,
+                   const std::vector<sim::VehicleSnapshot>& others,
+                   bool changed_lane) const;
+
+  TpBtsConfig config_;
+  std::unordered_map<VehicleId, double> last_velocities_;
+};
+
+}  // namespace head::decision
+
+#endif  // HEAD_DECISION_TP_BTS_H_

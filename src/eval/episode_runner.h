@@ -1,0 +1,36 @@
+// Runs a decision::Policy through test episodes in the simulator, feeding it
+// only sensor observations, and gathers the Table I/II metrics from the
+// simulator's ground truth.
+#ifndef HEAD_EVAL_EPISODE_RUNNER_H_
+#define HEAD_EVAL_EPISODE_RUNNER_H_
+
+#include "decision/policy.h"
+#include "eval/metrics.h"
+#include "sensor/sensor_model.h"
+#include "sim/simulation.h"
+
+namespace head::eval {
+
+struct RunnerConfig {
+  sim::SimConfig sim;
+  sensor::SensorConfig sensor;
+  int episodes = 20;
+  uint64_t seed_base = 1000;
+  /// A conventional vehicle qualifies as "follower" for AvgDT-C once it is
+  /// within this many meters behind the ego.
+  double follower_window_m = 100.0;
+  /// Followers need at least this many on-road steps for a stable DT-C.
+  int min_follower_steps = 20;
+};
+
+/// Runs one episode from `seed` and returns its record.
+EpisodeRecord RunEpisode(decision::Policy& policy, const RunnerConfig& config,
+                         uint64_t seed);
+
+/// Runs config.episodes episodes (seed_base + k) and aggregates.
+AggregateMetrics RunPolicy(decision::Policy& policy,
+                           const RunnerConfig& config);
+
+}  // namespace head::eval
+
+#endif  // HEAD_EVAL_EPISODE_RUNNER_H_

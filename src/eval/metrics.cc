@@ -1,0 +1,52 @@
+#include "eval/metrics.h"
+
+namespace head::eval {
+
+AggregateMetrics AggregateMetrics::FromRecords(
+    const std::vector<EpisodeRecord>& records) {
+  AggregateMetrics agg;
+  agg.episodes = static_cast<int>(records.size());
+  double dt_a = 0.0;
+  double dt_c = 0.0;
+  int dt_c_count = 0;
+  double num_ca = 0.0;
+  double ttc = 0.0;
+  int ttc_count = 0;
+  double v = 0.0;
+  double jerk = 0.0;
+  double d_ca = 0.0;
+  int d_ca_count = 0;
+  for (const EpisodeRecord& r : records) {
+    if (r.completed) {
+      ++agg.completed;
+      dt_a += r.driving_time_s;
+    }
+    if (r.collided) ++agg.collisions;
+    if (r.followers > 0) {
+      dt_c += r.mean_follower_dt_s;
+      ++dt_c_count;
+    }
+    num_ca += static_cast<double>(r.rear_decel_events);
+    if (r.min_ttc_s >= 0.0) {
+      ttc += r.min_ttc_s;
+      ++ttc_count;
+    }
+    v += r.mean_v_mps;
+    jerk += r.mean_jerk_mps2;
+    if (r.mean_rear_decel_mps >= 0.0) {
+      d_ca += r.mean_rear_decel_mps;
+      ++d_ca_count;
+    }
+  }
+  const int n = agg.episodes > 0 ? agg.episodes : 1;
+  agg.avg_dt_a_s = agg.completed > 0 ? dt_a / agg.completed : 0.0;
+  agg.avg_dt_c_s = dt_c_count > 0 ? dt_c / dt_c_count : 0.0;
+  agg.avg_num_ca = num_ca / n;
+  agg.min_ttc_a_s = ttc_count > 0 ? ttc / ttc_count : 0.0;
+  agg.avg_v_a_mps = v / n;
+  agg.avg_j_a_mps2 = jerk / n;
+  agg.avg_d_ca_mps = d_ca_count > 0 ? d_ca / d_ca_count : 0.0;
+  return agg;
+}
+
+}  // namespace head::eval

@@ -1,0 +1,51 @@
+// Macroscopic and microscopic evaluation metrics of Sec. V-B:
+//   AvgDT-A  — mean ego end-to-end driving time
+//   AvgDT-C  — mean driving time of conventional vehicles that traveled
+//              within 100 m behind the ego (normalized to the road length)
+//   Avg#-CA  — mean count of rear-vehicle decelerations > 0.5 m/s per step
+//   MinTTC-A — mean over episodes of the minimum ego time-to-collision
+//   AvgV-A   — mean ego velocity
+//   AvgJ-A   — mean |Δa| between consecutive steps (jerk proxy)
+//   AvgD-CA  — mean per-step deceleration of the rear conventional vehicle
+#ifndef HEAD_EVAL_METRICS_H_
+#define HEAD_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace head::eval {
+
+/// Raw per-episode measurements gathered by the episode runner.
+struct EpisodeRecord {
+  bool completed = false;  ///< reached the destination
+  bool collided = false;
+  double driving_time_s = 0.0;
+  double mean_v_mps = 0.0;
+  double mean_jerk_mps2 = 0.0;   ///< mean |a_t − a_{t−1}|
+  double min_ttc_s = 0.0;        ///< minimum valid TTC; <0 if never valid
+  long rear_decel_events = 0;    ///< #-CA
+  double mean_rear_decel_mps = 0.0;  ///< D-CA (mean over decelerating steps)
+  double mean_follower_dt_s = 0.0;   ///< DT-C (mean over qualified followers)
+  int followers = 0;
+};
+
+/// The seven columns of Tables I/II.
+struct AggregateMetrics {
+  double avg_dt_a_s = 0.0;
+  double avg_dt_c_s = 0.0;
+  double avg_num_ca = 0.0;
+  double min_ttc_a_s = 0.0;
+  double avg_v_a_mps = 0.0;
+  double avg_j_a_mps2 = 0.0;
+  double avg_d_ca_mps = 0.0;
+  int episodes = 0;
+  int completed = 0;
+  int collisions = 0;
+
+  static AggregateMetrics FromRecords(const std::vector<EpisodeRecord>& r);
+};
+
+}  // namespace head::eval
+
+#endif  // HEAD_EVAL_METRICS_H_

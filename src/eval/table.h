@@ -1,0 +1,29 @@
+// Fixed-width text tables for the benchmark output — each bench prints the
+// same rows its paper table reports.
+#ifndef HEAD_EVAL_TABLE_H_
+#define HEAD_EVAL_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace head::eval {
+
+/// Formats `v` with `precision` decimal places.
+std::string FormatDouble(double v, int precision = 2);
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os, const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace head::eval
+
+#endif  // HEAD_EVAL_TABLE_H_

@@ -1,0 +1,16 @@
+#include "eval/timer.h"
+
+#include "common/check.h"
+
+namespace head::eval {
+
+double MeasureAvgMillis(const std::function<void()>& fn, int iterations,
+                        int warmup) {
+  HEAD_CHECK_GT(iterations, 0);
+  for (int i = 0; i < warmup; ++i) fn();
+  WallTimer timer;
+  for (int i = 0; i < iterations; ++i) fn();
+  return timer.Millis() / iterations;
+}
+
+}  // namespace head::eval

@@ -1,0 +1,34 @@
+// Wall-clock helpers for the efficiency metrics (TCT, AvgIT).
+#ifndef HEAD_EVAL_TIMER_H_
+#define HEAD_EVAL_TIMER_H_
+
+#include <chrono>
+#include <functional>
+
+namespace head::eval {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Mean wall-clock milliseconds of `fn` over `iterations` calls (after
+/// `warmup` unmeasured calls).
+double MeasureAvgMillis(const std::function<void()>& fn, int iterations,
+                        int warmup = 3);
+
+}  // namespace head::eval
+
+#endif  // HEAD_EVAL_TIMER_H_

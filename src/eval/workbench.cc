@@ -1,0 +1,195 @@
+#include "eval/workbench.h"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/logging.h"
+#include "nn/serialize.h"
+
+namespace head::eval {
+
+namespace {
+
+/// XNet+QNet of a PdqnAgent viewed as one module for checkpointing.
+class AgentParams : public nn::Module {
+ public:
+  explicit AgentParams(rl::PdqnAgent& agent) : agent_(agent) {}
+  std::vector<nn::Var> Params() const override {
+    std::vector<nn::Var> p = agent_.x_net().Params();
+    for (const nn::Var& v : agent_.q_net().Params()) p.push_back(v);
+    return p;
+  }
+
+ private:
+  rl::PdqnAgent& agent_;
+};
+
+std::string CachePath(const BenchProfile& profile, const std::string& key) {
+  std::filesystem::create_directories(profile.cache_dir);
+  return profile.cache_dir + "/" + key + "_" + profile.name + ".bin";
+}
+
+}  // namespace
+
+BenchProfile BenchProfile::Fast() {
+  BenchProfile p;
+  p.name = "fast";
+  p.real.episodes = 3;
+  p.real.max_steps_per_episode = 220;
+  p.pred_train.epochs = 10;
+  p.pred_train.batch_size = 64;
+
+  p.rl_sim.road.length_m = 800.0;
+  p.rl_sim.spawn.back_margin_m = 250.0;
+  p.rl_sim.spawn.front_margin_m = 250.0;
+  p.rl_sim.max_steps = 1200;
+
+  p.rl_train.episodes = 600;
+  p.rl_train.epsilon_end = 0.02;
+  p.rl_train.epsilon_decay_fraction = 0.5;
+  p.rl_train.verbose = false;
+
+  p.pdqn.batch_size = 32;
+  p.pdqn.update_every = 2;
+  p.pdqn.warmup_transitions = 300;
+
+  p.test_episodes = 20;
+  return p;
+}
+
+BenchProfile BenchProfile::Paper() {
+  BenchProfile p;
+  p.name = "paper";
+  p.real.episodes = 20;
+  p.real.max_steps_per_episode = 400;
+  p.pred_train.epochs = 15;
+
+  p.rl_sim.road.length_m = 3000.0;
+  p.rl_train.episodes = 4000;
+
+  p.pdqn.batch_size = 64;
+  p.pdqn.update_every = 1;
+  p.pdqn.warmup_transitions = 1000;
+
+  p.test_episodes = 500;
+  return p;
+}
+
+BenchProfile BenchProfile::FromEnv() {
+  const char* env = std::getenv("HEAD_BENCH_PROFILE");
+  if (env != nullptr && std::string(env) == "paper") return Paper();
+  return Fast();
+}
+
+core::HeadConfig MakeHeadConfig(const BenchProfile& profile,
+                                const core::HeadVariant& variant) {
+  core::HeadConfig config;
+  config.road = profile.rl_sim.road;
+  config.pdqn = profile.pdqn;
+  config.pdqn.a_max = config.road.a_max_mps2;
+  config.variant = variant;
+  return config;
+}
+
+data::RealDataset BuildRealDataset(const BenchProfile& profile) {
+  return data::GenerateRealDataset(profile.real);
+}
+
+std::shared_ptr<perception::LstGat> TrainOrLoadLstGat(
+    const BenchProfile& profile, bool use_cache) {
+  Rng rng(profile.seed);
+  auto model =
+      std::make_shared<perception::LstGat>(perception::LstGatConfig(), rng);
+  const std::string path = CachePath(profile, "lstgat");
+  if (use_cache && nn::LoadParamsFromFile(*model, path)) {
+    HEAD_LOG(Info) << "LST-GAT: loaded cached weights from " << path;
+    return model;
+  }
+  HEAD_LOG(Info) << "LST-GAT: training on the REAL surrogate ("
+                 << profile.name << " profile)";
+  const data::RealDataset dataset = BuildRealDataset(profile);
+  perception::TrainPredictor(*model, dataset.train, profile.pred_train);
+  nn::SaveParamsToFile(*model, path);
+  return model;
+}
+
+std::shared_ptr<rl::PdqnAgent> TrainOrLoadHeadPolicy(
+    const BenchProfile& profile, const core::HeadVariant& variant,
+    std::shared_ptr<perception::LstGat> predictor,
+    rl::RlTrainResult* train_result, bool use_cache) {
+  const core::HeadConfig head = MakeHeadConfig(profile, variant);
+  Rng rng(profile.seed + 17);
+  std::shared_ptr<rl::PdqnAgent> agent =
+      variant.use_bp_dqn ? rl::MakeBpDqnAgent(head.pdqn, rng)
+                         : rl::MakePDqnAgent(head.pdqn, rng);
+
+  std::string key = std::string("policy_") + variant.Name();
+  for (char& c : key) {
+    if (c == '/' || c == '-') c = '_';
+  }
+  const std::string path = CachePath(profile, key);
+  AgentParams params(*agent);
+  if (train_result == nullptr && use_cache &&
+      nn::LoadParamsFromFile(params, path)) {
+    agent->SyncTargets();
+    HEAD_LOG(Info) << variant.Name() << ": loaded cached weights from "
+                   << path;
+    return agent;
+  }
+
+  HEAD_LOG(Info) << variant.Name() << ": training ("
+                 << profile.rl_train.episodes << " episodes, "
+                 << profile.name << " profile)";
+  rl::EnvConfig env_config = head.MakeEnvConfig(profile.rl_sim);
+  rl::DrivingEnv env(env_config,
+                     variant.use_lst_gat ? predictor.get() : nullptr,
+                     profile.seed);
+  rl::RlTrainConfig train = profile.rl_train;
+  train.seed = profile.seed + 29;
+  const rl::RlTrainResult result = rl::TrainAgent(*agent, env, train);
+  if (train_result != nullptr) *train_result = result;
+  nn::SaveParamsToFile(params, path);
+  return agent;
+}
+
+std::shared_ptr<rl::DrlScAgent> TrainOrLoadDrlSc(
+    const BenchProfile& profile, std::shared_ptr<perception::LstGat> predictor,
+    bool use_cache) {
+  (void)predictor;  // DRL-SC perceives without future-state augmentation
+  rl::DrlScConfig config;
+  config.road = profile.rl_sim.road;
+  config.batch_size = profile.pdqn.batch_size;
+  config.update_every = profile.pdqn.update_every;
+  config.warmup_transitions = profile.pdqn.warmup_transitions;
+  Rng rng(profile.seed + 23);
+  auto agent = std::make_shared<rl::DrlScAgent>(config, rng);
+
+  const std::string path = CachePath(profile, "policy_DRL_SC");
+  if (use_cache && nn::LoadParamsFromFile(agent->q_mlp(), path)) {
+    agent->SyncTargets();
+    HEAD_LOG(Info) << "DRL-SC: loaded cached weights from " << path;
+    return agent;
+  }
+  HEAD_LOG(Info) << "DRL-SC: training (" << profile.rl_train.episodes
+                 << " episodes, " << profile.name << " profile)";
+  core::HeadVariant variant = core::HeadVariant::WithoutLstGat();
+  rl::EnvConfig env_config =
+      MakeHeadConfig(profile, variant).MakeEnvConfig(profile.rl_sim);
+  rl::DrivingEnv env(env_config, nullptr, profile.seed);
+  rl::RlTrainConfig train = profile.rl_train;
+  train.seed = profile.seed + 31;
+  rl::TrainAgent(*agent, env, train);
+  nn::SaveParamsToFile(agent->q_mlp(), path);
+  return agent;
+}
+
+std::unique_ptr<core::HeadAgent> MakePolicy(
+    const BenchProfile& profile, const core::HeadVariant& variant,
+    std::shared_ptr<perception::LstGat> predictor,
+    std::shared_ptr<rl::PamdpAgent> agent) {
+  const core::HeadConfig config = MakeHeadConfig(profile, variant);
+  return std::make_unique<core::HeadAgent>(config, std::move(predictor),
+                                           std::move(agent));
+}
+
+}  // namespace head::eval

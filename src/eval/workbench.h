@@ -1,0 +1,69 @@
+// Shared experiment pipeline used by the bench binaries: benchmark profiles
+// (fast laptop-scale defaults vs. HEAD_BENCH_PROFILE=paper for paper-scale
+// runs), component training, and on-disk weight caching so the seven bench
+// binaries can share trained models instead of retraining per table.
+#ifndef HEAD_EVAL_WORKBENCH_H_
+#define HEAD_EVAL_WORKBENCH_H_
+
+#include <memory>
+#include <string>
+
+#include "core/head_agent.h"
+#include "data/real_dataset.h"
+#include "perception/lst_gat.h"
+#include "perception/trainer.h"
+#include "rl/drl_sc.h"
+#include "rl/trainer.h"
+
+namespace head::eval {
+
+struct BenchProfile {
+  std::string name = "fast";
+  data::RealDatasetConfig real = data::RealDatasetConfig::Default();
+  sim::SimConfig rl_sim;  ///< env for Tables I/II/V/VI/VII
+  perception::PredictionTrainConfig pred_train;
+  rl::RlTrainConfig rl_train;
+  rl::PdqnConfig pdqn;
+  int test_episodes = 20;
+  uint64_t seed = 42;
+  std::string cache_dir = ".head_cache";
+
+  static BenchProfile Fast();
+  static BenchProfile Paper();
+  /// Selects by $HEAD_BENCH_PROFILE ("paper" or "fast"; default fast).
+  static BenchProfile FromEnv();
+};
+
+/// HEAD configuration consistent with a profile and variant.
+core::HeadConfig MakeHeadConfig(const BenchProfile& profile,
+                                const core::HeadVariant& variant);
+
+/// Generates (or regenerates) the REAL-surrogate dataset for the profile.
+data::RealDataset BuildRealDataset(const BenchProfile& profile);
+
+/// Trains LST-GAT on the REAL surrogate, or loads cached weights.
+std::shared_ptr<perception::LstGat> TrainOrLoadLstGat(
+    const BenchProfile& profile, bool use_cache = true);
+
+/// Trains (or loads) the maneuver-decision agent for a HEAD variant against
+/// the profile's environment. When `train_result` is non-null the agent is
+/// always trained (TCT measurement) and the result is stored there.
+std::shared_ptr<rl::PdqnAgent> TrainOrLoadHeadPolicy(
+    const BenchProfile& profile, const core::HeadVariant& variant,
+    std::shared_ptr<perception::LstGat> predictor,
+    rl::RlTrainResult* train_result = nullptr, bool use_cache = true);
+
+/// Trains (or loads) the DRL-SC baseline (no prediction in its state).
+std::shared_ptr<rl::DrlScAgent> TrainOrLoadDrlSc(
+    const BenchProfile& profile, std::shared_ptr<perception::LstGat> predictor,
+    bool use_cache = true);
+
+/// Wraps a trained agent as an evaluation policy.
+std::unique_ptr<core::HeadAgent> MakePolicy(
+    const BenchProfile& profile, const core::HeadVariant& variant,
+    std::shared_ptr<perception::LstGat> predictor,
+    std::shared_ptr<rl::PamdpAgent> agent);
+
+}  // namespace head::eval
+
+#endif  // HEAD_EVAL_WORKBENCH_H_

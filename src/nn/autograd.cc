@@ -1,0 +1,422 @@
+#include "nn/autograd.h"
+
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.h"
+
+namespace head::nn {
+
+namespace internal {
+
+struct VarImpl {
+  Tensor value;
+  Tensor grad;  // lazily allocated on first accumulation
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<VarImpl>> parents;
+  std::function<void(VarImpl&)> backward;  // reads this.grad, feeds parents
+
+  void AccumGrad(const Tensor& g) {
+    if (grad.empty()) grad = Tensor::Zeros(value.rows(), value.cols());
+    grad.AddScaled(g, 1.0);
+  }
+};
+
+}  // namespace internal
+
+using internal::VarImpl;
+
+Var Var::Param(Tensor value) {
+  auto impl = std::make_shared<VarImpl>();
+  impl->value = std::move(value);
+  impl->requires_grad = true;
+  return Var(std::move(impl));
+}
+
+Var Var::Constant(Tensor value) {
+  auto impl = std::make_shared<VarImpl>();
+  impl->value = std::move(value);
+  impl->requires_grad = false;
+  return Var(std::move(impl));
+}
+
+const Tensor& Var::value() const {
+  HEAD_CHECK(defined());
+  return impl_->value;
+}
+
+Tensor& Var::mutable_value() {
+  HEAD_CHECK(defined());
+  return impl_->value;
+}
+
+const Tensor& Var::grad() const {
+  HEAD_CHECK(defined());
+  if (impl_->grad.empty()) {
+    impl_->grad = Tensor::Zeros(impl_->value.rows(), impl_->value.cols());
+  }
+  return impl_->grad;
+}
+
+Tensor& Var::mutable_grad() {
+  HEAD_CHECK(defined());
+  if (impl_->grad.empty()) {
+    impl_->grad = Tensor::Zeros(impl_->value.rows(), impl_->value.cols());
+  }
+  return impl_->grad;
+}
+
+bool Var::requires_grad() const {
+  HEAD_CHECK(defined());
+  return impl_->requires_grad;
+}
+
+void Var::ZeroGrad() {
+  HEAD_CHECK(defined());
+  if (!impl_->grad.empty()) impl_->grad.SetZero();
+}
+
+namespace {
+
+/// Creates a result node; records parents/backward only if needed.
+Var MakeResult(Tensor value, std::vector<Var> inputs,
+               std::function<void(VarImpl&)> backward) {
+  auto impl = std::make_shared<VarImpl>();
+  impl->value = std::move(value);
+  bool needs = false;
+  for (const Var& v : inputs) {
+    HEAD_CHECK(v.defined());
+    if (v.requires_grad()) needs = true;
+  }
+  impl->requires_grad = needs;
+  if (needs) {
+    impl->parents.reserve(inputs.size());
+    for (const Var& v : inputs) impl->parents.push_back(v.impl());
+    impl->backward = std::move(backward);
+  }
+  return Var(std::move(impl));
+}
+
+void Topo(const std::shared_ptr<VarImpl>& node,
+          std::unordered_set<VarImpl*>& seen,
+          std::vector<std::shared_ptr<VarImpl>>& order) {
+  if (!node || seen.count(node.get()) > 0) return;
+  seen.insert(node.get());
+  for (const auto& p : node->parents) Topo(p, seen, order);
+  order.push_back(node);
+}
+
+}  // namespace
+
+void Backward(const Var& loss) {
+  HEAD_CHECK(loss.defined());
+  HEAD_CHECK_EQ(loss.value().rows(), 1);
+  HEAD_CHECK_EQ(loss.value().cols(), 1);
+  std::unordered_set<VarImpl*> seen;
+  std::vector<std::shared_ptr<VarImpl>> order;
+  Topo(loss.impl(), seen, order);
+  loss.impl()->AccumGrad(Tensor::Full(1, 1, 1.0));
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    VarImpl& node = **it;
+    if (node.backward && !node.grad.empty()) node.backward(node);
+  }
+  // Release intermediate gradients/graph edges so only leaf grads persist
+  // and repeated Backward calls cannot double-apply closures.
+  for (auto& node : order) {
+    if (node->backward) {
+      node->backward = nullptr;
+      node->parents.clear();
+      node->grad = Tensor();
+    }
+  }
+}
+
+Var MatMul(const Var& a, const Var& b) {
+  Tensor out = MatMul(a.value(), b.value());
+  auto ai = a.impl();
+  auto bi = b.impl();
+  return MakeResult(std::move(out), {a, b}, [ai, bi](VarImpl& self) {
+    if (ai->requires_grad || !ai->parents.empty()) {
+      ai->AccumGrad(MatMulTransposeB(self.grad, bi->value));
+    }
+    if (bi->requires_grad || !bi->parents.empty()) {
+      bi->AccumGrad(MatMulTransposeA(ai->value, self.grad));
+    }
+  });
+}
+
+Var Add(const Var& a, const Var& b) {
+  Tensor out = Add(a.value(), b.value());
+  auto ai = a.impl();
+  auto bi = b.impl();
+  return MakeResult(std::move(out), {a, b}, [ai, bi](VarImpl& self) {
+    ai->AccumGrad(self.grad);
+    bi->AccumGrad(self.grad);
+  });
+}
+
+Var Sub(const Var& a, const Var& b) {
+  Tensor out = Sub(a.value(), b.value());
+  auto ai = a.impl();
+  auto bi = b.impl();
+  return MakeResult(std::move(out), {a, b}, [ai, bi](VarImpl& self) {
+    ai->AccumGrad(self.grad);
+    bi->AccumGrad(Scale(self.grad, -1.0));
+  });
+}
+
+Var Mul(const Var& a, const Var& b) {
+  Tensor out = Mul(a.value(), b.value());
+  auto ai = a.impl();
+  auto bi = b.impl();
+  return MakeResult(std::move(out), {a, b}, [ai, bi](VarImpl& self) {
+    ai->AccumGrad(Mul(self.grad, bi->value));
+    bi->AccumGrad(Mul(self.grad, ai->value));
+  });
+}
+
+Var Scale(const Var& a, double s) {
+  Tensor out = Scale(a.value(), s);
+  auto ai = a.impl();
+  return MakeResult(std::move(out), {a}, [ai, s](VarImpl& self) {
+    ai->AccumGrad(Scale(self.grad, s));
+  });
+}
+
+Var AddScalar(const Var& a, double s) {
+  Tensor out = a.value();
+  for (int i = 0; i < out.size(); ++i) out[i] += s;
+  auto ai = a.impl();
+  return MakeResult(std::move(out), {a},
+                    [ai](VarImpl& self) { ai->AccumGrad(self.grad); });
+}
+
+Var AddRowBroadcast(const Var& a, const Var& row) {
+  Tensor out = AddRowBroadcast(a.value(), row.value());
+  auto ai = a.impl();
+  auto ri = row.impl();
+  return MakeResult(std::move(out), {a, row}, [ai, ri](VarImpl& self) {
+    ai->AccumGrad(self.grad);
+    ri->AccumGrad(SumRows(self.grad));
+  });
+}
+
+namespace {
+
+template <typename FwdFn, typename GradFn>
+Var UnaryElementwise(const Var& a, FwdFn fwd, GradFn grad_of_out) {
+  Tensor out = a.value();
+  for (int i = 0; i < out.size(); ++i) out[i] = fwd(out[i]);
+  auto ai = a.impl();
+  return MakeResult(std::move(out), {a},
+                    [ai, grad_of_out](VarImpl& self) {
+                      Tensor g(self.grad.rows(), self.grad.cols());
+                      for (int i = 0; i < g.size(); ++i) {
+                        g[i] = self.grad[i] *
+                               grad_of_out(ai->value[i], self.value[i]);
+                      }
+                      ai->AccumGrad(g);
+                    });
+}
+
+}  // namespace
+
+Var Relu(const Var& a) {
+  return UnaryElementwise(
+      a, [](double x) { return x > 0.0 ? x : 0.0; },
+      [](double x, double /*y*/) { return x > 0.0 ? 1.0 : 0.0; });
+}
+
+Var LeakyRelu(const Var& a, double negative_slope) {
+  return UnaryElementwise(
+      a,
+      [negative_slope](double x) {
+        return x > 0.0 ? x : negative_slope * x;
+      },
+      [negative_slope](double x, double /*y*/) {
+        return x > 0.0 ? 1.0 : negative_slope;
+      });
+}
+
+Var Tanh(const Var& a) {
+  return UnaryElementwise(
+      a, [](double x) { return std::tanh(x); },
+      [](double /*x*/, double y) { return 1.0 - y * y; });
+}
+
+Var Sigmoid(const Var& a) {
+  return UnaryElementwise(
+      a, [](double x) { return 1.0 / (1.0 + std::exp(-x)); },
+      [](double /*x*/, double y) { return y * (1.0 - y); });
+}
+
+Var SoftmaxRows(const Var& a) {
+  Tensor out = a.value();
+  for (int r = 0; r < out.rows(); ++r) {
+    double mx = out.At(r, 0);
+    for (int c = 1; c < out.cols(); ++c) mx = std::max(mx, out.At(r, c));
+    double sum = 0.0;
+    for (int c = 0; c < out.cols(); ++c) {
+      out.At(r, c) = std::exp(out.At(r, c) - mx);
+      sum += out.At(r, c);
+    }
+    for (int c = 0; c < out.cols(); ++c) out.At(r, c) /= sum;
+  }
+  auto ai = a.impl();
+  return MakeResult(std::move(out), {a}, [ai](VarImpl& self) {
+    // dx = y ⊙ (dy − rowsum(dy ⊙ y))
+    Tensor g(self.grad.rows(), self.grad.cols());
+    for (int r = 0; r < g.rows(); ++r) {
+      double dot = 0.0;
+      for (int c = 0; c < g.cols(); ++c) {
+        dot += self.grad.At(r, c) * self.value.At(r, c);
+      }
+      for (int c = 0; c < g.cols(); ++c) {
+        g.At(r, c) = self.value.At(r, c) * (self.grad.At(r, c) - dot);
+      }
+    }
+    ai->AccumGrad(g);
+  });
+}
+
+Var ConcatCols(const std::vector<Var>& parts) {
+  HEAD_CHECK(!parts.empty());
+  const int rows = parts[0].value().rows();
+  int cols = 0;
+  for (const Var& p : parts) {
+    HEAD_CHECK_EQ(p.value().rows(), rows);
+    cols += p.value().cols();
+  }
+  Tensor out(rows, cols);
+  int off = 0;
+  for (const Var& p : parts) {
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < p.value().cols(); ++c) {
+        out.At(r, off + c) = p.value().At(r, c);
+      }
+    }
+    off += p.value().cols();
+  }
+  std::vector<std::shared_ptr<VarImpl>> impls;
+  for (const Var& p : parts) impls.push_back(p.impl());
+  return MakeResult(std::move(out), parts, [impls](VarImpl& self) {
+    int off = 0;
+    for (const auto& pi : impls) {
+      const int pc = pi->value.cols();
+      Tensor g(pi->value.rows(), pc);
+      for (int r = 0; r < g.rows(); ++r) {
+        for (int c = 0; c < pc; ++c) g.At(r, c) = self.grad.At(r, off + c);
+      }
+      pi->AccumGrad(g);
+      off += pc;
+    }
+  });
+}
+
+Var ConcatRows(const std::vector<Var>& parts) {
+  HEAD_CHECK(!parts.empty());
+  const int cols = parts[0].value().cols();
+  int rows = 0;
+  for (const Var& p : parts) {
+    HEAD_CHECK_EQ(p.value().cols(), cols);
+    rows += p.value().rows();
+  }
+  Tensor out(rows, cols);
+  int off = 0;
+  for (const Var& p : parts) {
+    for (int r = 0; r < p.value().rows(); ++r) {
+      for (int c = 0; c < cols; ++c) out.At(off + r, c) = p.value().At(r, c);
+    }
+    off += p.value().rows();
+  }
+  std::vector<std::shared_ptr<VarImpl>> impls;
+  for (const Var& p : parts) impls.push_back(p.impl());
+  return MakeResult(std::move(out), parts, [impls](VarImpl& self) {
+    int off = 0;
+    for (const auto& pi : impls) {
+      const int pr = pi->value.rows();
+      Tensor g(pr, pi->value.cols());
+      for (int r = 0; r < pr; ++r) {
+        for (int c = 0; c < g.cols(); ++c) g.At(r, c) = self.grad.At(off + r, c);
+      }
+      pi->AccumGrad(g);
+      off += pr;
+    }
+  });
+}
+
+Var SliceCols(const Var& a, int c0, int c1) {
+  HEAD_CHECK(0 <= c0 && c0 < c1 && c1 <= a.value().cols());
+  Tensor out(a.value().rows(), c1 - c0);
+  for (int r = 0; r < out.rows(); ++r) {
+    for (int c = 0; c < out.cols(); ++c) out.At(r, c) = a.value().At(r, c0 + c);
+  }
+  auto ai = a.impl();
+  return MakeResult(std::move(out), {a}, [ai, c0](VarImpl& self) {
+    Tensor g = Tensor::Zeros(ai->value.rows(), ai->value.cols());
+    for (int r = 0; r < self.grad.rows(); ++r) {
+      for (int c = 0; c < self.grad.cols(); ++c) {
+        g.At(r, c0 + c) = self.grad.At(r, c);
+      }
+    }
+    ai->AccumGrad(g);
+  });
+}
+
+Var SliceRows(const Var& a, int r0, int r1) {
+  HEAD_CHECK(0 <= r0 && r0 < r1 && r1 <= a.value().rows());
+  Tensor out(r1 - r0, a.value().cols());
+  for (int r = 0; r < out.rows(); ++r) {
+    for (int c = 0; c < out.cols(); ++c) out.At(r, c) = a.value().At(r0 + r, c);
+  }
+  auto ai = a.impl();
+  return MakeResult(std::move(out), {a}, [ai, r0](VarImpl& self) {
+    Tensor g = Tensor::Zeros(ai->value.rows(), ai->value.cols());
+    for (int r = 0; r < self.grad.rows(); ++r) {
+      for (int c = 0; c < self.grad.cols(); ++c) {
+        g.At(r0 + r, c) = self.grad.At(r, c);
+      }
+    }
+    ai->AccumGrad(g);
+  });
+}
+
+Var Reshape(const Var& a, int rows, int cols) {
+  HEAD_CHECK_EQ(a.value().size(), rows * cols);
+  Tensor out(rows, cols, a.value().data());
+  auto ai = a.impl();
+  return MakeResult(std::move(out), {a}, [ai](VarImpl& self) {
+    ai->AccumGrad(Tensor(ai->value.rows(), ai->value.cols(),
+                         self.grad.data()));
+  });
+}
+
+Var Sum(const Var& a) {
+  double s = 0.0;
+  for (int i = 0; i < a.value().size(); ++i) s += a.value()[i];
+  auto ai = a.impl();
+  return MakeResult(Tensor::Full(1, 1, s), {a}, [ai](VarImpl& self) {
+    ai->AccumGrad(
+        Tensor::Full(ai->value.rows(), ai->value.cols(), self.grad[0]));
+  });
+}
+
+Var Mean(const Var& a) {
+  HEAD_CHECK_GT(a.value().size(), 0);
+  return Scale(Sum(a), 1.0 / a.value().size());
+}
+
+Var Square(const Var& a) {
+  return UnaryElementwise(
+      a, [](double x) { return x * x; },
+      [](double x, double /*y*/) { return 2.0 * x; });
+}
+
+Var MseLoss(const Var& pred, const Var& target) {
+  HEAD_CHECK_EQ(pred.value().rows(), target.value().rows());
+  HEAD_CHECK_EQ(pred.value().cols(), target.value().cols());
+  return Mean(Square(Sub(pred, target)));
+}
+
+}  // namespace head::nn

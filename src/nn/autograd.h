@@ -1,0 +1,94 @@
+// Reverse-mode automatic differentiation over 2-D tensors.
+//
+// A Var is a cheap handle (shared_ptr) to a node in a dynamically built
+// computation graph. Every op below allocates its result eagerly and, when
+// any input requires gradients, records a backward closure. Backward(loss)
+// runs the closures in reverse topological order, accumulating into each
+// parameter's .grad(). Graphs are per-expression: once the last Var handle
+// of an expression dies, its graph is freed, so inference loops do not leak.
+#ifndef HEAD_NN_AUTOGRAD_H_
+#define HEAD_NN_AUTOGRAD_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace head::nn {
+
+namespace internal {
+struct VarImpl;
+}  // namespace internal
+
+class Var {
+ public:
+  /// Undefined handle; must not be used in ops.
+  Var() = default;
+
+  /// Trainable leaf: gradients accumulate here on Backward().
+  static Var Param(Tensor value);
+  /// Non-trainable leaf (inputs, targets).
+  static Var Constant(Tensor value);
+
+  bool defined() const { return impl_ != nullptr; }
+  const Tensor& value() const;
+  /// In-place access for optimizers / target-network updates. Mutating a
+  /// value invalidates any graph previously built from this Var.
+  Tensor& mutable_value();
+  /// Accumulated gradient; zero-sized until first Backward().
+  const Tensor& grad() const;
+  Tensor& mutable_grad();
+  bool requires_grad() const;
+  /// Clears the accumulated gradient (keeps allocation).
+  void ZeroGrad();
+
+  std::shared_ptr<internal::VarImpl> impl() const { return impl_; }
+  explicit Var(std::shared_ptr<internal::VarImpl> impl)
+      : impl_(std::move(impl)) {}
+
+ private:
+  std::shared_ptr<internal::VarImpl> impl_;
+};
+
+/// Runs reverse-mode differentiation from `loss` (must be 1×1), accumulating
+/// into the .grad() of every reachable Param.
+void Backward(const Var& loss);
+
+// ---- Differentiable ops ----
+
+Var MatMul(const Var& a, const Var& b);
+Var Add(const Var& a, const Var& b);
+Var Sub(const Var& a, const Var& b);
+Var Mul(const Var& a, const Var& b);  // elementwise
+Var Scale(const Var& a, double s);
+Var AddScalar(const Var& a, double s);
+/// Adds a 1×cols row vector to every row of `a` (bias add).
+Var AddRowBroadcast(const Var& a, const Var& row);
+
+Var Relu(const Var& a);
+Var LeakyRelu(const Var& a, double negative_slope = 0.01);
+Var Tanh(const Var& a);
+Var Sigmoid(const Var& a);
+
+/// Row-wise softmax.
+Var SoftmaxRows(const Var& a);
+
+Var ConcatCols(const std::vector<Var>& parts);
+Var ConcatRows(const std::vector<Var>& parts);
+Var SliceCols(const Var& a, int c0, int c1);  // [c0, c1)
+Var SliceRows(const Var& a, int r0, int r1);  // [r0, r1)
+
+/// Reinterprets `a` as rows×cols (same element count, row-major order kept).
+Var Reshape(const Var& a, int rows, int cols);
+
+Var Sum(const Var& a);   // 1×1
+Var Mean(const Var& a);  // 1×1
+Var Square(const Var& a);
+
+/// Mean squared error over all elements; `target` is treated as constant.
+Var MseLoss(const Var& pred, const Var& target);
+
+}  // namespace head::nn
+
+#endif  // HEAD_NN_AUTOGRAD_H_

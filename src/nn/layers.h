@@ -1,0 +1,68 @@
+// Network building blocks: parameter containers, fully connected layers and
+// a small MLP helper. All layers operate on (batch × features) Vars.
+#ifndef HEAD_NN_LAYERS_H_
+#define HEAD_NN_LAYERS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/autograd.h"
+
+namespace head::nn {
+
+/// Base for anything holding trainable parameters.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameters, in a stable order (serialization relies on it).
+  virtual std::vector<Var> Params() const = 0;
+
+  /// Total scalar parameter count.
+  int NumParams() const;
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrad();
+
+  /// Copies parameter values from `other` (shapes must match; same order).
+  void CopyParamsFrom(const Module& other);
+
+  /// Polyak/soft update: θ ← tau·θ_src + (1−tau)·θ  (used for targets).
+  void SoftUpdateFrom(const Module& source, double tau);
+};
+
+/// y = x·W + b with W: (in × out), b: (1 × out).
+class Linear : public Module {
+ public:
+  Linear(int in_features, int out_features, Rng& rng);
+
+  Var Forward(const Var& x) const;
+  std::vector<Var> Params() const override { return {w_, b_}; }
+
+  int in_features() const { return w_.value().rows(); }
+  int out_features() const { return w_.value().cols(); }
+
+ private:
+  Var w_;
+  Var b_;
+};
+
+/// Multilayer perceptron: Linear → act → … → Linear (no activation after the
+/// last layer). `dims` = {in, hidden..., out}.
+class Mlp : public Module {
+ public:
+  enum class Activation { kRelu, kTanh, kLeakyRelu };
+
+  Mlp(const std::vector<int>& dims, Activation act, Rng& rng);
+
+  Var Forward(const Var& x) const;
+  std::vector<Var> Params() const override;
+
+ private:
+  std::vector<Linear> layers_;
+  Activation act_;
+};
+
+}  // namespace head::nn
+
+#endif  // HEAD_NN_LAYERS_H_

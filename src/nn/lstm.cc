@@ -1,0 +1,41 @@
+#include "nn/lstm.h"
+
+#include "common/check.h"
+
+namespace head::nn {
+
+LstmCell::LstmCell(int input_size, int hidden_size, Rng& rng)
+    : hidden_size_(hidden_size),
+      w_ih_(Var::Param(Tensor::XavierUniform(input_size, 4 * hidden_size, rng))),
+      w_hh_(Var::Param(
+          Tensor::XavierUniform(hidden_size, 4 * hidden_size, rng))),
+      b_(Var::Param(Tensor::Zeros(1, 4 * hidden_size))) {
+  HEAD_CHECK_GT(input_size, 0);
+  HEAD_CHECK_GT(hidden_size, 0);
+  // Forget-gate bias starts at 1 — the usual trick for gradient flow early
+  // in training.
+  Tensor& b = b_.mutable_value();
+  for (int c = hidden_size; c < 2 * hidden_size; ++c) b.At(0, c) = 1.0;
+}
+
+LstmState LstmCell::InitialState(int batch) const {
+  return LstmState{Var::Constant(Tensor::Zeros(batch, hidden_size_)),
+                   Var::Constant(Tensor::Zeros(batch, hidden_size_))};
+}
+
+LstmState LstmCell::Forward(const Var& x, const LstmState& state) const {
+  HEAD_CHECK_EQ(x.value().cols(), w_ih_.value().rows());
+  HEAD_CHECK_EQ(x.value().rows(), state.h.value().rows());
+  const Var gates = AddRowBroadcast(
+      Add(MatMul(x, w_ih_), MatMul(state.h, w_hh_)), b_);
+  const int h = hidden_size_;
+  const Var i = Sigmoid(SliceCols(gates, 0, h));
+  const Var f = Sigmoid(SliceCols(gates, h, 2 * h));
+  const Var g = Tanh(SliceCols(gates, 2 * h, 3 * h));
+  const Var o = Sigmoid(SliceCols(gates, 3 * h, 4 * h));
+  const Var c_new = Add(Mul(f, state.c), Mul(i, g));
+  const Var h_new = Mul(o, Tanh(c_new));
+  return LstmState{h_new, c_new};
+}
+
+}  // namespace head::nn

@@ -1,0 +1,44 @@
+// LSTM cell (Hochreiter & Schmidhuber [45]) operating on batched rows.
+// LST-GAT and the prediction baselines unroll it over the z historical steps.
+#ifndef HEAD_NN_LSTM_H_
+#define HEAD_NN_LSTM_H_
+
+#include <utility>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace head::nn {
+
+/// Hidden and cell state for a batch: both (batch × hidden).
+struct LstmState {
+  Var h;
+  Var c;
+};
+
+class LstmCell : public Module {
+ public:
+  LstmCell(int input_size, int hidden_size, Rng& rng);
+
+  /// Fresh all-zero state for `batch` sequences.
+  LstmState InitialState(int batch) const;
+
+  /// One step: x is (batch × input). Gate order in the fused weights is
+  /// [input, forget, cell(g), output].
+  LstmState Forward(const Var& x, const LstmState& state) const;
+
+  std::vector<Var> Params() const override { return {w_ih_, w_hh_, b_}; }
+
+  int input_size() const { return w_ih_.value().rows(); }
+  int hidden_size() const { return hidden_size_; }
+
+ private:
+  int hidden_size_;
+  Var w_ih_;  // (input × 4·hidden)
+  Var w_hh_;  // (hidden × 4·hidden)
+  Var b_;     // (1 × 4·hidden)
+};
+
+}  // namespace head::nn
+
+#endif  // HEAD_NN_LSTM_H_

@@ -1,0 +1,77 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace head::nn {
+
+Optimizer::Optimizer(std::vector<Var> params) : params_(std::move(params)) {
+  for (const Var& p : params_) {
+    HEAD_CHECK(p.defined());
+    HEAD_CHECK(p.requires_grad());
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Var& p : params_) p.ZeroGrad();
+}
+
+void Optimizer::ClipGradNorm(double max_norm) {
+  HEAD_CHECK_GT(max_norm, 0.0);
+  double sq = 0.0;
+  for (Var& p : params_) {
+    const Tensor& g = p.grad();
+    for (int i = 0; i < g.size(); ++i) sq += g[i] * g[i];
+  }
+  const double norm = std::sqrt(sq);
+  if (norm <= max_norm || norm == 0.0) return;
+  const double scale = max_norm / norm;
+  for (Var& p : params_) {
+    Tensor& g = p.mutable_grad();
+    for (int i = 0; i < g.size(); ++i) g[i] *= scale;
+  }
+}
+
+Sgd::Sgd(std::vector<Var> params, double lr) : Optimizer(std::move(params)) {
+  lr_ = lr;
+}
+
+void Sgd::Step() {
+  for (Var& p : params_) {
+    p.mutable_value().AddScaled(p.grad(), -lr_);
+  }
+}
+
+Adam::Adam(std::vector<Var> params, double lr, double beta1, double beta2,
+           double eps)
+    : Optimizer(std::move(params)), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  lr_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Var& p : params_) {
+    m_.emplace_back(p.value().rows(), p.value().cols());
+    v_.emplace_back(p.value().rows(), p.value().cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, t_);
+  const double bc2 = 1.0 - std::pow(beta2_, t_);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& value = params_[i].mutable_value();
+    const Tensor& g = params_[i].grad();
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (int j = 0; j < value.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0 - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0 - beta2_) * g[j] * g[j];
+      const double m_hat = m[j] / bc1;
+      const double v_hat = v[j] / bc2;
+      value[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+}  // namespace head::nn

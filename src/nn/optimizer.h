@@ -1,0 +1,57 @@
+// First-order optimizers over flat parameter lists. The paper trains with
+// Adam [67]; SGD is provided for tests and ablations.
+#ifndef HEAD_NN_OPTIMIZER_H_
+#define HEAD_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace head::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Var> params);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  /// Rescales gradients so their global L2 norm is at most `max_norm`.
+  void ClipGradNorm(double max_norm);
+
+  void set_learning_rate(double lr) { lr_ = lr; }
+  double learning_rate() const { return lr_; }
+
+ protected:
+  std::vector<Var> params_;
+  double lr_ = 1e-3;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Var> params, double lr);
+  void Step() override;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Var> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8);
+  void Step() override;
+
+ private:
+  double beta1_;
+  double beta2_;
+  double eps_;
+  int t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace head::nn
+
+#endif  // HEAD_NN_OPTIMIZER_H_

@@ -1,0 +1,74 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace head::nn {
+namespace {
+
+constexpr uint32_t kMagic = 0x48454144;  // "HEAD"
+
+template <typename T>
+void WritePod(std::ostream& os, T v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool ReadPod(std::istream& is, T* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(is);
+}
+
+}  // namespace
+
+void SaveParams(const Module& module, std::ostream& os) {
+  const std::vector<Var> params = module.Params();
+  WritePod(os, kMagic);
+  WritePod(os, static_cast<uint32_t>(params.size()));
+  for (const Var& p : params) {
+    const Tensor& t = p.value();
+    WritePod(os, static_cast<int32_t>(t.rows()));
+    WritePod(os, static_cast<int32_t>(t.cols()));
+    os.write(reinterpret_cast<const char*>(t.data().data()),
+             static_cast<std::streamsize>(t.data().size() * sizeof(double)));
+  }
+}
+
+bool LoadParams(Module& module, std::istream& is) {
+  uint32_t magic = 0;
+  uint32_t count = 0;
+  if (!ReadPod(is, &magic) || magic != kMagic) return false;
+  if (!ReadPod(is, &count)) return false;
+  std::vector<Var> params = module.Params();
+  if (count != params.size()) return false;
+  for (Var& p : params) {
+    int32_t rows = 0;
+    int32_t cols = 0;
+    if (!ReadPod(is, &rows) || !ReadPod(is, &cols)) return false;
+    Tensor& t = p.mutable_value();
+    if (rows != t.rows() || cols != t.cols()) return false;
+    is.read(reinterpret_cast<char*>(t.data().data()),
+            static_cast<std::streamsize>(t.data().size() * sizeof(double)));
+    if (!is) return false;
+  }
+  return true;
+}
+
+void SaveParamsToFile(const Module& module, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  HEAD_CHECK_MSG(os.good(), "cannot open for write: " << path);
+  SaveParams(module, os);
+  HEAD_CHECK_MSG(os.good(), "write failed: " << path);
+}
+
+bool LoadParamsFromFile(Module& module, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return false;
+  return LoadParams(module, is);
+}
+
+}  // namespace head::nn

@@ -1,0 +1,29 @@
+// Binary (de)serialization of module parameters, used to checkpoint trained
+// LST-GAT / BP-DQN weights between the training and evaluation phases.
+#ifndef HEAD_NN_SERIALIZE_H_
+#define HEAD_NN_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/layers.h"
+
+namespace head::nn {
+
+/// Writes all parameters of `module` (shape + data) to `os`.
+/// Format: magic, param count, then per-param rows/cols/doubles.
+void SaveParams(const Module& module, std::ostream& os);
+
+/// Restores parameters saved by SaveParams. Returns false on malformed input
+/// or shape mismatch (module is left partially updated only on a late
+/// mismatch; treat false as fatal).
+[[nodiscard]] bool LoadParams(Module& module, std::istream& is);
+
+/// File-based convenience wrappers. Save aborts on I/O failure; Load returns
+/// false if the file is missing or malformed.
+void SaveParamsToFile(const Module& module, const std::string& path);
+[[nodiscard]] bool LoadParamsFromFile(Module& module, const std::string& path);
+
+}  // namespace head::nn
+
+#endif  // HEAD_NN_SERIALIZE_H_

@@ -1,0 +1,180 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+#include <ostream>
+#include <utility>
+
+#include "common/check.h"
+
+namespace head::nn {
+
+Tensor::Tensor(int rows, int cols, double fill)
+    : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, fill) {
+  HEAD_CHECK_GE(rows, 0);
+  HEAD_CHECK_GE(cols, 0);
+}
+
+Tensor::Tensor(int rows, int cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  HEAD_CHECK_EQ(static_cast<size_t>(rows) * cols, data_.size());
+}
+
+Tensor Tensor::Uniform(int rows, int cols, double lo, double hi, Rng& rng) {
+  Tensor t(rows, cols);
+  for (double& v : t.data_) v = rng.Uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::XavierUniform(int fan_in, int fan_out, Rng& rng) {
+  const double bound = std::sqrt(6.0 / (fan_in + fan_out));
+  return Uniform(fan_in, fan_out, -bound, bound, rng);
+}
+
+double& Tensor::At(int r, int c) {
+  HEAD_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  return data_[static_cast<size_t>(r) * cols_ + c];
+}
+
+double Tensor::At(int r, int c) const {
+  HEAD_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  return data_[static_cast<size_t>(r) * cols_ + c];
+}
+
+void Tensor::SetZero() {
+  for (double& v : data_) v = 0.0;
+}
+
+void Tensor::AddScaled(const Tensor& other, double alpha) {
+  HEAD_CHECK_EQ(rows_, other.rows_);
+  HEAD_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+double Tensor::Norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Tensor::MaxAbs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+std::ostream& operator<<(std::ostream& os, const Tensor& t) {
+  os << "Tensor(" << t.rows() << "x" << t.cols() << ")[";
+  for (int r = 0; r < t.rows(); ++r) {
+    os << (r == 0 ? "[" : ", [");
+    for (int c = 0; c < t.cols(); ++c) {
+      os << (c == 0 ? "" : ", ") << t.At(r, c);
+    }
+    os << "]";
+  }
+  return os << "]";
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  HEAD_CHECK_EQ(a.cols(), b.rows());
+  Tensor out(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int k = 0; k < a.cols(); ++k) {
+      const double aik = a.At(i, k);
+      if (aik == 0.0) continue;
+      for (int j = 0; j < b.cols(); ++j) {
+        out.At(i, j) += aik * b.At(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
+  HEAD_CHECK_EQ(a.cols(), b.cols());
+  Tensor out(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < b.rows(); ++j) {
+      double s = 0.0;
+      for (int k = 0; k < a.cols(); ++k) s += a.At(i, k) * b.At(j, k);
+      out.At(i, j) = s;
+    }
+  }
+  return out;
+}
+
+Tensor MatMulTransposeA(const Tensor& a, const Tensor& b) {
+  HEAD_CHECK_EQ(a.rows(), b.rows());
+  Tensor out(a.cols(), b.cols());
+  for (int k = 0; k < a.rows(); ++k) {
+    for (int i = 0; i < a.cols(); ++i) {
+      const double aki = a.At(k, i);
+      if (aki == 0.0) continue;
+      for (int j = 0; j < b.cols(); ++j) {
+        out.At(i, j) += aki * b.At(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  Tensor out(a.cols(), a.rows());
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) out.At(c, r) = a.At(r, c);
+  }
+  return out;
+}
+
+namespace {
+void CheckSameShape(const Tensor& a, const Tensor& b) {
+  HEAD_CHECK_EQ(a.rows(), b.rows());
+  HEAD_CHECK_EQ(a.cols(), b.cols());
+}
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  Tensor out = a;
+  out.AddScaled(b, 1.0);
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  Tensor out = a;
+  out.AddScaled(b, -1.0);
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  Tensor out(a.rows(), a.cols());
+  for (int i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+Tensor Scale(const Tensor& a, double s) {
+  Tensor out(a.rows(), a.cols());
+  for (int i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& row) {
+  HEAD_CHECK_EQ(row.rows(), 1);
+  HEAD_CHECK_EQ(row.cols(), a.cols());
+  Tensor out = a;
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) out.At(r, c) += row.At(0, c);
+  }
+  return out;
+}
+
+Tensor SumRows(const Tensor& a) {
+  Tensor out(1, a.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) out.At(0, c) += a.At(r, c);
+  }
+  return out;
+}
+
+}  // namespace head::nn

@@ -1,0 +1,90 @@
+// A dense 2-D row-major matrix of doubles plus the raw (non-differentiable)
+// operations needed by the autograd layer and the optimizers. Kept
+// deliberately small: the networks in the paper (Linear, LSTM, GAT heads)
+// only ever need rank-2 math with row-broadcast bias addition.
+#ifndef HEAD_NN_TENSOR_H_
+#define HEAD_NN_TENSOR_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace head::nn {
+
+class Tensor {
+ public:
+  /// Empty 0×0 tensor.
+  Tensor() = default;
+
+  /// rows×cols tensor initialized to `fill`.
+  Tensor(int rows, int cols, double fill = 0.0);
+
+  /// rows×cols tensor taking ownership of `data` (size must be rows*cols).
+  Tensor(int rows, int cols, std::vector<double> data);
+
+  static Tensor Zeros(int rows, int cols) { return Tensor(rows, cols, 0.0); }
+  static Tensor Full(int rows, int cols, double v) {
+    return Tensor(rows, cols, v);
+  }
+  /// Uniform in [lo, hi).
+  static Tensor Uniform(int rows, int cols, double lo, double hi, Rng& rng);
+  /// Xavier/Glorot uniform for a (fan_in → fan_out) weight.
+  static Tensor XavierUniform(int fan_in, int fan_out, Rng& rng);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  double& At(int r, int c);
+  double At(int r, int c) const;
+  double& operator[](int i) { return data_[i]; }
+  double operator[](int i) const { return data_[i]; }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Resets all entries to zero without reallocating.
+  void SetZero();
+
+  /// In-place axpy: *this += alpha * other. Shapes must match.
+  void AddScaled(const Tensor& other, double alpha);
+
+  /// Frobenius norm.
+  double Norm() const;
+
+  /// Largest absolute entry (0 for empty).
+  double MaxAbs() const;
+
+  friend bool operator==(const Tensor&, const Tensor&) = default;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Tensor& t);
+
+// ---- Raw matrix ops (allocate their result; shape-checked). ----
+
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// a·bᵀ without materializing the transpose.
+Tensor MatMulTransposeB(const Tensor& a, const Tensor& b);
+/// aᵀ·b without materializing the transpose.
+Tensor MatMulTransposeA(const Tensor& a, const Tensor& b);
+Tensor Transpose(const Tensor& a);
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);  // elementwise (Hadamard)
+Tensor Scale(const Tensor& a, double s);
+/// Adds a 1×cols row vector to every row of `a`.
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& row);
+/// Sums all rows of `a` into a 1×cols row vector.
+Tensor SumRows(const Tensor& a);
+
+}  // namespace head::nn
+
+#endif  // HEAD_NN_TENSOR_H_

@@ -1,0 +1,36 @@
+#include "perception/baselines/ed_lstm.h"
+
+#include "perception/baselines/lstm_mlp.h"
+
+namespace head::perception {
+
+EdLstm::EdLstm(int hidden, Rng& rng, FeatureScale scale)
+    : StatePredictor(scale),
+      encoder_(kFeatureDim, hidden, rng),
+      decoder_(hidden, hidden, rng),
+      head_(hidden, 3, rng) {}
+
+nn::Var EdLstm::ForwardScaled(const StGraph& graph) const {
+  std::vector<nn::Var> rows;
+  rows.reserve(kNumAreas);
+  for (int i = 0; i < kNumAreas; ++i) {
+    nn::LstmState enc = encoder_.InitialState(1);
+    for (int k = 0; k < graph.z(); ++k) {
+      enc = encoder_.Forward(NodeFeatureRow(graph, k, i, 0), enc);
+    }
+    // One decoding step seeded with the encoder state (sequence-to-sequence
+    // reduced to a single future step).
+    nn::LstmState dec = decoder_.Forward(enc.h, enc);
+    rows.push_back(head_.Forward(dec.h));
+  }
+  return nn::ConcatRows(rows);
+}
+
+std::vector<nn::Var> EdLstm::Params() const {
+  std::vector<nn::Var> params = encoder_.Params();
+  for (const nn::Var& p : decoder_.Params()) params.push_back(p);
+  for (const nn::Var& p : head_.Params()) params.push_back(p);
+  return params;
+}
+
+}  // namespace head::perception

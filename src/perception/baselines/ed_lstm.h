@@ -1,0 +1,31 @@
+// ED-LSTM baseline (Park et al. [37]): LSTM encoder over each target's own
+// history, LSTM decoder initialized with the encoder state producing the
+// (single) future step, linear output head. Still per-target sequential.
+#ifndef HEAD_PERCEPTION_BASELINES_ED_LSTM_H_
+#define HEAD_PERCEPTION_BASELINES_ED_LSTM_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/lstm.h"
+#include "perception/predictor.h"
+
+namespace head::perception {
+
+class EdLstm : public StatePredictor {
+ public:
+  EdLstm(int hidden, Rng& rng, FeatureScale scale = FeatureScale());
+
+  std::string name() const override { return "ED-LSTM"; }
+  nn::Var ForwardScaled(const StGraph& graph) const override;
+  std::vector<nn::Var> Params() const override;
+
+ private:
+  nn::LstmCell encoder_;
+  nn::LstmCell decoder_;  // input = encoder hidden
+  nn::Linear head_;
+};
+
+}  // namespace head::perception
+
+#endif  // HEAD_PERCEPTION_BASELINES_ED_LSTM_H_

@@ -1,0 +1,64 @@
+#include "perception/baselines/gas_led.h"
+
+#include <cmath>
+
+#include "perception/baselines/lstm_mlp.h"
+
+namespace head::perception {
+
+GasLed::GasLed(int hidden, Rng& rng, FeatureScale scale)
+    : StatePredictor(scale),
+      hidden_(hidden),
+      encoder_(kFeatureDim, hidden, rng),
+      query_(hidden, hidden, rng),
+      decoder_(2 * hidden, hidden, rng),
+      head_(hidden, 3, rng) {}
+
+nn::Var GasLed::ForwardScaled(const StGraph& graph) const {
+  std::vector<nn::Var> rows;
+  rows.reserve(kNumAreas);
+  const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(hidden_));
+  for (int i = 0; i < kNumAreas; ++i) {
+    // Encode every node of the target's local group with the shared encoder.
+    std::vector<nn::Var> encodings;  // (1×hidden) each
+    encodings.reserve(kNodesPerTarget);
+    for (int n = 0; n < kNodesPerTarget; ++n) {
+      nn::LstmState enc = encoder_.InitialState(1);
+      for (int k = 0; k < graph.z(); ++k) {
+        enc = encoder_.Forward(NodeFeatureRow(graph, k, i, n), enc);
+      }
+      encodings.push_back(enc.h);
+    }
+    // Global attention: query from the target encoding, keys/values are the
+    // surrounding encodings.
+    const nn::Var q = query_.Forward(encodings[0]);  // (1×hidden)
+    const nn::Var keys = nn::ConcatRows(
+        std::vector<nn::Var>(encodings.begin() + 1, encodings.end()));
+    // scores (1×6) = q · keysᵀ — computed via (keys · qᵀ) reshaped.
+    std::vector<nn::Var> score_parts;
+    score_parts.reserve(kNumAreas);
+    for (int n = 1; n < kNodesPerTarget; ++n) {
+      score_parts.push_back(
+          nn::Sum(nn::Mul(q, encodings[n])));  // (1×1) dot product
+    }
+    const nn::Var scores =
+        nn::Scale(nn::ConcatCols(score_parts), inv_sqrt_d);  // (1×6)
+    const nn::Var alpha = nn::SoftmaxRows(scores);
+    const nn::Var context = nn::MatMul(alpha, keys);  // (1×hidden)
+
+    nn::LstmState dec = decoder_.InitialState(1);
+    dec = decoder_.Forward(nn::ConcatCols({encodings[0], context}), dec);
+    rows.push_back(head_.Forward(dec.h));
+  }
+  return nn::ConcatRows(rows);
+}
+
+std::vector<nn::Var> GasLed::Params() const {
+  std::vector<nn::Var> params = encoder_.Params();
+  for (const nn::Var& p : query_.Params()) params.push_back(p);
+  for (const nn::Var& p : decoder_.Params()) params.push_back(p);
+  for (const nn::Var& p : head_.Params()) params.push_back(p);
+  return params;
+}
+
+}  // namespace head::perception

@@ -1,0 +1,36 @@
+// GAS-LED baseline (Liu et al., KDD'21 [14]): Global Attention + State
+// sharing LSTM Encoder-Decoder. A weight-shared encoder LSTM encodes the
+// target and each of its surroundings; dot-product global attention over the
+// surrounding encodings forms a context vector; a decoder LSTM step over
+// [target ‖ context] feeds the output head. Per-target sequential and the
+// heaviest baseline — the accuracy/efficiency trade-off of Tables III/IV.
+#ifndef HEAD_PERCEPTION_BASELINES_GAS_LED_H_
+#define HEAD_PERCEPTION_BASELINES_GAS_LED_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/lstm.h"
+#include "perception/predictor.h"
+
+namespace head::perception {
+
+class GasLed : public StatePredictor {
+ public:
+  GasLed(int hidden, Rng& rng, FeatureScale scale = FeatureScale());
+
+  std::string name() const override { return "GAS-LED"; }
+  nn::Var ForwardScaled(const StGraph& graph) const override;
+  std::vector<nn::Var> Params() const override;
+
+ private:
+  int hidden_;
+  nn::LstmCell encoder_;   // shared across all nodes (state sharing)
+  nn::Linear query_;       // target hidden → attention query
+  nn::LstmCell decoder_;   // input = [target hidden ‖ context]
+  nn::Linear head_;
+};
+
+}  // namespace head::perception
+
+#endif  // HEAD_PERCEPTION_BASELINES_GAS_LED_H_

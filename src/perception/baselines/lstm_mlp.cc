@@ -1,0 +1,37 @@
+#include "perception/baselines/lstm_mlp.h"
+
+namespace head::perception {
+
+nn::Var NodeFeatureRow(const StGraph& graph, int k, int i, int n) {
+  nn::Tensor row(1, kFeatureDim);
+  for (int f = 0; f < kFeatureDim; ++f) {
+    row.At(0, f) = graph.steps[k].feat[i][n][f];
+  }
+  return nn::Var::Constant(std::move(row));
+}
+
+LstmMlp::LstmMlp(int hidden, Rng& rng, FeatureScale scale)
+    : StatePredictor(scale),
+      lstm_(kFeatureDim, hidden, rng),
+      head_({hidden, hidden, 3}, nn::Mlp::Activation::kRelu, rng) {}
+
+nn::Var LstmMlp::ForwardScaled(const StGraph& graph) const {
+  std::vector<nn::Var> rows;
+  rows.reserve(kNumAreas);
+  for (int i = 0; i < kNumAreas; ++i) {
+    nn::LstmState state = lstm_.InitialState(1);
+    for (int k = 0; k < graph.z(); ++k) {
+      state = lstm_.Forward(NodeFeatureRow(graph, k, i, 0), state);
+    }
+    rows.push_back(head_.Forward(state.h));
+  }
+  return nn::ConcatRows(rows);
+}
+
+std::vector<nn::Var> LstmMlp::Params() const {
+  std::vector<nn::Var> params = lstm_.Params();
+  for (const nn::Var& p : head_.Params()) params.push_back(p);
+  return params;
+}
+
+}  // namespace head::perception

@@ -1,0 +1,34 @@
+// LSTM-MLP baseline (Altché & de La Fortelle [26], adapted to one-step state
+// prediction): a vanilla LSTM over each target's own history followed by an
+// MLP head. No interaction modeling; each target is predicted separately
+// (the sequential regime the paper criticizes in Sec. III-A).
+#ifndef HEAD_PERCEPTION_BASELINES_LSTM_MLP_H_
+#define HEAD_PERCEPTION_BASELINES_LSTM_MLP_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/lstm.h"
+#include "perception/predictor.h"
+
+namespace head::perception {
+
+class LstmMlp : public StatePredictor {
+ public:
+  LstmMlp(int hidden, Rng& rng, FeatureScale scale = FeatureScale());
+
+  std::string name() const override { return "LSTM-MLP"; }
+  nn::Var ForwardScaled(const StGraph& graph) const override;
+  std::vector<nn::Var> Params() const override;
+
+ private:
+  nn::LstmCell lstm_;
+  nn::Mlp head_;
+};
+
+/// (1×4) constant Var of node `n` of target `i` at step `k`.
+nn::Var NodeFeatureRow(const StGraph& graph, int k, int i, int n);
+
+}  // namespace head::perception
+
+#endif  // HEAD_PERCEPTION_BASELINES_LSTM_MLP_H_

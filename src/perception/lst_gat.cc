@@ -1,0 +1,100 @@
+#include "perception/lst_gat.h"
+
+#include "common/check.h"
+
+namespace head::perception {
+
+nn::Var PackStepNodes(const StepNodes& nodes) {
+  nn::Tensor m(kNumAreas * kNodesPerTarget, kFeatureDim);
+  for (int i = 0; i < kNumAreas; ++i) {
+    for (int n = 0; n < kNodesPerTarget; ++n) {
+      for (int f = 0; f < kFeatureDim; ++f) {
+        m.At(i * kNodesPerTarget + n, f) = nodes.feat[i][n][f];
+      }
+    }
+  }
+  return nn::Var::Constant(std::move(m));
+}
+
+LstGat::LstGat(const LstGatConfig& config, Rng& rng, FeatureScale scale)
+    : StatePredictor(scale),
+      config_(config),
+      phi1_(nn::Var::Param(
+          nn::Tensor::XavierUniform(kFeatureDim, config.d_phi1, rng))),
+      phi2_(nn::Var::Param(
+          nn::Tensor::XavierUniform(2 * config.d_phi1, 1, rng))),
+      phi3_(nn::Var::Param(
+          nn::Tensor::XavierUniform(kFeatureDim, config.d_phi3, rng))),
+      lstm_(config.d_phi3, config.d_lstm, rng),
+      head_(config.d_lstm, 3, rng) {}
+
+std::vector<nn::Var> LstGat::Params() const {
+  std::vector<nn::Var> params = {phi1_, phi2_, phi3_};
+  for (const nn::Var& p : lstm_.Params()) params.push_back(p);
+  for (const nn::Var& p : head_.Params()) params.push_back(p);
+  return params;
+}
+
+nn::Var LstGat::GatStep(const StepNodes& nodes) const {
+  const nn::Var m = PackStepNodes(nodes);           // (42×4)
+  const nn::Var h_embed = nn::MatMul(m, phi1_);     // (42×Dφ1), φ1·h
+  const nn::Var values = nn::MatMul(m, phi3_);      // (42×Dφ3), φ3·h
+  const nn::Var ones =
+      nn::Var::Constant(nn::Tensor::Full(kNodesPerTarget, 1, 1.0));
+
+  std::vector<nn::Var> updated;  // h'_{C_i}, one (1×Dφ3) row per target
+  updated.reserve(kNumAreas);
+  for (int i = 0; i < kNumAreas; ++i) {
+    const int r0 = i * kNodesPerTarget;
+    const nn::Var group = nn::SliceRows(h_embed, r0, r0 + kNodesPerTarget);
+    const nn::Var target_row = nn::SliceRows(h_embed, r0, r0 + 1);
+    // [φ1·h_i ‖ φ1·h_x] for every node x in the group (Eq. 10).
+    const nn::Var broadcast_target = nn::MatMul(ones, target_row);
+    const nn::Var concat = nn::ConcatCols({broadcast_target, group});
+    nn::Var alpha;
+    if (config_.use_attention) {
+      const nn::Var scores =
+          nn::LeakyRelu(nn::MatMul(concat, phi2_), config_.leaky_slope);
+      alpha = nn::SoftmaxRows(nn::Reshape(scores, 1, kNodesPerTarget));
+    } else {
+      alpha = nn::Var::Constant(
+          nn::Tensor::Full(1, kNodesPerTarget, 1.0 / kNodesPerTarget));
+    }
+    // Weighted aggregation of value embeddings (Eq. 11): α·(φ3·h).
+    const nn::Var group_values =
+        nn::SliceRows(values, r0, r0 + kNodesPerTarget);
+    updated.push_back(nn::MatMul(alpha, group_values));
+  }
+  return nn::ConcatRows(updated);  // (6×Dφ3)
+}
+
+nn::Var LstGat::ForwardScaled(const StGraph& graph) const {
+  HEAD_CHECK_GT(graph.z(), 0);
+  nn::LstmState state = lstm_.InitialState(kNumAreas);
+  for (int k = 0; k < graph.z(); ++k) {
+    const nn::Var h_updated = GatStep(graph.steps[k]);
+    state = lstm_.Forward(h_updated, state);  // Eq. (12), batched over targets
+  }
+  return head_.Forward(state.h);  // Eq. (13)
+}
+
+std::vector<double> LstGat::AttentionWeights(const StGraph& graph,
+                                             int i) const {
+  HEAD_CHECK(i >= 0 && i < kNumAreas);
+  const StepNodes& nodes = graph.steps.back();
+  const nn::Var m = PackStepNodes(nodes);
+  const nn::Var h_embed = nn::MatMul(m, phi1_);
+  const int r0 = i * kNodesPerTarget;
+  const nn::Var group = nn::SliceRows(h_embed, r0, r0 + kNodesPerTarget);
+  const nn::Var target_row = nn::SliceRows(h_embed, r0, r0 + 1);
+  const nn::Var ones =
+      nn::Var::Constant(nn::Tensor::Full(kNodesPerTarget, 1, 1.0));
+  const nn::Var concat = nn::ConcatCols({nn::MatMul(ones, target_row), group});
+  const nn::Var scores =
+      nn::LeakyRelu(nn::MatMul(concat, phi2_), config_.leaky_slope);
+  const nn::Var alpha =
+      nn::SoftmaxRows(nn::Reshape(scores, 1, kNodesPerTarget));
+  return alpha.value().data();
+}
+
+}  // namespace head::perception

@@ -1,0 +1,63 @@
+// LST-GAT (Local Spatial-Temporal Graph ATtention) — the paper's state
+// prediction model (Sec. III-B, Fig. 5, Eqs. 10–13). Per historical step a
+// shared graph-attention layer updates each target by attending over its six
+// surroundings plus itself; an LSTM then consumes the z updated states of
+// all six targets *in one batch* and a linear head emits the one-step
+// predictions in parallel.
+#ifndef HEAD_PERCEPTION_LST_GAT_H_
+#define HEAD_PERCEPTION_LST_GAT_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/lstm.h"
+#include "perception/predictor.h"
+
+namespace head::perception {
+
+struct LstGatConfig {
+  int d_phi1 = 64;        ///< D_φ1: attention embedding width
+  int d_phi3 = 64;        ///< D_φ3: value embedding width (LSTM input)
+  int d_lstm = 64;        ///< D_l: LSTM hidden width
+  double leaky_slope = 0.2;  ///< LeakyReLU slope of Eq. (10)
+  /// Ablation switch: false replaces the learned attention of Eq. (10) with
+  /// uniform mean aggregation over the 7 nodes (bench/ablation_attention).
+  bool use_attention = true;
+};
+
+class LstGat : public StatePredictor {
+ public:
+  LstGat(const LstGatConfig& config, Rng& rng,
+         FeatureScale scale = FeatureScale());
+
+  std::string name() const override { return "LST-GAT"; }
+
+  nn::Var ForwardScaled(const StGraph& graph) const override;
+
+  std::vector<nn::Var> Params() const override;
+
+  const LstGatConfig& config() const { return config_; }
+
+  /// Attention weights over [self, surroundings 1..6] of target `i` at the
+  /// newest step — exposed for tests and analysis.
+  std::vector<double> AttentionWeights(const StGraph& graph, int i) const;
+
+ private:
+  /// Per-step GAT: returns the (6 × d_phi3) updated target states h' (Eq. 11).
+  nn::Var GatStep(const StepNodes& nodes) const;
+
+  LstGatConfig config_;
+  nn::Var phi1_;  // (4 × D_φ1)
+  nn::Var phi2_;  // (2·D_φ1 × 1) attention vector
+  nn::Var phi3_;  // (4 × D_φ3)
+  nn::LstmCell lstm_;
+  nn::Linear head_;  // φ4 (+ b4): D_l → 3
+};
+
+/// Packs one step's 42 node features into a (42×4) constant Var, grouped as
+/// 7 consecutive rows per target (self first).
+nn::Var PackStepNodes(const StepNodes& nodes);
+
+}  // namespace head::perception
+
+#endif  // HEAD_PERCEPTION_LST_GAT_H_

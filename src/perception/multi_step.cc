@@ -1,0 +1,119 @@
+#include "perception/multi_step.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace head::perception {
+
+MultiStepPredictor::MultiStepPredictor(const StatePredictor& base,
+                                       const RoadConfig& road)
+    : base_(base), road_(road) {}
+
+StGraph MultiStepPredictor::AdvanceGraph(const StGraph& graph,
+                                         const Prediction& step) const {
+  StGraph next = graph;
+  const double dt = road_.dt_s;
+  const double ego_adv = graph.ego_current.v_mps * dt;
+
+  // Shift the temporal window: drop the oldest step.
+  for (int k = 0; k + 1 < next.z(); ++k) {
+    next.steps[k] = next.steps[k + 1];
+  }
+
+  // Ego extrapolates at constant velocity in its lane.
+  next.ego_current.lon_m += ego_adv;
+
+  StepNodes& newest = next.steps[next.z() - 1];
+  const FeatureScale scale;  // graph features use the default scale
+  for (int i = 0; i < kNumAreas; ++i) {
+    // Target moves to its predicted state; re-expressed relative to the
+    // *new* ego position.
+    const double d_lat = step[i].d_lat_m;
+    const double d_lon = step[i].d_lon_m - ego_adv;
+    const double v_rel = step[i].v_rel_mps;
+    next.target_rel_current[i] = {d_lat, d_lon, v_rel};
+    next.target_current[i].lane =
+        next.ego_current.lane +
+        static_cast<int>(std::lround(d_lat / road_.lane_width_m));
+    next.target_current[i].lon_m = next.ego_current.lon_m + d_lon;
+    next.target_current[i].v_mps = next.ego_current.v_mps + v_rel;
+
+    newest.feat[i][0] = {d_lat * scale.lat, d_lon * scale.lon,
+                         v_rel * scale.v,
+                         graph.target_is_phantom[i] ? 1.0 : 0.0};
+    // Surroundings: no prediction available — propagate at constant
+    // relative state (their d_lon drifts by their relative velocity).
+    for (int j = 0; j < kNodesPerTarget - 1; ++j) {
+      auto slot = graph.steps[graph.z() - 1].feat[i][1 + j];
+      const bool is_ego_node = slot == EgoFeature(graph.ego_current, road_);
+      if (is_ego_node) {
+        newest.feat[i][1 + j] = EgoFeature(next.ego_current, road_);
+        continue;
+      }
+      const double sur_v_rel = slot[2] / scale.v;
+      slot[1] += sur_v_rel * dt * scale.lon;
+      newest.feat[i][1 + j] = slot;
+    }
+  }
+  return next;
+}
+
+Trajectory MultiStepPredictor::Rollout(const StGraph& graph,
+                                       int horizon) const {
+  HEAD_CHECK_GT(horizon, 0);
+  Trajectory out;
+  out.reserve(horizon);
+  StGraph current = graph;
+  double ego_drift = 0.0;  // ego lon advance relative to the base time
+  for (int h = 0; h < horizon; ++h) {
+    const Prediction step = base_.Predict(current);
+    // Re-express relative to the ego at the base time t.
+    Prediction base_rel = step;
+    for (int i = 0; i < kNumAreas; ++i) {
+      base_rel[i].d_lon_m += ego_drift;
+    }
+    out.push_back(base_rel);
+    ego_drift += current.ego_current.v_mps * road_.dt_s;
+    current = AdvanceGraph(current, step);
+  }
+  return out;
+}
+
+HorizonMetrics EvaluateHorizons(const MultiStepPredictor& predictor,
+                                const std::vector<MultiStepSample>& samples,
+                                int horizon) {
+  HEAD_CHECK_GT(horizon, 0);
+  HorizonMetrics metrics;
+  metrics.mae.assign(horizon, 0.0);
+  metrics.rmse.assign(horizon, 0.0);
+  std::vector<long> counts(horizon, 0);
+  std::vector<double> sq(horizon, 0.0);
+  for (const MultiStepSample& s : samples) {
+    const int h_max =
+        std::min<int>(horizon, static_cast<int>(s.truth.size()));
+    const Trajectory traj = predictor.Rollout(s.graph, h_max);
+    for (int h = 0; h < h_max; ++h) {
+      for (int i = 0; i < kNumAreas; ++i) {
+        if (!s.valid[h][i]) continue;
+        const double errs[3] = {traj[h][i].d_lat_m - s.truth[h][i][0],
+                                traj[h][i].d_lon_m - s.truth[h][i][1],
+                                traj[h][i].v_rel_mps - s.truth[h][i][2]};
+        for (double e : errs) {
+          metrics.mae[h] += std::fabs(e);
+          sq[h] += e * e;
+          ++counts[h];
+        }
+      }
+    }
+  }
+  for (int h = 0; h < horizon; ++h) {
+    if (counts[h] > 0) {
+      metrics.mae[h] /= counts[h];
+      metrics.rmse[h] = std::sqrt(sq[h] / counts[h]);
+    }
+  }
+  return metrics;
+}
+
+}  // namespace head::perception

@@ -1,0 +1,66 @@
+// Multi-step trajectory prediction built on top of any one-step state
+// predictor — the extension the paper argues *against* in Sec. III-A
+// ("the accuracy of the predicted future trajectories decreases over time,
+// and only the first or first few predicted states are reliable").
+//
+// The recursive roll-out feeds each predicted step back as a pseudo
+// observation: targets move to their predicted states, the ego is
+// extrapolated at constant velocity, and the spatial-temporal graph is
+// rebuilt. bench/ablation_prediction_horizon uses this to regenerate the
+// accuracy-vs-horizon decay curve that motivates HEAD's one-step design.
+#ifndef HEAD_PERCEPTION_MULTI_STEP_H_
+#define HEAD_PERCEPTION_MULTI_STEP_H_
+
+#include <vector>
+
+#include "perception/predictor.h"
+
+namespace head::perception {
+
+/// Predicted relative states for horizons 1..H (index 0 = one step ahead).
+/// All entries are relative to the ego at the roll-out's base time t.
+using Trajectory = std::vector<Prediction>;
+
+class MultiStepPredictor {
+ public:
+  /// `base` must outlive this wrapper.
+  MultiStepPredictor(const StatePredictor& base, const RoadConfig& road);
+
+  /// Rolls the one-step predictor out `horizon` steps from `graph`.
+  Trajectory Rollout(const StGraph& graph, int horizon) const;
+
+  /// Advances a graph by one step using a prediction: every target jumps to
+  /// its predicted state, phantoms and surroundings are propagated at
+  /// constant velocity, the ego extrapolates at constant velocity, and the
+  /// oldest history step is dropped. Exposed for tests.
+  StGraph AdvanceGraph(const StGraph& graph, const Prediction& step) const;
+
+ private:
+  const StatePredictor& base_;
+  RoadConfig road_;
+};
+
+/// Per-horizon accuracy of a multi-step roll-out against ground truth:
+/// element h is the metric over all samples' (h+1)-step predictions.
+struct HorizonMetrics {
+  std::vector<double> mae;
+  std::vector<double> rmse;
+};
+
+/// A multi-step evaluation sample: base graph plus the true relative states
+/// of each target for horizons 1..H (relative to the ego at base time).
+struct MultiStepSample {
+  StGraph graph;
+  /// truth[h][i] = {d_lat, d_lon, v_rel} of target i at t+h+1; valid flags
+  /// parallel it.
+  std::vector<std::array<std::array<double, 3>, kNumAreas>> truth;
+  std::vector<std::array<bool, kNumAreas>> valid;
+};
+
+HorizonMetrics EvaluateHorizons(const MultiStepPredictor& predictor,
+                                const std::vector<MultiStepSample>& samples,
+                                int horizon);
+
+}  // namespace head::perception
+
+#endif  // HEAD_PERCEPTION_MULTI_STEP_H_

@@ -1,0 +1,56 @@
+#include "perception/neighbor.h"
+
+#include <cmath>
+
+namespace head::perception {
+
+const char* ToString(Area a) {
+  switch (a) {
+    case kFrontLeft:
+      return "front-left";
+    case kFront:
+      return "front";
+    case kFrontRight:
+      return "front-right";
+    case kRearLeft:
+      return "rear-left";
+    case kRear:
+      return "rear";
+    case kRearRight:
+      return "rear-right";
+  }
+  return "?";
+}
+
+NeighborSet SelectNeighbors(const std::vector<sim::VehicleSnapshot>& candidates,
+                            const VehicleState& center, VehicleId exclude_a,
+                            VehicleId exclude_b) {
+  NeighborSet out;
+  std::array<double, kNumAreas> best_dist;
+  best_dist.fill(1e18);
+  for (const sim::VehicleSnapshot& cand : candidates) {
+    if (cand.id == exclude_a || cand.id == exclude_b) continue;
+    const int lane_off = cand.state.lane - center.lane;
+    if (lane_off < -1 || lane_off > 1) continue;
+    const double d_lon = DLon(cand.state, center);
+    if (lane_off == 0 && d_lon == 0.0) continue;  // co-located: ignore
+    int area = -1;
+    for (int a = 0; a < kNumAreas; ++a) {
+      if (AreaLaneOffset(a) != lane_off) continue;
+      const bool is_front = d_lon > 0.0;
+      if (AreaIsFront(a) == is_front) {
+        area = a;
+        break;
+      }
+    }
+    if (area < 0) continue;
+    const double dist = std::fabs(d_lon);
+    if (dist < best_dist[area]) {
+      best_dist[area] = dist;
+      out[area] = cand;
+    }
+  }
+  return out;
+}
+
+}  // namespace head::perception

@@ -1,0 +1,66 @@
+// Six-area neighbor selection (paper Fig. 2): the vehicles with the most
+// effect on a center vehicle are the nearest ones in its front-left, front,
+// front-right, rear-left, rear and rear-right areas.
+#ifndef HEAD_PERCEPTION_NEIGHBOR_H_
+#define HEAD_PERCEPTION_NEIGHBOR_H_
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/road.h"
+
+namespace head::perception {
+
+/// Paper area indices i = 1..6 mapped to array slots 0..5.
+enum Area : int {
+  kFrontLeft = 0,
+  kFront = 1,
+  kFrontRight = 2,
+  kRearLeft = 3,
+  kRear = 4,
+  kRearRight = 5,
+};
+
+inline constexpr int kNumAreas = 6;
+
+const char* ToString(Area a);
+
+/// Lane offset of an area relative to the center (−1 left, 0 same, +1 right).
+inline int AreaLaneOffset(int area) {
+  switch (area) {
+    case kFrontLeft:
+    case kRearLeft:
+      return -1;
+    case kFront:
+    case kRear:
+      return 0;
+    default:
+      return 1;
+  }
+}
+
+/// Whether the area lies ahead of the center vehicle.
+inline bool AreaIsFront(int area) { return area <= kFrontRight; }
+
+/// The area of the *surrounding* vehicle slot that the ego occupies around
+/// target i (paper footnote 1: A = C_{1.6}, C_{2.5}, C_{3.4}, C_{4.3},
+/// C_{5.2}, C_{6.1}); i.e. the mirror of area i.
+inline int MirrorArea(int area) { return kNumAreas - 1 - area; }
+
+using NeighborSet =
+    std::array<std::optional<sim::VehicleSnapshot>, kNumAreas>;
+
+/// Picks, for each of the six areas around `center`, the nearest candidate
+/// (by |Δlon|) among `candidates`, excluding ids `exclude_a`/`exclude_b`.
+/// Front areas require Δlon > 0; rear areas Δlon ≤ 0 (ties to the rear, so a
+/// laterally adjacent vehicle at equal lon counts as rear-left/right).
+NeighborSet SelectNeighbors(const std::vector<sim::VehicleSnapshot>& candidates,
+                            const VehicleState& center,
+                            VehicleId exclude_a = kInvalidVehicleId,
+                            VehicleId exclude_b = kInvalidVehicleId);
+
+}  // namespace head::perception
+
+#endif  // HEAD_PERCEPTION_NEIGHBOR_H_

@@ -1,0 +1,243 @@
+#include "perception/phantom.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace head::perception {
+
+const char* ToString(MissingKind k) {
+  switch (k) {
+    case MissingKind::kNone:
+      return "none";
+    case MissingKind::kRange:
+      return "range";
+    case MissingKind::kInherent:
+      return "inherent";
+    case MissingKind::kOcclusion:
+      return "occlusion";
+    case MissingKind::kZeroPad:
+      return "zero-pad";
+    case MissingKind::kEgo:
+      return "ego";
+  }
+  return "?";
+}
+
+HistoryBuffer::HistoryBuffer(int z) : z_(z) { HEAD_CHECK_GT(z, 0); }
+
+void HistoryBuffer::Push(ObservationFrame frame) {
+  frames_.push_back(std::move(frame));
+  while (static_cast<int>(frames_.size()) > z_) frames_.pop_front();
+}
+
+void HistoryBuffer::Clear() { frames_.clear(); }
+
+const ObservationFrame& HistoryBuffer::frame(int k) const {
+  HEAD_CHECK(!frames_.empty());
+  HEAD_CHECK(k >= 0 && k < z_);
+  // Logical index k=0 is "z-1 steps ago"; clamp into the warm-up window.
+  const int missing = z_ - static_cast<int>(frames_.size());
+  const int idx = std::max(0, k - missing);
+  return frames_[static_cast<size_t>(idx)];
+}
+
+const ObservationFrame& HistoryBuffer::latest() const {
+  HEAD_CHECK(!frames_.empty());
+  return frames_.back();
+}
+
+std::vector<VehicleState> FillHistory(const HistoryBuffer& buffer,
+                                      VehicleId id, double dt_s) {
+  const int z = buffer.capacity();
+  std::vector<VehicleState> states(z);
+  std::vector<bool> seen(z, false);
+  for (int k = 0; k < z; ++k) {
+    for (const sim::VehicleSnapshot& v : buffer.frame(k).observed) {
+      if (v.id == id) {
+        states[k] = v.state;
+        seen[k] = true;
+        break;
+      }
+    }
+  }
+  HEAD_CHECK_MSG(seen[z - 1], "vehicle " << id << " not in newest frame");
+
+  // Interior gaps: linear interpolation between the bracketing observations.
+  int prev = -1;
+  for (int k = 0; k < z; ++k) {
+    if (!seen[k]) continue;
+    if (prev >= 0 && k - prev > 1) {
+      for (int m = prev + 1; m < k; ++m) {
+        const double w = static_cast<double>(m - prev) / (k - prev);
+        states[m].lane = w < 0.5 ? states[prev].lane : states[k].lane;
+        states[m].lon_m =
+            (1.0 - w) * states[prev].lon_m + w * states[k].lon_m;
+        states[m].v_mps = (1.0 - w) * states[prev].v_mps + w * states[k].v_mps;
+        seen[m] = true;
+      }
+    }
+    prev = k;
+  }
+
+  // Leading gap: extrapolate backwards at constant velocity.
+  int first = 0;
+  while (!seen[first]) ++first;
+  for (int k = first - 1; k >= 0; --k) {
+    states[k] = states[first];
+    states[k].lon_m -= states[first].v_mps * dt_s * (first - k);
+  }
+  return states;
+}
+
+namespace {
+
+/// Eq. (4): range-missing phantom around `center` history, offset by area.
+VehicleHistory RangePhantom(const std::vector<VehicleState>& center,
+                            int area, double range_m) {
+  VehicleHistory out;
+  out.kind = MissingKind::kRange;
+  out.states.reserve(center.size());
+  const double lon_off = AreaIsFront(area) ? range_m : -range_m;
+  for (const VehicleState& c : center) {
+    out.states.push_back(VehicleState{c.lane + AreaLaneOffset(area),
+                                      c.lon_m + lon_off, c.v_mps});
+  }
+  return out;
+}
+
+/// Eq. (5): inherent-missing phantom — a moving road boundary outside lane
+/// 1 or κ, co-moving with `center`.
+VehicleHistory InherentPhantom(const std::vector<VehicleState>& center,
+                               int area, const RoadConfig& road) {
+  VehicleHistory out;
+  out.kind = MissingKind::kInherent;
+  out.states.reserve(center.size());
+  const int lane = AreaLaneOffset(area) < 0 ? 0 : road.num_lanes + 1;
+  for (const VehicleState& c : center) {
+    out.states.push_back(VehicleState{lane, c.lon_m, c.v_mps});
+  }
+  return out;
+}
+
+/// Eq. (6): occlusion-missing phantom mirrored beyond target C_i, using the
+/// ego history for the relative distance d_lon(C_i, A).
+VehicleHistory OcclusionPhantom(const std::vector<VehicleState>& target,
+                                const std::vector<VehicleState>& ego,
+                                int area) {
+  VehicleHistory out;
+  out.kind = MissingKind::kOcclusion;
+  out.states.reserve(target.size());
+  for (size_t k = 0; k < target.size(); ++k) {
+    const double d_lon = DLon(target[k], ego[k]);
+    out.states.push_back(VehicleState{target[k].lane + AreaLaneOffset(area),
+                                      target[k].lon_m + d_lon,
+                                      target[k].v_mps});
+  }
+  return out;
+}
+
+VehicleHistory ZeroPadHistory() {
+  VehicleHistory out;
+  out.kind = MissingKind::kZeroPad;
+  return out;
+}
+
+}  // namespace
+
+CompletedScene ConstructPhantoms(const HistoryBuffer& buffer,
+                                 const RoadConfig& road, double range_m,
+                                 bool use_phantoms) {
+  HEAD_CHECK_GT(buffer.size(), 0);
+  const int z = buffer.capacity();
+  CompletedScene scene;
+  scene.ego.reserve(z);
+  for (int k = 0; k < z; ++k) scene.ego.push_back(buffer.frame(k).ego);
+
+  const ObservationFrame& now = buffer.latest();
+
+  // ---- Step 1: select targets around the ego from the newest frame. ----
+  const NeighborSet targets =
+      SelectNeighbors(now.observed, now.ego, kEgoVehicleId);
+
+  for (int i = 0; i < kNumAreas; ++i) {
+    if (targets[i].has_value()) {
+      VehicleHistory h;
+      h.id = targets[i]->id;
+      h.kind = MissingKind::kNone;
+      h.states = FillHistory(buffer, targets[i]->id, road.dt_s);
+      scene.targets[i] = std::move(h);
+    } else if (!use_phantoms) {
+      scene.targets[i] = ZeroPadHistory();
+    } else {
+      // ---- Step 2a: missing target — inherent vs range (Eqs. 5/4). ----
+      const int lane = now.ego.lane + AreaLaneOffset(i);
+      if (!road.IsValidLane(lane)) {
+        scene.targets[i] = InherentPhantom(scene.ego, i, road);
+      } else {
+        scene.targets[i] = RangePhantom(scene.ego, i, range_m);
+      }
+    }
+  }
+
+  // ---- Step 2b/3: surroundings of each target. ----
+  for (int i = 0; i < kNumAreas; ++i) {
+    const VehicleHistory& target = scene.targets[i];
+    const int mirror = MirrorArea(i);
+    if (target.is_phantom()) {
+      // Surroundings of an uncertain vehicle are zero-padded — except the
+      // ego slot, whose state is known with certainty (Eq. 8, row 1).
+      for (int j = 0; j < kNumAreas; ++j) {
+        scene.surroundings[i][j] = ZeroPadHistory();
+      }
+      VehicleHistory ego_slot;
+      ego_slot.id = kEgoVehicleId;
+      ego_slot.kind = MissingKind::kEgo;
+      ego_slot.states = scene.ego;
+      scene.surroundings[i][mirror] = std::move(ego_slot);
+      continue;
+    }
+
+    const NeighborSet sur = SelectNeighbors(
+        now.observed, target.states.back(), target.id, kEgoVehicleId);
+    for (int j = 0; j < kNumAreas; ++j) {
+      if (j == mirror) {
+        // Footnote 1: each target is surrounded by the ego itself.
+        VehicleHistory ego_slot;
+        ego_slot.id = kEgoVehicleId;
+        ego_slot.kind = MissingKind::kEgo;
+        ego_slot.states = scene.ego;
+        scene.surroundings[i][j] = std::move(ego_slot);
+        continue;
+      }
+      if (sur[j].has_value()) {
+        VehicleHistory h;
+        h.id = sur[j]->id;
+        h.kind = MissingKind::kNone;
+        h.states = FillHistory(buffer, sur[j]->id, road.dt_s);
+        scene.surroundings[i][j] = std::move(h);
+        continue;
+      }
+      if (!use_phantoms) {
+        scene.surroundings[i][j] = ZeroPadHistory();
+        continue;
+      }
+      // Missing surrounding: occlusion has priority (Sec. III-B step 2);
+      // it applies to the slot directly beyond the target as seen from the
+      // ego (the diagonal pairs of Eq. 6 / Fig. 4).
+      const int slot_lane = target.states.back().lane + AreaLaneOffset(j);
+      if (j == i && road.IsValidLane(slot_lane)) {
+        scene.surroundings[i][j] =
+            OcclusionPhantom(target.states, scene.ego, j);
+      } else if (!road.IsValidLane(slot_lane)) {
+        scene.surroundings[i][j] = InherentPhantom(target.states, j, road);
+      } else {
+        scene.surroundings[i][j] = RangePhantom(target.states, j, range_m);
+      }
+    }
+  }
+  return scene;
+}
+
+}  // namespace head::perception

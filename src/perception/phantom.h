@@ -1,0 +1,102 @@
+// Phantom vehicle construction (paper Sec. III-B, Fig. 3, Eqs. 4–6).
+//
+// Input: the last z sensor frames (ego state + observed conventional
+// vehicles). Output: a *complete* scene — 6 target vehicles and 6
+// surrounding vehicles each — where every vehicle missing due to limited
+// range, occlusion, or the road boundary has been replaced by a phantom with
+// a preset history:
+//   * range missing     → placed at the edge of the detection radius (Eq. 4)
+//   * inherent missing  → a "moving road boundary" outside lane 1/κ (Eq. 5)
+//   * occlusion missing → mirrored behind the blocking target (Eq. 6, Fig. 4)
+// Surroundings of a phantom target are zero-padded instead of constructed.
+#ifndef HEAD_PERCEPTION_PHANTOM_H_
+#define HEAD_PERCEPTION_PHANTOM_H_
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+#include "perception/neighbor.h"
+#include "sim/road.h"
+
+namespace head::perception {
+
+/// One sensor frame: ego ground-truth state plus what the sensor reported.
+struct ObservationFrame {
+  VehicleState ego;
+  std::vector<sim::VehicleSnapshot> observed;
+};
+
+/// Rolling window of the last z frames (oldest first).
+class HistoryBuffer {
+ public:
+  explicit HistoryBuffer(int z);
+
+  void Push(ObservationFrame frame);
+  void Clear();
+
+  int capacity() const { return z_; }
+  int size() const { return static_cast<int>(frames_.size()); }
+  bool full() const { return size() == z_; }
+
+  /// k-th frame with k=0 the oldest of the *logical* window of z frames;
+  /// while warming up, the oldest available frame is repeated.
+  const ObservationFrame& frame(int k) const;
+
+  /// Newest frame (the current time step t).
+  const ObservationFrame& latest() const;
+
+ private:
+  int z_;
+  std::deque<ObservationFrame> frames_;
+};
+
+/// Why a slot had no observed vehicle.
+enum class MissingKind : int8_t {
+  kNone = 0,       // real observed vehicle
+  kRange = 1,      // beyond the detection radius (Eq. 4)
+  kInherent = 2,   // beyond the leftmost/rightmost lane (Eq. 5)
+  kOcclusion = 3,  // hidden behind the target vehicle (Eq. 6)
+  kZeroPad = 4,    // surrounding of a phantom target (zero states)
+  kEgo = 5,        // the slot is the autonomous vehicle itself
+};
+
+const char* ToString(MissingKind k);
+
+/// A vehicle (real or phantom) with its z-step history, oldest first.
+struct VehicleHistory {
+  VehicleId id = kInvalidVehicleId;  // kInvalidVehicleId for phantoms
+  MissingKind kind = MissingKind::kNone;
+  std::vector<VehicleState> states;  // length z (empty for kZeroPad)
+
+  bool is_phantom() const {
+    return kind != MissingKind::kNone && kind != MissingKind::kEgo;
+  }
+};
+
+/// The fully completed local scene at the buffer's newest step.
+struct CompletedScene {
+  std::vector<VehicleState> ego;  // ego history, length z, oldest first
+  std::array<VehicleHistory, kNumAreas> targets;
+  std::array<std::array<VehicleHistory, kNumAreas>, kNumAreas> surroundings;
+};
+
+/// Reconstructs a real vehicle's z-step history from the buffer: uses
+/// per-frame observations where available, linearly interpolates interior
+/// gaps, and extrapolates leading gaps backwards at constant velocity.
+/// The vehicle must be observed in the newest frame.
+std::vector<VehicleState> FillHistory(const HistoryBuffer& buffer,
+                                      VehicleId id, double dt_s);
+
+/// Runs the three construction steps of Sec. III-B on the current buffer.
+/// `range_m` is the sensor detection radius R used by Eq. (4).
+/// With `use_phantoms` false (the HEAD-w/o-PVC ablation) every missing slot
+/// is zero-padded instead of constructed.
+CompletedScene ConstructPhantoms(const HistoryBuffer& buffer,
+                                 const RoadConfig& road, double range_m,
+                                 bool use_phantoms = true);
+
+}  // namespace head::perception
+
+#endif  // HEAD_PERCEPTION_PHANTOM_H_

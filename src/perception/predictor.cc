@@ -1,0 +1,47 @@
+#include "perception/predictor.h"
+
+#include "common/check.h"
+
+namespace head::perception {
+
+Prediction StatePredictor::Predict(const StGraph& graph) const {
+  const nn::Var out = ForwardScaled(graph);
+  HEAD_CHECK_EQ(out.value().rows(), kNumAreas);
+  HEAD_CHECK_EQ(out.value().cols(), 3);
+  Prediction pred;
+  for (int i = 0; i < kNumAreas; ++i) {
+    pred[i].d_lat_m =
+        graph.target_rel_current[i][0] + out.value().At(i, 0) / scale_.lat;
+    pred[i].d_lon_m =
+        graph.target_rel_current[i][1] + out.value().At(i, 1) / scale_.lon;
+    pred[i].v_rel_mps =
+        graph.target_rel_current[i][2] + out.value().At(i, 2) / scale_.v;
+  }
+  return pred;
+}
+
+nn::Tensor ScaledResidualTruth(const StGraph& graph,
+                               const PredictionTruth& truth,
+                               const FeatureScale& scale) {
+  nn::Tensor t(kNumAreas, 3);
+  for (int i = 0; i < kNumAreas; ++i) {
+    t.At(i, 0) =
+        (truth.value[i][0] - graph.target_rel_current[i][0]) * scale.lat;
+    t.At(i, 1) =
+        (truth.value[i][1] - graph.target_rel_current[i][1]) * scale.lon;
+    t.At(i, 2) =
+        (truth.value[i][2] - graph.target_rel_current[i][2]) * scale.v;
+  }
+  return t;
+}
+
+nn::Tensor TruthMask(const PredictionTruth& truth) {
+  nn::Tensor m(kNumAreas, 3);
+  for (int i = 0; i < kNumAreas; ++i) {
+    const double v = truth.valid[i] ? 1.0 : 0.0;
+    for (int c = 0; c < 3; ++c) m.At(i, c) = v;
+  }
+  return m;
+}
+
+}  // namespace head::perception

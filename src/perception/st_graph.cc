@@ -1,0 +1,76 @@
+#include "perception/st_graph.h"
+
+#include "common/check.h"
+
+namespace head::perception {
+
+std::array<double, kFeatureDim> RelativeFeature(const VehicleState& vehicle,
+                                                const VehicleState& ego,
+                                                bool is_phantom,
+                                                const RoadConfig& road,
+                                                const FeatureScale& scale) {
+  return {DLat(vehicle, ego, road.lane_width_m) * scale.lat,
+          DLon(vehicle, ego) * scale.lon, RelV(vehicle, ego) * scale.v,
+          is_phantom ? 1.0 : 0.0};
+}
+
+std::array<double, kFeatureDim> EgoFeature(const VehicleState& ego,
+                                           const RoadConfig& road) {
+  return {static_cast<double>(ego.lane) / road.num_lanes,
+          ego.lon_m / road.length_m, ego.v_mps / road.v_max_mps, 0.0};
+}
+
+StGraph BuildStGraph(const CompletedScene& scene, const RoadConfig& road,
+                     const FeatureScale& scale) {
+  const int z = static_cast<int>(scene.ego.size());
+  HEAD_CHECK_GT(z, 0);
+  StGraph graph;
+  graph.steps.resize(z);
+  graph.ego_current = scene.ego.back();
+
+  for (int i = 0; i < kNumAreas; ++i) {
+    const VehicleHistory& target = scene.targets[i];
+    if (target.kind == MissingKind::kZeroPad) {
+      // HEAD-w/o-PVC ablation: the slot stays all-zero and anchors at the
+      // ego position (relative state 0).
+      graph.target_is_phantom[i] = true;
+      graph.target_ids[i] = kInvalidVehicleId;
+      graph.target_current[i] = graph.ego_current;
+      graph.target_rel_current[i] = {0.0, 0.0, 0.0};
+      continue;  // features stay zero-initialized
+    }
+    HEAD_CHECK_EQ(static_cast<int>(target.states.size()), z);
+    graph.target_is_phantom[i] = target.is_phantom();
+    graph.target_ids[i] = target.id;
+    graph.target_current[i] = target.states.back();
+    graph.target_rel_current[i] = {
+        DLat(target.states.back(), graph.ego_current, road.lane_width_m),
+        DLon(target.states.back(), graph.ego_current),
+        RelV(target.states.back(), graph.ego_current)};
+
+    for (int k = 0; k < z; ++k) {
+      graph.steps[k].feat[i][0] = RelativeFeature(
+          target.states[k], scene.ego[k], target.is_phantom(), road, scale);
+      for (int j = 0; j < kNumAreas; ++j) {
+        const VehicleHistory& sur = scene.surroundings[i][j];
+        auto& slot = graph.steps[k].feat[i][1 + j];
+        switch (sur.kind) {
+          case MissingKind::kZeroPad:
+            slot = {0.0, 0.0, 0.0, 0.0};
+            break;
+          case MissingKind::kEgo:
+            slot = EgoFeature(scene.ego[k], road);
+            break;
+          default:
+            HEAD_DCHECK(static_cast<int>(sur.states.size()) == z);
+            slot = RelativeFeature(sur.states[k], scene.ego[k],
+                                   sur.is_phantom(), road, scale);
+            break;
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace head::perception

@@ -1,0 +1,69 @@
+// Spatial-temporal graph construction (paper Sec. III-B step 3, Eqs. 7–9).
+// Each of the z historical steps yields a spatial graph of 42 nodes (6
+// targets + 6×6 surroundings); per target the network attends over its 6
+// surroundings plus itself. Node features are the ego-relative state vectors
+// of Eqs. (7)/(8), scaled to comparable magnitudes for training stability.
+#ifndef HEAD_PERCEPTION_ST_GRAPH_H_
+#define HEAD_PERCEPTION_ST_GRAPH_H_
+
+#include <array>
+#include <vector>
+
+#include "perception/phantom.h"
+
+namespace head::perception {
+
+inline constexpr int kFeatureDim = 4;          // [d_lat, d_lon, v_rel, IF]
+inline constexpr int kNodesPerTarget = 1 + kNumAreas;  // self + 6 surroundings
+
+/// Fixed feature scaling. Raw meters/velocities span two orders of
+/// magnitude; these constants bring every feature into roughly [−2, 2].
+struct FeatureScale {
+  double lat = 0.1;    // d_lat ≤ ~13 m
+  double lon = 0.025;  // d_lon ≤ ~200 m; keeps 5–20 m safety gaps resolvable
+  double v = 0.1;      // relative speed ≤ ~25 m/s
+};
+
+/// One spatial graph g(τ): per target, node 0 is the target itself and
+/// nodes 1..6 its surroundings by area index.
+struct StepNodes {
+  std::array<std::array<std::array<double, kFeatureDim>, kNodesPerTarget>,
+             kNumAreas>
+      feat{};
+};
+
+/// The full spatial-temporal graph G(t) (Eq. 9) plus the bookkeeping the
+/// decision module needs.
+struct StGraph {
+  std::vector<StepNodes> steps;  // length z, oldest first
+  std::array<bool, kNumAreas> target_is_phantom{};
+  std::array<VehicleId, kNumAreas> target_ids{};
+  /// Absolute current state of each target (phantom preset when phantom).
+  std::array<VehicleState, kNumAreas> target_current{};
+  VehicleState ego_current{};
+  /// Raw ego-relative [d_lat, d_lon, v_rel] of each target at time t —
+  /// the residual-decoding anchor shared by every predictor.
+  std::array<std::array<double, 3>, kNumAreas> target_rel_current{};
+
+  int z() const { return static_cast<int>(steps.size()); }
+};
+
+/// Scaled feature row of Eq. (7)/(8) for a conventional vehicle state
+/// relative to the ego at the same step.
+std::array<double, kFeatureDim> RelativeFeature(const VehicleState& vehicle,
+                                                const VehicleState& ego,
+                                                bool is_phantom,
+                                                const RoadConfig& road,
+                                                const FeatureScale& scale);
+
+/// Scaled raw-state feature of the ego node (Eq. 8, row 1).
+std::array<double, kFeatureDim> EgoFeature(const VehicleState& ego,
+                                           const RoadConfig& road);
+
+/// Formats a completed scene into the network-ready graph.
+StGraph BuildStGraph(const CompletedScene& scene, const RoadConfig& road,
+                     const FeatureScale& scale = FeatureScale());
+
+}  // namespace head::perception
+
+#endif  // HEAD_PERCEPTION_ST_GRAPH_H_

@@ -1,0 +1,158 @@
+#include "perception/trainer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "nn/optimizer.h"
+
+namespace head::perception {
+
+namespace {
+
+/// Masked scaled MSE of one sample as a differentiable Var.
+nn::Var SampleLoss(const StatePredictor& model, const PredictionSample& s) {
+  const nn::Var pred = model.ForwardScaled(s.graph);
+  const nn::Var truth =
+      nn::Var::Constant(ScaledResidualTruth(s.graph, s.truth, model.scale()));
+  const nn::Var mask = nn::Var::Constant(TruthMask(s.truth));
+  int valid = 0;
+  for (bool v : s.truth.valid) valid += v ? 1 : 0;
+  if (valid == 0) {
+    return nn::Var::Constant(nn::Tensor::Zeros(1, 1));
+  }
+  const nn::Var err = nn::Mul(nn::Sub(pred, truth), mask);
+  return nn::Scale(nn::Sum(nn::Square(err)), 1.0 / (3.0 * valid));
+}
+
+}  // namespace
+
+double PredictionLoss(const StatePredictor& model,
+                      const std::vector<PredictionSample>& samples) {
+  HEAD_CHECK(!samples.empty());
+  double total = 0.0;
+  for (const PredictionSample& s : samples) {
+    total += SampleLoss(model, s).value()[0];
+  }
+  return total / samples.size();
+}
+
+PredictionTrainResult TrainPredictor(
+    StatePredictor& model, const std::vector<PredictionSample>& train,
+    const PredictionTrainConfig& config) {
+  HEAD_CHECK(!train.empty());
+  nn::Adam opt(model.Params(), config.learning_rate);
+  Rng rng(config.shuffle_seed);
+  std::vector<int> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  PredictionTrainResult result;
+  const auto start = std::chrono::steady_clock::now();
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    double epoch_loss = 0.0;
+    for (size_t b = 0; b < order.size(); b += config.batch_size) {
+      const size_t end = std::min(order.size(), b + config.batch_size);
+      opt.ZeroGrad();
+      std::vector<nn::Var> losses;
+      losses.reserve(end - b);
+      for (size_t k = b; k < end; ++k) {
+        losses.push_back(SampleLoss(model, train[order[k]]));
+      }
+      nn::Var batch_loss = losses[0];
+      for (size_t k = 1; k < losses.size(); ++k) {
+        batch_loss = nn::Add(batch_loss, losses[k]);
+      }
+      batch_loss = nn::Scale(batch_loss, 1.0 / losses.size());
+      epoch_loss += batch_loss.value()[0] * (end - b);
+      nn::Backward(batch_loss);
+      opt.ClipGradNorm(5.0);
+      opt.Step();
+    }
+    epoch_loss /= train.size();
+    result.epoch_losses.push_back(epoch_loss);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    result.epoch_elapsed_seconds.push_back(elapsed);
+    if (config.verbose) {
+      HEAD_LOG(Info) << model.name() << " epoch " << epoch + 1 << "/"
+                     << config.epochs << " loss=" << epoch_loss;
+    }
+  }
+  result.total_seconds = result.epoch_elapsed_seconds.back();
+
+  const double best =
+      *std::min_element(result.epoch_losses.begin(), result.epoch_losses.end());
+  for (size_t e = 0; e < result.epoch_losses.size(); ++e) {
+    if (result.epoch_losses[e] <= best * 1.05) {
+      result.convergence_seconds = result.epoch_elapsed_seconds[e];
+      break;
+    }
+  }
+  return result;
+}
+
+PredictionMetrics EvaluatePredictor(
+    const StatePredictor& model, const std::vector<PredictionSample>& test) {
+  HEAD_CHECK(!test.empty());
+  double abs_sum = 0.0;
+  double sq_sum = 0.0;
+  long count = 0;
+  for (const PredictionSample& s : test) {
+    const Prediction pred = model.Predict(s.graph);
+    for (int i = 0; i < kNumAreas; ++i) {
+      if (!s.truth.valid[i]) continue;
+      const double errs[3] = {pred[i].d_lat_m - s.truth.value[i][0],
+                              pred[i].d_lon_m - s.truth.value[i][1],
+                              pred[i].v_rel_mps - s.truth.value[i][2]};
+      for (double e : errs) {
+        abs_sum += std::fabs(e);
+        sq_sum += e * e;
+        ++count;
+      }
+    }
+  }
+  HEAD_CHECK_GT(count, 0);
+  PredictionMetrics m;
+  m.mae = abs_sum / count;
+  m.mse = sq_sum / count;
+  m.rmse = std::sqrt(m.mse);
+  return m;
+}
+
+PerComponentMetrics EvaluatePredictorPerComponent(
+    const StatePredictor& model, const std::vector<PredictionSample>& test) {
+  HEAD_CHECK(!test.empty());
+  double abs_sum[3] = {0, 0, 0};
+  double sq_sum[3] = {0, 0, 0};
+  long count = 0;
+  for (const PredictionSample& s : test) {
+    const Prediction pred = model.Predict(s.graph);
+    for (int i = 0; i < kNumAreas; ++i) {
+      if (!s.truth.valid[i]) continue;
+      const double errs[3] = {pred[i].d_lat_m - s.truth.value[i][0],
+                              pred[i].d_lon_m - s.truth.value[i][1],
+                              pred[i].v_rel_mps - s.truth.value[i][2]};
+      for (int c = 0; c < 3; ++c) {
+        abs_sum[c] += std::fabs(errs[c]);
+        sq_sum[c] += errs[c] * errs[c];
+      }
+      ++count;
+    }
+  }
+  HEAD_CHECK_GT(count, 0);
+  auto make = [&](int c) {
+    PredictionMetrics m;
+    m.mae = abs_sum[c] / count;
+    m.mse = sq_sum[c] / count;
+    m.rmse = std::sqrt(m.mse);
+    return m;
+  };
+  return PerComponentMetrics{make(0), make(1), make(2)};
+}
+
+}  // namespace head::perception

@@ -1,0 +1,72 @@
+// DRL-SC baseline (Nageshrao et al. [10]): a DQN over a *discretized*
+// maneuver set (3 lane-change behaviors × 5 acceleration levels) with a
+// rule-based safety check that vetoes unsafe choices and falls back to the
+// best safe action. Represents the pre-PAMDP state of the art of Table I.
+#ifndef HEAD_RL_DRL_SC_H_
+#define HEAD_RL_DRL_SC_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/optimizer.h"
+#include "perception/st_graph.h"
+#include "rl/replay_buffer.h"
+
+namespace head::rl {
+
+struct DrlScConfig {
+  int hidden = 64;
+  double gamma = 0.9;
+  double learning_rate = 0.001;
+  int batch_size = 64;
+  size_t buffer_capacity = 20000;
+  double tau = 0.01;
+  int warmup_transitions = 500;
+  int update_every = 1;
+  RoadConfig road;
+  perception::FeatureScale scale;  ///< to decode distances from the state
+  /// Safety-check thresholds.
+  double min_lane_change_gap_m = 10.0;
+  double min_ttc_s = 2.0;
+};
+
+class DrlScAgent : public PamdpAgent {
+ public:
+  static constexpr int kAccelLevels = 5;
+  static constexpr int kNumActions = kNumBehaviors * kAccelLevels;
+
+  DrlScAgent(const DrlScConfig& config, Rng& init_rng);
+
+  std::string name() const override { return "DRL-SC"; }
+  AgentAction Act(const AugmentedState& state, double epsilon,
+                  Rng& rng) override;
+  void Remember(const AugmentedState& state, const AgentAction& action,
+                double reward, const AugmentedState& next_state,
+                bool terminal) override;
+  void Update(Rng& rng) override;
+  void ScaleLearningRate(double factor) override {
+    opt_.set_learning_rate(opt_.learning_rate() * factor);
+  }
+
+  /// Maneuver encoded by a discrete action index.
+  Maneuver DecodeAction(int action_index) const;
+  /// Rule-based veto: false if the maneuver is predicted to be unsafe given
+  /// the (decoded) relative states in `s`.
+  bool IsSafe(const AugmentedState& s, const Maneuver& m) const;
+
+  nn::Mlp& q_mlp() { return q_; }
+  /// Re-copies the online network into the target (after loading weights).
+  void SyncTargets() { q_target_.CopyParamsFrom(q_); }
+
+ private:
+  DrlScConfig config_;
+  nn::Mlp q_;
+  nn::Mlp q_target_;
+  nn::Adam opt_;
+  ReplayBuffer buffer_;
+  long update_calls_ = 0;
+};
+
+}  // namespace head::rl
+
+#endif  // HEAD_RL_DRL_SC_H_

@@ -1,0 +1,69 @@
+// The reinforcement-learning environment: wires the traffic simulation, the
+// sensor model, the enhanced perception module and the hybrid reward into
+// the PAMDP loop of Sec. IV. Ablation switches reproduce the HEAD variants
+// of Table II.
+#ifndef HEAD_RL_ENV_H_
+#define HEAD_RL_ENV_H_
+
+#include <optional>
+
+#include "perception/predictor.h"
+#include "rl/pamdp.h"
+#include "rl/reward.h"
+#include "sensor/sensor_model.h"
+#include "sim/simulation.h"
+
+namespace head::rl {
+
+struct EnvConfig {
+  sim::SimConfig sim;
+  sensor::SensorConfig sensor;
+  perception::FeatureScale scale;
+  RewardConfig reward;
+  int history_z = 5;           ///< z historical steps (paper Sec. V-A)
+  bool use_pvc = true;         ///< phantom construction (off = w/o-PVC)
+  bool use_prediction = true;  ///< feed f̂^{t+1} (off = w/o-LST-GAT)
+};
+
+class DrivingEnv {
+ public:
+  /// `predictor` supplies f̂^{t+1}; may be null when use_prediction is false.
+  DrivingEnv(const EnvConfig& config,
+             const perception::StatePredictor* predictor, uint64_t seed);
+
+  /// Starts a fresh episode and returns s⁺ at t=0.
+  AugmentedState Reset(uint64_t seed);
+
+  struct StepOutcome {
+    AugmentedState next_state;
+    RewardTerms reward;
+    bool done = false;
+    sim::EpisodeStatus status = sim::EpisodeStatus::kRunning;
+  };
+
+  /// Applies the ego maneuver, advances Δt and computes the hybrid reward.
+  StepOutcome Step(const Maneuver& maneuver);
+
+  const sim::Simulation& simulation() const { return sim_; }
+  const perception::StGraph& last_graph() const { return graph_; }
+  const EnvConfig& config() const { return config_; }
+  double prev_accel() const { return prev_accel_; }
+
+ private:
+  /// Observes through the sensor, updates history, rebuilds graph/state.
+  AugmentedState Perceive();
+  /// Nearest real conventional vehicle directly behind/ahead of the ego.
+  std::optional<sim::VehicleSnapshot> RealNeighbor(bool front) const;
+
+  EnvConfig config_;
+  const perception::StatePredictor* predictor_;
+  sim::Simulation sim_;
+  perception::HistoryBuffer history_;
+  perception::StGraph graph_;
+  RewardFunction reward_fn_;
+  double prev_accel_ = 0.0;
+};
+
+}  // namespace head::rl
+
+#endif  // HEAD_RL_ENV_H_

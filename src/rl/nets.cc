@@ -1,0 +1,130 @@
+#include "rl/nets.h"
+
+#include "common/check.h"
+
+namespace head::rl {
+
+BranchEncoder::BranchEncoder(int rows, int hidden, Rng& rng)
+    : rows_(rows),
+      l1_(perception::kFeatureDim, hidden, rng),
+      l2_(hidden, 1, rng) {
+  // The per-vehicle reduction ends in single-unit ReLUs (Eq. 24/26); start
+  // their biases positive so the units begin alive — a dead unit here wipes
+  // out the whole branch's state information and never recovers.
+  for (nn::Var p : {l1_.Params()[1], l2_.Params()[1]}) {
+    nn::Tensor& b = p.mutable_value();
+    for (int i = 0; i < b.size(); ++i) b[i] = 0.1;
+  }
+}
+
+nn::Var BranchEncoder::Forward(const nn::Tensor& block) const {
+  HEAD_CHECK_EQ(block.rows(), rows_);
+  const nn::Var x = nn::Var::Constant(block);
+  // LeakyReLU in place of the paper's ReLU: the reduction to one scalar per
+  // vehicle makes plain ReLU units die irrecoverably during RL training
+  // (observed empirically), freezing the whole branch; the leaky slope
+  // preserves the architecture while keeping gradients alive.
+  const nn::Var h = nn::LeakyRelu(l1_.Forward(x));  // (rows×hidden)
+  const nn::Var e = nn::LeakyRelu(l2_.Forward(h));  // (rows×1)
+  return nn::Reshape(e, 1, rows_);                  // (1×rows)
+}
+
+std::vector<nn::Var> BranchEncoder::Params() const {
+  std::vector<nn::Var> p = l1_.Params();
+  for (const nn::Var& v : l2_.Params()) p.push_back(v);
+  return p;
+}
+
+BpXNet::BpXNet(int hidden, double a_max, Rng& rng)
+    : a_max_(a_max),
+      h_branch_(kStateHRows, hidden, rng),
+      f_branch_(kStateFRows, hidden, rng),
+      out_(kStateHRows + kStateFRows, kNumBehaviors, rng) {
+  // Small output init ⇒ initial accelerations near 0 (tanh unsaturated).
+  nn::Tensor& w = out_.Params()[0].mutable_value();
+  for (int i = 0; i < w.size(); ++i) w[i] *= 0.1;
+}
+
+nn::Var BpXNet::Forward(const AugmentedState& s) const {
+  const nn::Var merged = nn::ConcatCols(
+      {h_branch_.Forward(s.h), f_branch_.Forward(s.f)});  // (1×13)
+  return nn::Scale(nn::Tanh(out_.Forward(merged)), a_max_);  // Eq. (25)
+}
+
+std::vector<nn::Var> BpXNet::Params() const {
+  std::vector<nn::Var> p = h_branch_.Params();
+  for (const nn::Var& v : f_branch_.Params()) p.push_back(v);
+  for (const nn::Var& v : out_.Params()) p.push_back(v);
+  return p;
+}
+
+BpQNet::BpQNet(int hidden, Rng& rng)
+    : h_branch_(kStateHRows, hidden, rng),
+      f_branch_(kStateFRows, hidden, rng),
+      x1_(kNumBehaviors, hidden, rng),
+      x2_(hidden, kNumBehaviors, rng),
+      fuse_(kStateHRows + kStateFRows + kNumBehaviors, hidden, rng),
+      out_(hidden, kNumBehaviors, rng) {
+  // Keep the 3-unit ReLU action branch alive at initialization too.
+  for (nn::Var p : {x1_.Params()[1], x2_.Params()[1]}) {
+    nn::Tensor& b = p.mutable_value();
+    for (int i = 0; i < b.size(); ++i) b[i] = 0.1;
+  }
+}
+
+nn::Var BpQNet::Forward(const AugmentedState& s, const nn::Var& x) const {
+  const nn::Var xb =
+      nn::LeakyRelu(x2_.Forward(nn::LeakyRelu(x1_.Forward(x))));
+  const nn::Var merged = nn::ConcatCols(
+      {h_branch_.Forward(s.h), f_branch_.Forward(s.f), xb});  // (1×16)
+  return out_.Forward(nn::LeakyRelu(fuse_.Forward(merged)));
+}
+
+std::vector<nn::Var> BpQNet::Params() const {
+  std::vector<nn::Var> p = h_branch_.Params();
+  for (const nn::Var& v : f_branch_.Params()) p.push_back(v);
+  for (const nn::Var& v : x1_.Params()) p.push_back(v);
+  for (const nn::Var& v : x2_.Params()) p.push_back(v);
+  for (const nn::Var& v : fuse_.Params()) p.push_back(v);
+  for (const nn::Var& v : out_.Params()) p.push_back(v);
+  return p;
+}
+
+FlatXNet::FlatXNet(int hidden, double a_max, Rng& rng)
+    : a_max_(a_max),
+      mlp_({kFlatStateDim, 2 * hidden, hidden, kNumBehaviors},
+           nn::Mlp::Activation::kLeakyRelu, rng) {
+  std::vector<nn::Var> params = mlp_.Params();
+  nn::Tensor& w = params[params.size() - 2].mutable_value();
+  for (int i = 0; i < w.size(); ++i) w[i] *= 0.1;
+}
+
+nn::Var FlatXNet::Forward(const AugmentedState& s) const {
+  const nn::Var flat = nn::Var::Constant(FlattenState(s));
+  return nn::Scale(nn::Tanh(mlp_.Forward(flat)), a_max_);
+}
+
+std::vector<nn::Var> FlatXNet::Params() const { return mlp_.Params(); }
+
+FlatQNet::FlatQNet(int hidden, Rng& rng)
+    : in_(kFlatStateDim + kNumBehaviors, 2 * hidden, rng),
+      mid_(2 * hidden, hidden, rng),
+      out_(hidden, kNumBehaviors, rng) {}
+
+nn::Var FlatQNet::Forward(const AugmentedState& s, const nn::Var& x) const {
+  // The wrong-weight-sharing structure the paper improves on: raw state
+  // features and the action parameters enter one shared layer.
+  const nn::Var joint =
+      nn::ConcatCols({nn::Var::Constant(FlattenState(s)), x});
+  return out_.Forward(
+      nn::Relu(mid_.Forward(nn::Relu(in_.Forward(joint)))));
+}
+
+std::vector<nn::Var> FlatQNet::Params() const {
+  std::vector<nn::Var> p = in_.Params();
+  for (const nn::Var& v : mid_.Params()) p.push_back(v);
+  for (const nn::Var& v : out_.Params()) p.push_back(v);
+  return p;
+}
+
+}  // namespace head::rl

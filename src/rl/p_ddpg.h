@@ -1,0 +1,65 @@
+// P-DDPG baseline (Hausknecht & Stone [58]): collapses the parameterized
+// action space into one continuous vector u = [behavior logits ‖ behavior
+// parameters] and runs vanilla DDPG on it. As the paper notes, the critic
+// cannot tell which parameter belongs to which discrete action.
+#ifndef HEAD_RL_P_DDPG_H_
+#define HEAD_RL_P_DDPG_H_
+
+#include <memory>
+#include <string>
+
+#include "nn/optimizer.h"
+#include "rl/nets.h"
+#include "rl/replay_buffer.h"
+
+namespace head::rl {
+
+struct PddpgConfig {
+  int hidden = 64;
+  double gamma = 0.9;
+  double learning_rate = 0.001;
+  double actor_lr_scale = 0.1;
+  int batch_size = 64;
+  size_t buffer_capacity = 20000;
+  double tau = 0.01;
+  int warmup_transitions = 500;
+  int update_every = 1;
+  double a_max = 3.0;
+  double noise_std = 1.0;
+  double explore_keep_bias = 0.6;
+};
+
+class PddpgAgent : public PamdpAgent {
+ public:
+  PddpgAgent(const PddpgConfig& config, Rng& init_rng);
+
+  std::string name() const override { return "P-DDPG"; }
+  AgentAction Act(const AugmentedState& state, double epsilon,
+                  Rng& rng) override;
+  void Remember(const AugmentedState& state, const AgentAction& action,
+                double reward, const AugmentedState& next_state,
+                bool terminal) override;
+  void Update(Rng& rng) override;
+  void ScaleLearningRate(double factor) override;
+
+ private:
+  /// Actor: (1×6) = [3 behavior logits in (−1,1) ‖ 3 accelerations in ±a′].
+  nn::Var Actor(const nn::Mlp& net, const AugmentedState& s) const;
+  /// Critic: scalar Q(s, u).
+  nn::Var Critic(const nn::Mlp& net, const AugmentedState& s,
+                 const nn::Var& u) const;
+
+  PddpgConfig config_;
+  nn::Mlp actor_;
+  nn::Mlp actor_target_;
+  nn::Mlp critic_;
+  nn::Mlp critic_target_;
+  nn::Adam critic_opt_;
+  nn::Adam actor_opt_;
+  ReplayBuffer buffer_;
+  long update_calls_ = 0;
+};
+
+}  // namespace head::rl
+
+#endif  // HEAD_RL_P_DDPG_H_

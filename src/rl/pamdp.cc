@@ -1,0 +1,73 @@
+#include "rl/pamdp.h"
+
+#include "common/check.h"
+#include "perception/st_graph.h"
+
+namespace head::rl {
+
+LaneChange BehaviorToLaneChange(int b) {
+  switch (b) {
+    case kBehaviorLeft:
+      return LaneChange::kLeft;
+    case kBehaviorRight:
+      return LaneChange::kRight;
+    case kBehaviorKeep:
+      return LaneChange::kKeep;
+  }
+  HEAD_CHECK_MSG(false, "invalid behavior index " << b);
+}
+
+int LaneChangeToBehavior(LaneChange lc) {
+  switch (lc) {
+    case LaneChange::kLeft:
+      return kBehaviorLeft;
+    case LaneChange::kRight:
+      return kBehaviorRight;
+    case LaneChange::kKeep:
+      return kBehaviorKeep;
+  }
+  HEAD_CHECK_MSG(false, "invalid lane change");
+}
+
+AugmentedState BuildAugmentedState(const perception::StGraph& graph,
+                                   const perception::Prediction& prediction,
+                                   const RoadConfig& road,
+                                   const perception::FeatureScale& scale,
+                                   bool use_prediction) {
+  AugmentedState s;
+  s.h = nn::Tensor(kStateHRows, kStateCols);
+  const auto ego_feat = perception::EgoFeature(graph.ego_current, road);
+  for (int c = 0; c < kStateCols; ++c) s.h.At(0, c) = ego_feat[c];
+  for (int i = 0; i < perception::kNumAreas; ++i) {
+    const auto feat = perception::RelativeFeature(
+        graph.target_current[i], graph.ego_current,
+        graph.target_is_phantom[i], road, scale);
+    for (int c = 0; c < kStateCols; ++c) s.h.At(1 + i, c) = feat[c];
+  }
+
+  s.f = nn::Tensor(kStateFRows, kStateCols);
+  for (int i = 0; i < perception::kNumAreas; ++i) {
+    const double lat = use_prediction ? prediction[i].d_lat_m
+                                      : graph.target_rel_current[i][0];
+    const double lon = use_prediction ? prediction[i].d_lon_m
+                                      : graph.target_rel_current[i][1];
+    const double v = use_prediction ? prediction[i].v_rel_mps
+                                    : graph.target_rel_current[i][2];
+    s.f.At(i, 0) = lat * scale.lat;
+    s.f.At(i, 1) = lon * scale.lon;
+    s.f.At(i, 2) = v * scale.v;
+    s.f.At(i, 3) = graph.target_is_phantom[i] ? 1.0 : 0.0;
+  }
+  return s;
+}
+
+nn::Tensor FlattenState(const AugmentedState& s) {
+  HEAD_CHECK_EQ(s.h.size() + s.f.size(), kFlatStateDim);
+  nn::Tensor flat(1, kFlatStateDim);
+  int k = 0;
+  for (int i = 0; i < s.h.size(); ++i) flat[k++] = s.h[i];
+  for (int i = 0; i < s.f.size(); ++i) flat[k++] = s.f[i];
+  return flat;
+}
+
+}  // namespace head::rl

@@ -1,0 +1,211 @@
+#include "rl/pdqn_agent.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace head::rl {
+
+namespace {
+
+int ArgMax(const nn::Tensor& row) {
+  HEAD_DCHECK(row.rows() == 1 && row.cols() > 0);
+  int best = 0;
+  for (int c = 1; c < row.cols(); ++c) {
+    if (row.At(0, c) > row.At(0, best)) best = c;
+  }
+  return best;
+}
+
+double MaxVal(const nn::Tensor& row) {
+  double m = row.At(0, 0);
+  for (int c = 1; c < row.cols(); ++c) m = std::max(m, row.At(0, c));
+  return m;
+}
+
+}  // namespace
+
+PdqnAgent::PdqnAgent(std::string name, const PdqnConfig& config,
+                     const XFactory& make_x, const QFactory& make_q,
+                     Rng& init_rng)
+    : name_(std::move(name)),
+      config_(config),
+      x_(make_x(init_rng)),
+      x_target_(make_x(init_rng)),
+      q_(make_q(init_rng)),
+      q_target_(make_q(init_rng)),
+      q_opt_(q_->Params(), config.learning_rate),
+      x_opt_(x_->Params(), config.learning_rate * config.actor_lr_scale),
+      buffer_(config.buffer_capacity) {
+  x_target_->CopyParamsFrom(*x_);
+  q_target_->CopyParamsFrom(*q_);
+}
+
+AgentAction PdqnAgent::Act(const AugmentedState& state, double epsilon,
+                           Rng& rng) {
+  nn::Tensor x = x_->Forward(state).value();  // (1×3)
+  int b;
+  if (epsilon > 0.0 && rng.Uniform(0.0, 1.0) < epsilon) {
+    if (rng.Uniform(0.0, 1.0) < config_.explore_keep_bias) {
+      b = kBehaviorKeep;
+    } else {
+      b = rng.Bernoulli(0.5) ? kBehaviorLeft : kBehaviorRight;
+    }
+  } else {
+    const nn::Tensor q =
+        q_->Forward(state, nn::Var::Constant(x)).value();
+    b = ArgMax(q);
+  }
+  double accel = x.At(0, b);
+  if (epsilon > 0.0) {
+    const double noise_std = std::max(epsilon * config_.noise_std,
+                                      config_.param_noise_floor);
+    accel += noise_std * rng.Normal(0.0, 1.0);
+  }
+  accel = std::clamp(accel, -config_.a_max, config_.a_max);
+  x.At(0, b) = accel;  // store the parameters as actually applied
+  AgentAction action;
+  action.behavior = b;
+  action.maneuver = Maneuver{BehaviorToLaneChange(b), accel};
+  action.params = std::move(x);
+  return action;
+}
+
+void PdqnAgent::Remember(const AugmentedState& state,
+                         const AgentAction& action, double reward,
+                         const AugmentedState& next_state, bool terminal) {
+  Transition t;
+  t.state = state;
+  t.behavior = action.behavior;
+  t.params = action.params;
+  t.reward = reward;
+  t.next_state = next_state;
+  t.terminal = terminal;
+  const int copies = terminal ? std::max(1, config_.terminal_replay_boost) : 1;
+  for (int i = 0; i < copies; ++i) buffer_.Push(t);
+}
+
+void PdqnAgent::UpdateCritic(const std::vector<const Transition*>& batch) {
+  q_opt_.ZeroGrad();
+  std::vector<nn::Var> losses;
+  losses.reserve(batch.size());
+  for (const Transition* t : batch) {
+    double y = t->reward;
+    if (!t->terminal) {
+      const nn::Var x_next = x_target_->Forward(t->next_state);
+      const nn::Tensor q_next =
+          q_target_->Forward(t->next_state, x_next).value();
+      y += config_.gamma * MaxVal(q_next);
+    }
+    const nn::Var q_all =
+        q_->Forward(t->state, nn::Var::Constant(t->params));
+    const nn::Var q_b = nn::SliceCols(q_all, t->behavior, t->behavior + 1);
+    losses.push_back(nn::Scale(nn::Square(nn::AddScalar(q_b, -y)), 0.5));
+  }
+  nn::Var loss = losses[0];
+  for (size_t i = 1; i < losses.size(); ++i) loss = nn::Add(loss, losses[i]);
+  loss = nn::Scale(loss, 1.0 / losses.size());
+  nn::Backward(loss);
+  q_opt_.ClipGradNorm(10.0);
+  q_opt_.Step();
+}
+
+void PdqnAgent::UpdateActor(const std::vector<const Transition*>& batch) {
+  x_opt_.ZeroGrad();
+  q_->ZeroGrad();  // critic grads from this pass are discarded
+  std::vector<nn::Var> losses;
+  losses.reserve(batch.size());
+  for (const Transition* t : batch) {
+    const nn::Var x = x_->Forward(t->state);
+    const nn::Var q_all = q_->Forward(t->state, x);
+    losses.push_back(nn::Scale(nn::Sum(q_all), -1.0));  // Eq. (23)
+  }
+  nn::Var loss = losses[0];
+  for (size_t i = 1; i < losses.size(); ++i) loss = nn::Add(loss, losses[i]);
+  loss = nn::Scale(loss, 1.0 / losses.size());
+  nn::Backward(loss);
+  x_opt_.ClipGradNorm(10.0);
+  x_opt_.Step();
+}
+
+void PdqnAgent::Update(Rng& rng) {
+  if (buffer_.size() < static_cast<size_t>(config_.warmup_transitions)) {
+    return;
+  }
+  ++update_calls_;
+  if (config_.update_every > 1 &&
+      update_calls_ % config_.update_every != 0) {
+    return;
+  }
+  bool train_q = true;
+  bool train_x = true;
+  if (config_.alternate_period > 0) {
+    const long phase =
+        (update_calls_ / config_.alternate_period) % 2;
+    train_q = phase == 0;
+    train_x = phase == 1;
+  }
+  const std::vector<const Transition*> batch =
+      buffer_.Sample(config_.batch_size, rng);
+  if (train_q) UpdateCritic(batch);
+  if (train_x) UpdateActor(batch);
+  x_target_->SoftUpdateFrom(*x_, config_.tau);
+  q_target_->SoftUpdateFrom(*q_, config_.tau);
+}
+
+void PdqnAgent::ScaleLearningRate(double factor) {
+  q_opt_.set_learning_rate(q_opt_.learning_rate() * factor);
+  x_opt_.set_learning_rate(x_opt_.learning_rate() * factor);
+}
+
+void PdqnAgent::SyncTargets() {
+  x_target_->CopyParamsFrom(*x_);
+  q_target_->CopyParamsFrom(*q_);
+}
+
+nn::Tensor PdqnAgent::ActionParams(const AugmentedState& s) const {
+  return x_->Forward(s).value();
+}
+
+nn::Tensor PdqnAgent::QValues(const AugmentedState& s,
+                              const nn::Tensor& x) const {
+  return q_->Forward(s, nn::Var::Constant(x)).value();
+}
+
+std::unique_ptr<PdqnAgent> MakeBpDqnAgent(const PdqnConfig& config, Rng& rng) {
+  return std::make_unique<PdqnAgent>(
+      "BP-DQN", config,
+      [&config](Rng& r) {
+        return std::make_unique<BpXNet>(config.hidden, config.a_max, r);
+      },
+      [&config](Rng& r) { return std::make_unique<BpQNet>(config.hidden, r); },
+      rng);
+}
+
+std::unique_ptr<PdqnAgent> MakePDqnAgent(const PdqnConfig& config, Rng& rng) {
+  return std::make_unique<PdqnAgent>(
+      "P-DQN", config,
+      [&config](Rng& r) {
+        return std::make_unique<FlatXNet>(config.hidden, config.a_max, r);
+      },
+      [&config](Rng& r) {
+        return std::make_unique<FlatQNet>(config.hidden, r);
+      },
+      rng);
+}
+
+std::unique_ptr<PdqnAgent> MakePQpAgent(PdqnConfig config, Rng& rng) {
+  if (config.alternate_period <= 0) config.alternate_period = 50;
+  auto agent = std::make_unique<PdqnAgent>(
+      "P-QP", config,
+      [config](Rng& r) {
+        return std::make_unique<FlatXNet>(config.hidden, config.a_max, r);
+      },
+      [config](Rng& r) {
+        return std::make_unique<FlatQNet>(config.hidden, r);
+      },
+      rng);
+  return agent;
+}
+
+}  // namespace head::rl

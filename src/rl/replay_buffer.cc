@@ -1,0 +1,32 @@
+#include "rl/replay_buffer.h"
+
+#include "common/check.h"
+
+namespace head::rl {
+
+ReplayBuffer::ReplayBuffer(size_t capacity) : capacity_(capacity) {
+  HEAD_CHECK_GT(capacity, 0u);
+  storage_.reserve(capacity);
+}
+
+void ReplayBuffer::Push(Transition t) {
+  if (storage_.size() < capacity_) {
+    storage_.push_back(std::move(t));
+  } else {
+    storage_[next_] = std::move(t);
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<const Transition*> ReplayBuffer::Sample(size_t n, Rng& rng) const {
+  HEAD_CHECK_GT(storage_.size(), 0u);
+  std::vector<const Transition*> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(
+        &storage_[rng.UniformInt(0, static_cast<int>(storage_.size()) - 1)]);
+  }
+  return out;
+}
+
+}  // namespace head::rl

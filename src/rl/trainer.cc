@@ -1,0 +1,115 @@
+#include "rl/trainer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace head::rl {
+
+RlTrainResult TrainAgent(PamdpAgent& agent, DrivingEnv& env,
+                         const RlTrainConfig& config) {
+  HEAD_CHECK_GT(config.episodes, 0);
+  Rng rng(config.seed);
+  RlTrainResult result;
+  const auto start = std::chrono::steady_clock::now();
+  const double decay_episodes =
+      std::max(1.0, config.epsilon_decay_fraction * config.episodes);
+
+  size_t next_lr_decay = 0;
+  for (int ep = 0; ep < config.episodes; ++ep) {
+    if (next_lr_decay < config.lr_decay_at_fractions.size() &&
+        ep >= config.lr_decay_at_fractions[next_lr_decay] *
+                  config.episodes) {
+      agent.ScaleLearningRate(config.lr_decay_factor);
+      ++next_lr_decay;
+    }
+    const double frac = std::min(1.0, ep / decay_episodes);
+    const double epsilon =
+        config.epsilon_start +
+        frac * (config.epsilon_end - config.epsilon_start);
+
+    AugmentedState state = env.Reset(config.seed * 7919 + ep);
+    double ep_reward = 0.0;
+    int steps = 0;
+    while (steps < config.max_steps_per_episode) {
+      const AgentAction action = agent.Act(state, epsilon, rng);
+      const DrivingEnv::StepOutcome outcome = env.Step(action.maneuver);
+      agent.Remember(state, action, outcome.reward.total, outcome.next_state,
+                     outcome.done);
+      agent.Update(rng);
+      ep_reward += outcome.reward.total;
+      ++steps;
+      state = outcome.next_state;
+      if (outcome.done) break;
+    }
+    result.episode_rewards.push_back(ep_reward / std::max(steps, 1));
+    result.episode_elapsed_seconds.push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+    if (config.verbose && (ep + 1) % 10 == 0) {
+      HEAD_LOG(Info) << agent.name() << " episode " << ep + 1 << "/"
+                     << config.episodes
+                     << " mean step reward=" << result.episode_rewards.back()
+                     << " eps=" << epsilon;
+    }
+  }
+  result.total_seconds = result.episode_elapsed_seconds.back();
+
+  // Convergence time: first time the trailing-window mean reaches 95% of
+  // the best trailing-window mean (rewards can be negative; normalize by
+  // the observed range).
+  const int window = std::min<int>(20, config.episodes);
+  std::vector<double> trailing;
+  for (size_t e = window - 1; e < result.episode_rewards.size(); ++e) {
+    double s = 0.0;
+    for (int k = 0; k < window; ++k) s += result.episode_rewards[e - k];
+    trailing.push_back(s / window);
+  }
+  const double best = *std::max_element(trailing.begin(), trailing.end());
+  const double worst = *std::min_element(trailing.begin(), trailing.end());
+  const double threshold = best - 0.05 * std::max(best - worst, 1e-9);
+  result.convergence_seconds = result.total_seconds;
+  for (size_t i = 0; i < trailing.size(); ++i) {
+    if (trailing[i] >= threshold) {
+      result.convergence_seconds =
+          result.episode_elapsed_seconds[i + window - 1];
+      break;
+    }
+  }
+  return result;
+}
+
+RewardStats EvaluateAgent(PamdpAgent& agent, DrivingEnv& env, int episodes,
+                          uint64_t seed_base) {
+  Rng rng(seed_base);
+  RewardStats stats;
+  stats.min_reward = std::numeric_limits<double>::infinity();
+  stats.max_reward = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (int ep = 0; ep < episodes; ++ep) {
+    AugmentedState state = env.Reset(seed_base * 104729 + ep);
+    while (true) {
+      const AgentAction action = agent.Act(state, /*epsilon=*/0.0, rng);
+      const DrivingEnv::StepOutcome outcome = env.Step(action.maneuver);
+      const double r = outcome.reward.total;
+      stats.min_reward = std::min(stats.min_reward, r);
+      stats.max_reward = std::max(stats.max_reward, r);
+      sum += r;
+      ++stats.steps;
+      state = outcome.next_state;
+      if (outcome.done) {
+        if (outcome.status == sim::EpisodeStatus::kCollision) {
+          ++stats.collisions;
+        }
+        break;
+      }
+    }
+  }
+  stats.avg_reward = stats.steps > 0 ? sum / stats.steps : 0.0;
+  return stats;
+}
+
+}  // namespace head::rl

@@ -1,0 +1,54 @@
+#include "sensor/occlusion.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace head::sensor {
+
+bool SegmentIntersectsRect(double x0, double y0, double x1, double y1,
+                           double cx, double cy, double hx, double hy) {
+  // Slab (Liang–Barsky) clipping of the parametric segment against the box.
+  const double dx = x1 - x0;
+  const double dy = y1 - y0;
+  double t0 = 0.0;
+  double t1 = 1.0;
+  const double lo_x = cx - hx;
+  const double hi_x = cx + hx;
+  const double lo_y = cy - hy;
+  const double hi_y = cy + hy;
+
+  auto clip = [&](double p, double q) {
+    // Segment satisfies p·t <= q.
+    if (std::fabs(p) < 1e-12) return q >= 0.0;
+    const double r = q / p;
+    if (p < 0.0) {
+      if (r > t1) return false;
+      t0 = std::max(t0, r);
+    } else {
+      if (r < t0) return false;
+      t1 = std::min(t1, r);
+    }
+    return t0 <= t1;
+  };
+
+  return clip(-dx, x0 - lo_x) && clip(dx, hi_x - x0) &&
+         clip(-dy, y0 - lo_y) && clip(dy, hi_y - y0);
+}
+
+bool Occludes(const VehicleState& observer, const VehicleState& target,
+              const VehicleState& blocker, double lane_width_m) {
+  const double x0 = observer.lon_m;
+  const double y0 = LaneCenterY(observer.lane, lane_width_m);
+  const double x1 = target.lon_m;
+  const double y1 = LaneCenterY(target.lane, lane_width_m);
+  // Shrink slightly: a grazing ray along the blocker's edge still sees the
+  // target, and a blocker overlapping the target/observer should not count.
+  const double shrink = 0.95;
+  const double hx = 0.5 * kVehicleLengthM * shrink;
+  const double hy = 0.5 * kVehicleWidthM * shrink;
+  const double cx = blocker.lon_m;
+  const double cy = LaneCenterY(blocker.lane, lane_width_m);
+  return SegmentIntersectsRect(x0, y0, x1, y1, cx, cy, hx, hy);
+}
+
+}  // namespace head::sensor

@@ -1,0 +1,30 @@
+// Line-of-sight occlusion geometry. Vehicles are axis-aligned rectangles in
+// a plane whose x-axis is the longitudinal position and whose y-axis is the
+// lateral lane offset; a target is occluded when the sight segment from the
+// ego center to the target center crosses another vehicle's rectangle
+// (paper Sec. III-A "Opportunities (1)" and Fig. 4).
+#ifndef HEAD_SENSOR_OCCLUSION_H_
+#define HEAD_SENSOR_OCCLUSION_H_
+
+#include "common/types.h"
+
+namespace head::sensor {
+
+/// Lateral center (m) of a lane, with lane 1 centered at 0.5·wid_l.
+inline double LaneCenterY(int lane, double lane_width_m) {
+  return (static_cast<double>(lane) - 0.5) * lane_width_m;
+}
+
+/// True iff segment (x0,y0)→(x1,y1) intersects the axis-aligned rectangle
+/// centered at (cx,cy) with half-extents (hx,hy).
+bool SegmentIntersectsRect(double x0, double y0, double x1, double y1,
+                           double cx, double cy, double hx, double hy);
+
+/// True iff `blocker` hides `target` from `observer`. The blocker rectangle
+/// is slightly shrunk so grazing sight lines do not count as occlusion.
+bool Occludes(const VehicleState& observer, const VehicleState& target,
+              const VehicleState& blocker, double lane_width_m);
+
+}  // namespace head::sensor
+
+#endif  // HEAD_SENSOR_OCCLUSION_H_

@@ -1,0 +1,22 @@
+#include "sim/acc.h"
+
+#include <algorithm>
+
+namespace head::sim {
+
+double AccAccel(const DriverParams& p, const AccGains& gains, double v,
+                double gap_m, double dv) {
+  const double desired_gap = p.min_gap_m + p.time_headway_s * v;
+  // Free-flow when the leader is far beyond the controlled-gap regime.
+  if (gap_m > 2.5 * desired_gap + 50.0) {
+    return std::clamp(gains.k_free * (p.desired_speed_mps - v),
+                      -p.comfort_decel_mps2, p.max_accel_mps2);
+  }
+  const double a = gains.k_gap * (gap_m - desired_gap) + gains.k_speed * (-dv);
+  // Never exceed the free-flow speed tracking command.
+  const double a_speed = gains.k_free * (p.desired_speed_mps - v);
+  return std::clamp(std::min(a, a_speed), -2.0 * p.comfort_decel_mps2,
+                    p.max_accel_mps2);
+}
+
+}  // namespace head::sim

@@ -1,0 +1,26 @@
+// Linear Adaptive Cruise Control model (Milanés & Shladover, 2014 — paper
+// ref [6]): constant-time-gap feedback controller, falling back to speed
+// regulation when no leader is in range.
+#ifndef HEAD_SIM_ACC_H_
+#define HEAD_SIM_ACC_H_
+
+#include "sim/vehicle.h"
+
+namespace head::sim {
+
+/// Standard gains from the CACC/ACC literature.
+struct AccGains {
+  double k_gap = 0.23;    ///< gap-error gain (1/s²)
+  double k_speed = 0.6;   ///< speed-error gain (1/s)
+  double k_free = 0.4;    ///< free-flow speed-tracking gain (1/s)
+};
+
+/// ACC acceleration. `gap_m` is bumper-to-bumper; pass a large value when no
+/// leader exists and the controller regulates toward the desired speed.
+/// `dv` is v − v_leader.
+double AccAccel(const DriverParams& p, const AccGains& gains, double v,
+                double gap_m, double dv);
+
+}  // namespace head::sim
+
+#endif  // HEAD_SIM_ACC_H_

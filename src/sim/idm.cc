@@ -1,0 +1,24 @@
+#include "sim/idm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace head::sim {
+
+double IdmDesiredGap(const DriverParams& p, double v, double dv) {
+  const double dynamic = v * p.time_headway_s +
+                         v * dv / (2.0 * std::sqrt(p.max_accel_mps2 *
+                                                   p.comfort_decel_mps2));
+  return p.min_gap_m + std::max(0.0, dynamic);
+}
+
+double IdmAccel(const DriverParams& p, double v, double gap_m, double dv) {
+  const double gap = std::max(gap_m, 0.1);  // avoid the singularity at 0
+  const double v0 = std::max(p.desired_speed_mps, 0.1);
+  const double free_term = std::pow(v / v0, 4.0);
+  const double s_star = IdmDesiredGap(p, v, dv);
+  const double interaction = (s_star / gap) * (s_star / gap);
+  return p.max_accel_mps2 * (1.0 - free_term - interaction);
+}
+
+}  // namespace head::sim

@@ -1,0 +1,23 @@
+// Intelligent Driver Model (Treiber, Hennecke & Helbing, Phys. Rev. E 62,
+// 2000 — paper ref [69]). Longitudinal acceleration from own speed, leader
+// approach rate and bumper gap.
+#ifndef HEAD_SIM_IDM_H_
+#define HEAD_SIM_IDM_H_
+
+#include "sim/vehicle.h"
+
+namespace head::sim {
+
+/// IDM acceleration.
+///  v        — own speed (m/s)
+///  gap_m    — bumper-to-bumper gap to leader; pass a large value (e.g. 1e9)
+///             when there is no leader
+///  dv       — approach rate v − v_leader (positive when closing)
+double IdmAccel(const DriverParams& p, double v, double gap_m, double dv);
+
+/// Desired (equilibrium-seeking) dynamic gap s*(v, Δv) of the IDM.
+double IdmDesiredGap(const DriverParams& p, double v, double dv);
+
+}  // namespace head::sim
+
+#endif  // HEAD_SIM_IDM_H_

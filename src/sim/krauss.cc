@@ -1,0 +1,26 @@
+#include "sim/krauss.h"
+
+#include <algorithm>
+
+namespace head::sim {
+
+double KraussSafeSpeed(const DriverParams& p, double v, double v_leader,
+                       double gap_m, double tau_s) {
+  const double v_bar = std::max(0.5 * (v + v_leader), 0.0);
+  const double denom = v_bar / p.comfort_decel_mps2 + tau_s;
+  return std::max(0.0, v_leader + (gap_m - v_leader * tau_s) /
+                                      std::max(denom, 1e-6));
+}
+
+double KraussAccel(const DriverParams& p, double v, double v_leader,
+                   double gap_m, double dt_s, Rng& rng) {
+  const double v_safe = KraussSafeSpeed(p, v, v_leader, gap_m, dt_s);
+  const double v_des = std::min({v + p.max_accel_mps2 * dt_s, v_safe,
+                                 p.desired_speed_mps});
+  const double dawdle = rng.Uniform(0.0, 1.0) * p.sigma * p.max_accel_mps2 *
+                        dt_s;
+  const double v_new = std::max(0.0, v_des - dawdle);
+  return (v_new - v) / dt_s;
+}
+
+}  // namespace head::sim

@@ -1,0 +1,25 @@
+// Krauss stochastic safe-speed car-following model (Krauß, Wagner & Gawron
+// 1997 — paper ref [71]); the default longitudinal model of SUMO.
+#ifndef HEAD_SIM_KRAUSS_H_
+#define HEAD_SIM_KRAUSS_H_
+
+#include "common/rng.h"
+#include "sim/vehicle.h"
+
+namespace head::sim {
+
+/// Safe speed w.r.t. a leader: v_safe = v_l + (gap − v_l·τ) / (v̄/b + τ)
+/// with v̄ the mean of own and leader speed and τ the driver reaction time
+/// (we use the simulation step).
+double KraussSafeSpeed(const DriverParams& p, double v, double v_leader,
+                       double gap_m, double tau_s);
+
+/// One Krauss update: returns the *acceleration* realizing
+/// v' = max(0, min(v+aΔt, v_safe, v0) − ε·a·σ) so callers can integrate it
+/// like the other models. `rng` supplies the dawdling draw ε ∈ [0,1).
+double KraussAccel(const DriverParams& p, double v, double v_leader,
+                   double gap_m, double dt_s, Rng& rng);
+
+}  // namespace head::sim
+
+#endif  // HEAD_SIM_KRAUSS_H_

@@ -1,0 +1,102 @@
+#include "sim/lane_change.h"
+
+#include <limits>
+
+#include "sim/idm.h"
+
+namespace head::sim {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}  // namespace
+
+double AccelWithLeader(const DriverParams& p, const VehicleState& s,
+                       const VehicleSnapshot* leader) {
+  if (leader == nullptr) {
+    return IdmAccel(p, s.v_mps, 1e9, 0.0);
+  }
+  const double gap = Gap(leader->state.lon_m, s.lon_m);
+  const double dv = s.v_mps - leader->state.v_mps;
+  return IdmAccel(p, s.v_mps, gap, dv);
+}
+
+bool LaneChangeSafe(const RoadView& view, const Vehicle& veh,
+                    int target_lane) {
+  const VehicleSnapshot* new_leader =
+      view.Leader(target_lane, veh.state.lon_m, veh.id);
+  const VehicleSnapshot* new_follower =
+      view.Follower(target_lane, veh.state.lon_m, veh.id);
+  if (new_leader != nullptr &&
+      Gap(new_leader->state.lon_m, veh.state.lon_m) < 0.5) {
+    return false;
+  }
+  if (new_follower != nullptr) {
+    const double gap = Gap(veh.state.lon_m, new_follower->state.lon_m);
+    if (gap < 0.5) return false;
+    // Deceleration imposed on the new follower must stay above −b_safe.
+    // Use generic average driver params for the unknown follower.
+    DriverParams follower_params;  // defaults ≈ population average
+    const double dv = new_follower->state.v_mps - veh.state.v_mps;
+    const double a_after =
+        IdmAccel(follower_params, new_follower->state.v_mps, gap, dv);
+    if (a_after < -veh.params.safe_decel_mps2) return false;
+  }
+  return true;
+}
+
+double LaneChangeIncentive(const RoadView& view, const Vehicle& veh,
+                           int target_lane, const RoadConfig& road) {
+  if (!road.IsValidLane(target_lane)) return kNegInf;
+  if (!LaneChangeSafe(view, veh, target_lane)) return kNegInf;
+
+  const VehicleState& s = veh.state;
+  DriverParams generic;  // stand-in params for other drivers
+
+  // Own gain.
+  const VehicleSnapshot* cur_leader = view.Leader(s.lane, s.lon_m, veh.id);
+  const VehicleSnapshot* new_leader = view.Leader(target_lane, s.lon_m, veh.id);
+  const double a_self_before = AccelWithLeader(veh.params, s, cur_leader);
+  const double a_self_after = AccelWithLeader(veh.params, s, new_leader);
+
+  // New follower's loss: it gains `veh` as leader.
+  double follower_delta = 0.0;
+  const VehicleSnapshot* new_follower =
+      view.Follower(target_lane, s.lon_m, veh.id);
+  if (new_follower != nullptr) {
+    const VehicleSnapshot* nf_leader =
+        view.Leader(target_lane, new_follower->state.lon_m, veh.id);
+    const double before =
+        AccelWithLeader(generic, new_follower->state, nf_leader);
+    VehicleSnapshot me{veh.id, s};
+    me.state.lane = target_lane;
+    const double after = AccelWithLeader(generic, new_follower->state, &me);
+    follower_delta += after - before;
+  }
+
+  // Old follower's gain: it loses `veh` as leader.
+  const VehicleSnapshot* old_follower = view.Follower(s.lane, s.lon_m, veh.id);
+  if (old_follower != nullptr) {
+    VehicleSnapshot me{veh.id, s};
+    const double before =
+        AccelWithLeader(generic, old_follower->state, &me);
+    const double after =
+        AccelWithLeader(generic, old_follower->state, cur_leader);
+    follower_delta += after - before;
+  }
+
+  return (a_self_after - a_self_before) + veh.params.politeness * follower_delta;
+}
+
+std::optional<LaneChange> MobilDecide(const RoadView& view, const Vehicle& veh,
+                                      const RoadConfig& road) {
+  if (veh.lane_change_cooldown > 0) return std::nullopt;
+  const double left =
+      LaneChangeIncentive(view, veh, veh.state.lane - 1, road);
+  const double right =
+      LaneChangeIncentive(view, veh, veh.state.lane + 1, road);
+  const double best = std::max(left, right);
+  if (best <= veh.params.lc_threshold_mps2) return std::nullopt;
+  return best == left ? LaneChange::kLeft : LaneChange::kRight;
+}
+
+}  // namespace head::sim

@@ -1,0 +1,38 @@
+// MOBIL-style lane-change decision (Kesting/Treiber flavor of the LC models
+// the paper cites as "LC" [8]): a candidate change must be safe for the new
+// follower and must yield a net acceleration advantage weighted by a
+// politeness factor.
+#ifndef HEAD_SIM_LANE_CHANGE_H_
+#define HEAD_SIM_LANE_CHANGE_H_
+
+#include <optional>
+
+#include "sim/road.h"
+#include "sim/vehicle.h"
+
+namespace head::sim {
+
+/// Hypothetical IDM acceleration of a vehicle with params `p` and state `s`
+/// if its leader were `leader` (nullptr = free road).
+double AccelWithLeader(const DriverParams& p, const VehicleState& s,
+                       const VehicleSnapshot* leader);
+
+/// Whether moving `veh` into `target_lane` is safe: positive gaps to the new
+/// leader/follower and the new follower not forced below −b_safe.
+bool LaneChangeSafe(const RoadView& view, const Vehicle& veh, int target_lane);
+
+/// MOBIL incentive of moving into `target_lane` (the paper's conventional
+/// vehicles are "SUMO-controlled"; this reproduces their gap-seeking
+/// behavior). Larger is better; only changes with incentive > threshold are
+/// taken. Returns -inf when unsafe or lane invalid.
+double LaneChangeIncentive(const RoadView& view, const Vehicle& veh,
+                           int target_lane, const RoadConfig& road);
+
+/// Full decision: best of {left, right} if its incentive clears the driver's
+/// threshold, otherwise nullopt.
+std::optional<LaneChange> MobilDecide(const RoadView& view, const Vehicle& veh,
+                                      const RoadConfig& road);
+
+}  // namespace head::sim
+
+#endif  // HEAD_SIM_LANE_CHANGE_H_

@@ -1,0 +1,83 @@
+#include "sim/scenario.h"
+
+#include "common/check.h"
+
+namespace head::sim {
+
+namespace {
+
+Vehicle StalledVehicle(int lane, double lon_m) {
+  Vehicle v;
+  v.state = VehicleState{lane, lon_m, 0.0};
+  v.stationary = true;
+  return v;
+}
+
+}  // namespace
+
+SimConfig PaperHighwayScenario(double length_m) {
+  SimConfig config;
+  config.road.length_m = length_m;
+  config.spawn.density_veh_per_km = 180.0;
+  return config;
+}
+
+SimConfig DenseTrafficScenario(double length_m, double density_veh_per_km) {
+  SimConfig config;
+  config.road.length_m = length_m;
+  config.spawn.density_veh_per_km = density_veh_per_km;
+  config.spawn.back_margin_m = 250.0;
+  config.spawn.front_margin_m = 250.0;
+  config.ego_init_speed_mps = 12.0;
+  return config;
+}
+
+SimConfig BottleneckScenario(double length_m, int closed_lanes,
+                             double start_m, double closure_length_m) {
+  SimConfig config;
+  config.road.length_m = length_m;
+  config.spawn.density_veh_per_km = 150.0;
+  config.spawn.back_margin_m = 250.0;
+  config.spawn.front_margin_m = 250.0;
+  HEAD_CHECK_GT(closed_lanes, 0);
+  HEAD_CHECK_LT(closed_lanes, config.road.num_lanes);
+  // A wall of stalled vehicles every 2 vehicle lengths per closed lane.
+  for (int k = 0; k < closed_lanes; ++k) {
+    const int lane = config.road.num_lanes - k;
+    for (double lon = start_m; lon <= start_m + closure_length_m;
+         lon += 2.0 * kVehicleLengthM) {
+      config.static_obstacles.push_back(StalledVehicle(lane, lon));
+    }
+  }
+  return config;
+}
+
+SimConfig StopAndGoScenario(double length_m) {
+  SimConfig config;
+  config.road.length_m = length_m;
+  config.spawn.density_veh_per_km = 200.0;
+  config.spawn.back_margin_m = 250.0;
+  config.spawn.front_margin_m = 250.0;
+  // A short stalled platoon in the two middle lanes seeds the shockwave.
+  const int mid = config.road.num_lanes / 2;
+  for (int lane = mid; lane <= mid + 1; ++lane) {
+    for (double lon = 380.0; lon <= 420.0; lon += 2.0 * kVehicleLengthM) {
+      config.static_obstacles.push_back(StalledVehicle(lane, lon));
+    }
+  }
+  return config;
+}
+
+std::vector<std::string> ScenarioNames() {
+  return {"paper", "dense", "bottleneck", "stop_and_go"};
+}
+
+SimConfig ScenarioByName(const std::string& name) {
+  if (name == "paper") return PaperHighwayScenario();
+  if (name == "dense") return DenseTrafficScenario();
+  if (name == "bottleneck") return BottleneckScenario();
+  if (name == "stop_and_go") return StopAndGoScenario();
+  HEAD_CHECK_MSG(false, "unknown scenario: " << name);
+}
+
+}  // namespace head::sim

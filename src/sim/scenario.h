@@ -1,0 +1,39 @@
+// Named traffic scenarios — the congestion situations the paper's
+// introduction motivates (bottlenecks from lane closures, stop-and-go
+// shockwaves, dense commuter traffic). Each preset yields a SimConfig the
+// examples and extension studies can run any decision policy through.
+#ifndef HEAD_SIM_SCENARIO_H_
+#define HEAD_SIM_SCENARIO_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace head::sim {
+
+/// The paper's evaluation geometry: straight six-lane road, 180 veh/km.
+SimConfig PaperHighwayScenario(double length_m = 3000.0);
+
+/// Dense commuter traffic: higher density and slower, more varied drivers.
+SimConfig DenseTrafficScenario(double length_m = 800.0,
+                               double density_veh_per_km = 240.0);
+
+/// Lane-closure bottleneck: the rightmost `closed_lanes` lanes are blocked
+/// by stalled vehicles over [start_m, start_m + closure_length_m], forcing
+/// merges — the classic congestion trigger of the introduction.
+SimConfig BottleneckScenario(double length_m = 800.0, int closed_lanes = 2,
+                             double start_m = 400.0,
+                             double closure_length_m = 120.0);
+
+/// Stop-and-go: a platoon of very slow vehicles mid-road seeds a shockwave
+/// that propagates backwards through dense traffic.
+SimConfig StopAndGoScenario(double length_m = 800.0);
+
+/// All presets, by name (for command-line tools).
+std::vector<std::string> ScenarioNames();
+SimConfig ScenarioByName(const std::string& name);
+
+}  // namespace head::sim
+
+#endif  // HEAD_SIM_SCENARIO_H_

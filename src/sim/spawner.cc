@@ -1,0 +1,57 @@
+#include "sim/spawner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace head::sim {
+
+std::vector<Vehicle> SpawnInitialTraffic(const RoadConfig& road,
+                                         const SpawnConfig& spawn,
+                                         int ego_lane, double ego_lon,
+                                         Rng& rng) {
+  HEAD_CHECK(road.IsValidLane(ego_lane));
+  HEAD_CHECK_GT(spawn.density_veh_per_km, 0.0);
+  const double begin = -spawn.back_margin_m;
+  const double end = road.length_m + spawn.front_margin_m;
+  const double per_lane_density_per_m =
+      spawn.density_veh_per_km / 1000.0 / road.num_lanes;
+  const double mean_spacing = 1.0 / per_lane_density_per_m;  // center-to-center
+
+  std::vector<Vehicle> fleet;
+  VehicleId next_id = 1;  // 0 is reserved for the ego
+  for (int lane = 1; lane <= road.num_lanes; ++lane) {
+    // Walk front-to-back so each vehicle can match speed to its leader.
+    double lon = end - rng.Uniform(0.0, mean_spacing);
+    double leader_v = -1.0;
+    while (lon >= begin) {
+      const bool in_ego_zone =
+          lane == ego_lane && std::fabs(lon - ego_lon) < spawn.ego_clear_zone_m;
+      if (!in_ego_zone) {
+        Vehicle v;
+        v.id = next_id++;
+        v.params = DriverParams::Sample(rng);
+        v.model = spawn.model;
+        v.state.lane = lane;
+        v.state.lon_m = lon;
+        double speed = std::min(v.params.desired_speed_mps,
+                                rng.Normal(19.0, 2.0));
+        if (leader_v >= 0.0) speed = std::min(speed, leader_v + 2.0);
+        v.state.v_mps = std::clamp(speed, road.v_min_mps, road.v_max_mps);
+        leader_v = v.state.v_mps;
+        fleet.push_back(v);
+      }
+      // Headway: minimum safe spacing plus an exponential free component so
+      // the expected center-to-center spacing matches the target density.
+      const double min_spacing = kVehicleLengthM + 3.0;
+      const double free_mean = std::max(mean_spacing - min_spacing, 1.0);
+      const double u = std::max(rng.Uniform(0.0, 1.0), 1e-9);
+      const double spacing = min_spacing - free_mean * std::log(u);
+      lon -= spacing;
+    }
+  }
+  return fleet;
+}
+
+}  // namespace head::sim

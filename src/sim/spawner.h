@@ -1,0 +1,33 @@
+// Initial traffic placement: fills the road (plus margins behind the origin
+// and beyond the destination) with heterogeneous conventional vehicles at a
+// target density, leaving a clear slot for the ego vehicle.
+#ifndef HEAD_SIM_SPAWNER_H_
+#define HEAD_SIM_SPAWNER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/vehicle.h"
+
+namespace head::sim {
+
+struct SpawnConfig {
+  double density_veh_per_km = 180.0;  ///< total across all lanes (paper V-A)
+  double back_margin_m = 300.0;       ///< spawn extent behind the origin
+  double front_margin_m = 300.0;      ///< spawn extent beyond the road end
+  CarFollowModel model = CarFollowModel::kIdm;
+  /// Clear zone radius (m) kept empty around the ego start position.
+  double ego_clear_zone_m = 20.0;
+};
+
+/// Generates the initial conventional fleet. Ids start at 1 (0 is the ego).
+/// `ego_lane` and `ego_lon` describe the ego start slot to keep clear.
+std::vector<Vehicle> SpawnInitialTraffic(const RoadConfig& road,
+                                         const SpawnConfig& spawn,
+                                         int ego_lane, double ego_lon,
+                                         Rng& rng);
+
+}  // namespace head::sim
+
+#endif  // HEAD_SIM_SPAWNER_H_

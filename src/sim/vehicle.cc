@@ -1,0 +1,21 @@
+#include "sim/vehicle.h"
+
+#include <algorithm>
+
+namespace head::sim {
+
+DriverParams DriverParams::Sample(Rng& rng) {
+  DriverParams p;
+  p.desired_speed_mps = std::clamp(rng.Normal(20.0, 2.0), 15.0, 24.0);
+  p.time_headway_s = std::clamp(rng.Normal(1.5, 0.3), 1.0, 2.5);
+  p.min_gap_m = std::clamp(rng.Normal(2.0, 0.4), 1.0, 3.5);
+  p.max_accel_mps2 = std::clamp(rng.Normal(2.0, 0.3), 1.2, 3.0);
+  p.comfort_decel_mps2 = std::clamp(rng.Normal(2.5, 0.3), 1.5, 3.0);
+  p.politeness = std::clamp(rng.Normal(0.3, 0.15), 0.0, 1.0);
+  p.lc_threshold_mps2 = std::clamp(rng.Normal(0.15, 0.05), 0.05, 0.4);
+  p.safe_decel_mps2 = 3.5;
+  p.sigma = std::clamp(rng.Normal(0.3, 0.1), 0.0, 0.6);
+  return p;
+}
+
+}  // namespace head::sim

@@ -1,0 +1,52 @@
+// Conventional-vehicle description: kinematic state plus heterogeneous
+// driver parameters for the car-following and lane-change models.
+#ifndef HEAD_SIM_VEHICLE_H_
+#define HEAD_SIM_VEHICLE_H_
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace head::sim {
+
+/// Which longitudinal model a conventional vehicle drives with.
+enum class CarFollowModel {
+  kIdm,     // Intelligent Driver Model (Treiber et al. [69])
+  kAcc,     // linear Adaptive Cruise Control (Milanés & Shladover [6])
+  kKrauss,  // Krauss stochastic safe-speed model [71]
+};
+
+/// Per-driver parameters; sampled per vehicle to create heterogeneous
+/// traffic. Field meanings follow the published models.
+struct DriverParams {
+  double desired_speed_mps = 20.0;  ///< v0
+  double time_headway_s = 1.5;      ///< T (IDM) / t_hw (ACC)
+  double min_gap_m = 2.0;           ///< s0
+  double max_accel_mps2 = 2.0;      ///< a
+  double comfort_decel_mps2 = 2.5;  ///< b
+  // MOBIL lane-change parameters.
+  double politeness = 0.3;            ///< p
+  double lc_threshold_mps2 = 0.15;    ///< Δa_th incentive threshold
+  double safe_decel_mps2 = 3.5;       ///< b_safe imposed on new follower
+  // Krauss imperfection.
+  double sigma = 0.3;  ///< random deceleration share
+
+  /// Samples realistic heterogeneous parameters.
+  static DriverParams Sample(Rng& rng);
+};
+
+/// A conventional vehicle owned by the simulation.
+struct Vehicle {
+  VehicleId id = kInvalidVehicleId;
+  VehicleState state;
+  DriverParams params;
+  CarFollowModel model = CarFollowModel::kIdm;
+  /// Steps remaining before this driver may change lanes again (cooldown
+  /// prevents oscillatory ping-pong changes).
+  int lane_change_cooldown = 0;
+  /// Static obstacle (e.g., a lane closure): never moves, never decides.
+  bool stationary = false;
+};
+
+}  // namespace head::sim
+
+#endif  // HEAD_SIM_VEHICLE_H_

@@ -1,0 +1,117 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace head {
+namespace {
+
+TEST(TypesTest, LaneDeltaMatchesPaperEq18) {
+  EXPECT_EQ(LaneDelta(LaneChange::kLeft), -1);
+  EXPECT_EQ(LaneDelta(LaneChange::kKeep), 0);
+  EXPECT_EQ(LaneDelta(LaneChange::kRight), 1);
+}
+
+TEST(TypesTest, RelativeHelpers) {
+  const VehicleState c{4, 120.0, 22.0};
+  const VehicleState a{2, 100.0, 20.0};
+  EXPECT_DOUBLE_EQ(DLon(c, a), 20.0);            // Eq. (1)
+  EXPECT_DOUBLE_EQ(DLat(c, a, 3.2), 2 * 3.2);    // Eq. (2)
+  EXPECT_DOUBLE_EQ(RelV(c, a), 2.0);             // Eq. (3)
+}
+
+TEST(TypesTest, StepKinematicsMatchesEq18WhenUnclamped) {
+  RoadConfig road;
+  const VehicleState s{3, 100.0, 20.0};
+  const VehicleState next =
+      StepKinematics(s, Maneuver{LaneChange::kLeft, 2.0}, road);
+  EXPECT_EQ(next.lane, 2);
+  EXPECT_DOUBLE_EQ(next.v_mps, 20.0 + 2.0 * 0.5);
+  EXPECT_DOUBLE_EQ(next.lon_m, 100.0 + 20.0 * 0.5 + 0.5 * 2.0 * 0.25);
+}
+
+TEST(TypesTest, StepKinematicsClampsVelocity) {
+  RoadConfig road;
+  const VehicleState fast{1, 0.0, road.v_max_mps};
+  const VehicleState next =
+      StepKinematics(fast, Maneuver{LaneChange::kKeep, 3.0}, road);
+  EXPECT_DOUBLE_EQ(next.v_mps, road.v_max_mps);
+  // Position advance consistent with the clamped (constant) velocity.
+  EXPECT_DOUBLE_EQ(next.lon_m, road.v_max_mps * road.dt_s);
+
+  // Braking below v_min is physically allowed (the restriction is enforced
+  // through the efficiency reward, not the dynamics) — but never below 0.
+  const VehicleState slow{1, 0.0, 1.0};
+  const VehicleState next2 =
+      StepKinematics(slow, Maneuver{LaneChange::kKeep, -3.0}, road);
+  EXPECT_DOUBLE_EQ(next2.v_mps, 0.0);
+}
+
+TEST(TypesTest, StepKinematicsClampsAcceleration) {
+  RoadConfig road;
+  const VehicleState s{1, 0.0, 10.0};
+  const VehicleState next =
+      StepKinematics(s, Maneuver{LaneChange::kKeep, 100.0}, road);
+  EXPECT_DOUBLE_EQ(next.v_mps, 10.0 + road.a_max_mps2 * road.dt_s);
+}
+
+TEST(TypesTest, LaneValidity) {
+  RoadConfig road;
+  EXPECT_FALSE(road.IsValidLane(0));
+  EXPECT_TRUE(road.IsValidLane(1));
+  EXPECT_TRUE(road.IsValidLane(road.num_lanes));
+  EXPECT_FALSE(road.IsValidLane(road.num_lanes + 1));
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(0, 1), b.Uniform(0, 1));
+  }
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+    const int k = rng.UniformInt(1, 6);
+    EXPECT_GE(k, 1);
+    EXPECT_LE(k, 6);
+  }
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(1);
+  Rng child = parent.Fork();
+  // The child stream must differ from the parent's continued stream.
+  bool any_different = false;
+  for (int i = 0; i < 10; ++i) {
+    if (parent.Uniform(0, 1) != child.Uniform(0, 1)) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RngTest, NormalMomentsRoughlyCorrect) {
+  Rng rng(123);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace head

@@ -1,0 +1,130 @@
+// HeadAgent public API and variant semantics.
+#include "core/head_agent.h"
+
+#include <gtest/gtest.h>
+
+namespace head::core {
+namespace {
+
+HeadConfig SmallConfig(HeadVariant variant = HeadVariant::Full()) {
+  HeadConfig config;
+  config.pdqn.hidden = 8;
+  config.variant = variant;
+  return config;
+}
+
+std::shared_ptr<perception::LstGat> SmallPredictor(uint64_t seed) {
+  Rng rng(seed);
+  return std::make_shared<perception::LstGat>(
+      perception::LstGatConfig{.d_phi1 = 8, .d_phi3 = 8, .d_lstm = 8}, rng);
+}
+
+decision::EgoView SimpleView() {
+  decision::EgoView view;
+  view.ego = {3, 500.0, 20.0};
+  view.observed = {
+      {7, {3, 540.0, 18.0}},
+      {8, {2, 520.0, 21.0}},
+  };
+  return view;
+}
+
+TEST(HeadAgentTest, NameFollowsVariant) {
+  Rng rng(1);
+  std::shared_ptr<rl::PamdpAgent> agent = rl::MakeBpDqnAgent(SmallConfig().pdqn, rng);
+  HeadAgent head(SmallConfig(), SmallPredictor(2), agent);
+  EXPECT_EQ(head.name(), "HEAD");
+
+  Rng rng2(1);
+  std::shared_ptr<rl::PamdpAgent> agent2 = rl::MakeBpDqnAgent(SmallConfig().pdqn, rng2);
+  HeadAgent ablated(SmallConfig(HeadVariant::WithoutImpact()),
+                    SmallPredictor(2), agent2);
+  EXPECT_EQ(ablated.name(), "HEAD-w/o-IMP");
+}
+
+TEST(HeadAgentTest, DecideReturnsBoundedManeuver) {
+  Rng rng(1);
+  HeadConfig config = SmallConfig();
+  std::shared_ptr<rl::PamdpAgent> agent = rl::MakeBpDqnAgent(config.pdqn, rng);
+  HeadAgent head(config, SmallPredictor(2), agent);
+  head.OnEpisodeStart();
+  for (int i = 0; i < 8; ++i) {
+    const Maneuver m = head.Decide(SimpleView());
+    EXPECT_GE(m.accel_mps2, -config.road.a_max_mps2);
+    EXPECT_LE(m.accel_mps2, config.road.a_max_mps2);
+  }
+}
+
+TEST(HeadAgentTest, PerceiveExposesAugmentedState) {
+  Rng rng(1);
+  HeadConfig config = SmallConfig();
+  std::shared_ptr<rl::PamdpAgent> agent = rl::MakeBpDqnAgent(config.pdqn, rng);
+  HeadAgent head(config, SmallPredictor(2), agent);
+  head.OnEpisodeStart();
+  const rl::AugmentedState s = head.Perceive(SimpleView());
+  EXPECT_EQ(s.h.rows(), rl::kStateHRows);
+  EXPECT_EQ(s.f.rows(), rl::kStateFRows);
+  // Front target (id 7) must be flagged real in the state.
+  EXPECT_DOUBLE_EQ(s.h.At(1 + perception::kFront, 3), 0.0);
+  EXPECT_EQ(head.last_graph().target_ids[perception::kFront], 7);
+}
+
+TEST(HeadAgentTest, WithoutPvcZeroPadsMissingTargets) {
+  Rng rng(1);
+  HeadConfig config = SmallConfig(HeadVariant::WithoutPvc());
+  std::shared_ptr<rl::PamdpAgent> agent = rl::MakeBpDqnAgent(config.pdqn, rng);
+  HeadAgent head(config, SmallPredictor(2), agent);
+  head.OnEpisodeStart();
+  const rl::AugmentedState s = head.Perceive(SimpleView());
+  // The rear area has no observed vehicle: with PVC off its current state
+  // anchors at the ego (relative 0) and the phantom flag is set.
+  EXPECT_DOUBLE_EQ(s.h.At(1 + perception::kRear, 1), 0.0);
+  EXPECT_DOUBLE_EQ(s.h.At(1 + perception::kRear, 3), 1.0);
+}
+
+TEST(HeadAgentTest, WithPvcConstructsRangePhantomBehind) {
+  Rng rng(1);
+  HeadConfig config = SmallConfig();
+  std::shared_ptr<rl::PamdpAgent> agent = rl::MakeBpDqnAgent(config.pdqn, rng);
+  HeadAgent head(config, SmallPredictor(2), agent);
+  head.OnEpisodeStart();
+  const rl::AugmentedState s = head.Perceive(SimpleView());
+  // With PVC on the missing rear slot carries a range phantom at −R.
+  EXPECT_NEAR(s.h.At(1 + perception::kRear, 1) /
+                  perception::FeatureScale().lon,
+              -config.sensor.range_m, 1e-6);
+}
+
+TEST(HeadAgentTest, WithoutLstGatRequiresNoPredictor) {
+  Rng rng(1);
+  HeadConfig config = SmallConfig(HeadVariant::WithoutLstGat());
+  std::shared_ptr<rl::PamdpAgent> agent = rl::MakeBpDqnAgent(config.pdqn, rng);
+  HeadAgent head(config, nullptr, agent);  // must not abort
+  head.OnEpisodeStart();
+  const rl::AugmentedState s = head.Perceive(SimpleView());
+  for (int i = 0; i < rl::kStateFRows; ++i) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_NEAR(s.f.At(i, c), s.h.At(1 + i, c), 1e-12);
+    }
+  }
+}
+
+TEST(HeadAgentTest, EpisodeStartClearsHistory) {
+  Rng rng(1);
+  HeadConfig config = SmallConfig();
+  std::shared_ptr<rl::PamdpAgent> agent = rl::MakeBpDqnAgent(config.pdqn, rng);
+  HeadAgent head(config, SmallPredictor(2), agent);
+  head.OnEpisodeStart();
+  decision::EgoView early = SimpleView();
+  early.ego.lon_m = 100.0;
+  head.Decide(early);
+  head.Decide(SimpleView());
+  head.OnEpisodeStart();  // new episode: the old frames must be gone
+  const rl::AugmentedState s = head.Perceive(SimpleView());
+  // After a reset the warm-up repeats the newest frame, so the "oldest"
+  // graph step equals the current one (no leftover lon=100 frame).
+  EXPECT_DOUBLE_EQ(head.last_graph().ego_current.lon_m, 500.0);
+}
+
+}  // namespace
+}  // namespace head::core

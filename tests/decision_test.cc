@@ -1,0 +1,151 @@
+// Decision baselines: IDM-LC, ACC-LC, TP-BTS behaviors.
+#include <gtest/gtest.h>
+
+#include "decision/acc_lc.h"
+#include "decision/idm_lc.h"
+#include "decision/tp_bts.h"
+
+namespace head::decision {
+namespace {
+
+RoadConfig DefaultRoad() { return RoadConfig{}; }
+
+EgoView FreeRoadView(double v = 10.0) {
+  EgoView view;
+  view.ego = {3, 100.0, v};
+  return view;
+}
+
+EgoView BlockedView() {
+  EgoView view;
+  view.ego = {3, 100.0, 20.0};
+  view.observed = {
+      {1, {3, 118.0, 8.0}},  // slow vehicle close ahead
+  };
+  return view;
+}
+
+TEST(IdmLcTest, AcceleratesOnFreeRoad) {
+  IdmLcPolicy policy(RuleBasedConfig::ForRoad(DefaultRoad()));
+  const Maneuver m = policy.Decide(FreeRoadView());
+  EXPECT_GT(m.accel_mps2, 0.5);
+  EXPECT_EQ(m.lane_change, LaneChange::kKeep);
+}
+
+TEST(IdmLcTest, BrakesBehindSlowLeader) {
+  RuleBasedConfig config = RuleBasedConfig::ForRoad(DefaultRoad());
+  IdmLcPolicy policy(config);
+  policy.OnEpisodeStart();
+  // Block every lane so no overtaking escape exists.
+  EgoView view = BlockedView();
+  view.observed.push_back({2, {2, 118.0, 8.0}});
+  view.observed.push_back({3, {4, 118.0, 8.0}});
+  const Maneuver m = policy.Decide(view);
+  EXPECT_EQ(m.lane_change, LaneChange::kKeep);
+  EXPECT_LT(m.accel_mps2, -0.5);
+}
+
+TEST(IdmLcTest, OvertakesWhenNeighborLaneFree) {
+  IdmLcPolicy policy(RuleBasedConfig::ForRoad(DefaultRoad()));
+  policy.OnEpisodeStart();
+  const Maneuver m = policy.Decide(BlockedView());
+  EXPECT_NE(m.lane_change, LaneChange::kKeep);
+}
+
+TEST(IdmLcTest, CooldownPreventsImmediateSecondChange) {
+  IdmLcPolicy policy(RuleBasedConfig::ForRoad(DefaultRoad()));
+  policy.OnEpisodeStart();
+  EgoView view = BlockedView();
+  const Maneuver first = policy.Decide(view);
+  ASSERT_NE(first.lane_change, LaneChange::kKeep);
+  view.ego.lane += LaneDelta(first.lane_change);
+  const Maneuver second = policy.Decide(view);
+  EXPECT_EQ(second.lane_change, LaneChange::kKeep);
+}
+
+TEST(AccLcTest, RegulatesSpeedAndRespectsBounds) {
+  AccLcPolicy policy(RuleBasedConfig::ForRoad(DefaultRoad()));
+  const Maneuver free = policy.Decide(FreeRoadView(10.0));
+  EXPECT_GT(free.accel_mps2, 0.0);
+  EXPECT_LE(free.accel_mps2, 3.0);
+  policy.OnEpisodeStart();
+  EgoView view = BlockedView();
+  view.observed.push_back({2, {2, 118.0, 8.0}});
+  view.observed.push_back({3, {4, 118.0, 8.0}});
+  const Maneuver blocked = policy.Decide(view);
+  EXPECT_LT(blocked.accel_mps2, 0.0);
+  EXPECT_GE(blocked.accel_mps2, -3.0);
+}
+
+TEST(TpBtsTest, AcceleratesOnFreeRoad) {
+  TpBtsConfig config;
+  config.road = DefaultRoad();
+  TpBtsPolicy policy(config);
+  policy.OnEpisodeStart();
+  const Maneuver m = policy.Decide(FreeRoadView());
+  EXPECT_GT(m.accel_mps2, 0.0);
+}
+
+TEST(TpBtsTest, NeverPicksOffRoadLaneChange) {
+  TpBtsConfig config;
+  config.road = DefaultRoad();
+  TpBtsPolicy policy(config);
+  policy.OnEpisodeStart();
+  EgoView view;
+  view.ego = {1, 100.0, 20.0};  // leftmost lane
+  const Maneuver m = policy.Decide(view);
+  EXPECT_NE(m.lane_change, LaneChange::kLeft);
+}
+
+TEST(TpBtsTest, BrakesWhenNoEscapeExists) {
+  TpBtsConfig config;
+  config.road = DefaultRoad();
+  TpBtsPolicy policy(config);
+  policy.OnEpisodeStart();
+  EgoView view;
+  view.ego = {1, 100.0, 25.0};  // leftmost lane: only right escape exists
+  view.observed = {
+      {1, {1, 120.0, 1.4}},  // crawling leader ahead
+      {2, {2, 121.0, 1.4}},  // right lane blocked ahead…
+      {3, {2, 101.0, 24.0}}, // …and a fast vehicle right beside the ego
+  };
+  const Maneuver m = policy.Decide(view);
+  EXPECT_EQ(m.lane_change, LaneChange::kKeep);
+  EXPECT_LT(m.accel_mps2, -2.0);  // must brake hard
+}
+
+TEST(TpBtsTest, EscapesViaFreeLaneInsteadOfEmergencyBraking) {
+  TpBtsConfig config;
+  config.road = DefaultRoad();
+  TpBtsPolicy policy(config);
+  policy.OnEpisodeStart();
+  EgoView view;
+  view.ego = {3, 100.0, 25.0};
+  view.observed = {{1, {3, 130.0, 1.4}}};  // slow leader, lanes 2/4 free
+  const Maneuver m = policy.Decide(view);
+  EXPECT_NE(m.lane_change, LaneChange::kKeep);
+}
+
+TEST(TpBtsTest, UsesVelocityHistoryForPrediction) {
+  TpBtsConfig config;
+  config.road = DefaultRoad();
+  TpBtsPolicy policy(config);
+  policy.OnEpisodeStart();
+  // First call primes the velocity memory; the leader is decelerating, so
+  // the second decision must be more cautious than for a steady leader.
+  EgoView view;
+  view.ego = {3, 100.0, 20.0};
+  view.observed = {{1, {3, 140.0, 20.0}}};
+  policy.Decide(view);
+  view.observed[0].state.v_mps = 14.0;  // hard braking observed
+  view.observed[0].state.lon_m = 147.0;
+  const Maneuver cautious = policy.Decide(view);
+
+  TpBtsPolicy fresh(config);
+  fresh.OnEpisodeStart();
+  const Maneuver steady = fresh.Decide(view);  // no history → assumes const v
+  EXPECT_LE(cautious.accel_mps2, steady.accel_mps2);
+}
+
+}  // namespace
+}  // namespace head::decision

@@ -1,0 +1,147 @@
+// End-to-end integration: the full perceive→predict→decide→simulate loop,
+// the HeadAgent public API, variant configurations, and checkpointing.
+#include <gtest/gtest.h>
+
+#include "core/head_agent.h"
+#include "data/real_dataset.h"
+#include "eval/episode_runner.h"
+#include "nn/serialize.h"
+#include "perception/trainer.h"
+#include "rl/trainer.h"
+
+namespace head {
+namespace {
+
+core::HeadConfig SmallHeadConfig() {
+  core::HeadConfig config;
+  config.road.length_m = 300.0;
+  config.pdqn.hidden = 16;
+  config.pdqn.warmup_transitions = 50;
+  config.pdqn.batch_size = 8;
+  return config;
+}
+
+sim::SimConfig SmallSim(const RoadConfig& road) {
+  sim::SimConfig sim;
+  sim.road = road;
+  sim.spawn.back_margin_m = 100.0;
+  sim.spawn.front_margin_m = 100.0;
+  return sim;
+}
+
+TEST(IntegrationTest, VariantNames) {
+  EXPECT_STREQ(core::HeadVariant::Full().Name(), "HEAD");
+  EXPECT_STREQ(core::HeadVariant::WithoutPvc().Name(), "HEAD-w/o-PVC");
+  EXPECT_STREQ(core::HeadVariant::WithoutLstGat().Name(), "HEAD-w/o-LST-GAT");
+  EXPECT_STREQ(core::HeadVariant::WithoutBpDqn().Name(), "HEAD-w/o-BP-DQN");
+  EXPECT_STREQ(core::HeadVariant::WithoutImpact().Name(), "HEAD-w/o-IMP");
+}
+
+TEST(IntegrationTest, EnvConfigReflectsVariant) {
+  core::HeadConfig config = SmallHeadConfig();
+  config.variant = core::HeadVariant::WithoutImpact();
+  const rl::EnvConfig env = config.MakeEnvConfig(SmallSim(config.road));
+  EXPECT_FALSE(env.reward.use_impact);
+  EXPECT_TRUE(env.use_pvc);
+  config.variant = core::HeadVariant::WithoutPvc();
+  EXPECT_FALSE(config.MakeEnvConfig(SmallSim(config.road)).use_pvc);
+}
+
+TEST(IntegrationTest, HeadAgentDrivesAnEpisode) {
+  core::HeadConfig config = SmallHeadConfig();
+  Rng rng(3);
+  auto predictor = std::make_shared<perception::LstGat>(
+      perception::LstGatConfig{.d_phi1 = 16, .d_phi3 = 16, .d_lstm = 16},
+      rng);
+  std::shared_ptr<rl::PamdpAgent> agent =
+      rl::MakeBpDqnAgent(config.pdqn, rng);
+  core::HeadAgent head(config, predictor, agent);
+
+  eval::RunnerConfig runner;
+  runner.sim = SmallSim(config.road);
+  runner.episodes = 1;
+  const eval::EpisodeRecord rec = eval::RunEpisode(head, runner, 123);
+  EXPECT_GT(rec.driving_time_s, 0.0);
+}
+
+TEST(IntegrationTest, ShortTrainingImprovesReward) {
+  core::HeadConfig config = SmallHeadConfig();
+  Rng rng(5);
+  std::shared_ptr<rl::PamdpAgent> agent =
+      rl::MakeBpDqnAgent(config.pdqn, rng);
+  rl::EnvConfig env_config = config.MakeEnvConfig(SmallSim(config.road));
+  env_config.use_prediction = false;
+  env_config.use_pvc = true;
+  rl::DrivingEnv env(env_config, nullptr, 1);
+  rl::RlTrainConfig train;
+  train.episodes = 25;
+  const rl::RlTrainResult result = rl::TrainAgent(*agent, env, train);
+  ASSERT_EQ(result.episode_rewards.size(), 25u);
+  EXPECT_GT(result.total_seconds, 0.0);
+  EXPECT_LE(result.convergence_seconds, result.total_seconds);
+}
+
+TEST(IntegrationTest, PerceptionPipelineTrainsOnGeneratedData) {
+  data::RealDatasetConfig data_config = data::RealDatasetConfig::Default();
+  data_config.episodes = 1;
+  data_config.max_steps_per_episode = 60;
+  const data::RealDataset dataset = data::GenerateRealDataset(data_config);
+  ASSERT_GT(dataset.train.size(), 10u);
+
+  Rng rng(7);
+  perception::LstGat model(
+      perception::LstGatConfig{.d_phi1 = 16, .d_phi3 = 16, .d_lstm = 16},
+      rng);
+  const double before =
+      perception::EvaluatePredictor(model, dataset.test).mse;
+  perception::PredictionTrainConfig train;
+  train.epochs = 3;
+  perception::TrainPredictor(model, dataset.train, train);
+  const double after =
+      perception::EvaluatePredictor(model, dataset.test).mse;
+  EXPECT_LT(after, before);
+}
+
+TEST(IntegrationTest, AgentCheckpointRoundTripsThroughHeadAgent) {
+  core::HeadConfig config = SmallHeadConfig();
+  Rng rng(9);
+  std::shared_ptr<rl::PdqnAgent> a = rl::MakeBpDqnAgent(config.pdqn, rng);
+  std::shared_ptr<rl::PdqnAgent> b = rl::MakeBpDqnAgent(config.pdqn, rng);
+
+  const std::string path = ::testing::TempDir() + "/bpdqn.bin";
+  nn::SaveParamsToFile(a->x_net(), path);
+  ASSERT_TRUE(nn::LoadParamsFromFile(b->x_net(), path));
+
+  rl::AugmentedState s;
+  Rng srng(11);
+  s.h = nn::Tensor::Uniform(rl::kStateHRows, rl::kStateCols, -1, 1, srng);
+  s.f = nn::Tensor::Uniform(rl::kStateFRows, rl::kStateCols, -1, 1, srng);
+  EXPECT_EQ(a->ActionParams(s), b->ActionParams(s));
+}
+
+TEST(IntegrationTest, DeterministicEpisodeThroughWholeStack) {
+  core::HeadConfig config = SmallHeadConfig();
+  Rng rng1(13);
+  Rng rng2(13);
+  auto predictor1 = std::make_shared<perception::LstGat>(
+      perception::LstGatConfig{.d_phi1 = 16, .d_phi3 = 16, .d_lstm = 16},
+      rng1);
+  auto predictor2 = std::make_shared<perception::LstGat>(
+      perception::LstGatConfig{.d_phi1 = 16, .d_phi3 = 16, .d_lstm = 16},
+      rng2);
+  std::shared_ptr<rl::PamdpAgent> agent1 =
+      rl::MakeBpDqnAgent(config.pdqn, rng1);
+  std::shared_ptr<rl::PamdpAgent> agent2 =
+      rl::MakeBpDqnAgent(config.pdqn, rng2);
+  core::HeadAgent head1(config, predictor1, agent1);
+  core::HeadAgent head2(config, predictor2, agent2);
+  eval::RunnerConfig runner;
+  runner.sim = SmallSim(config.road);
+  const eval::EpisodeRecord r1 = eval::RunEpisode(head1, runner, 77);
+  const eval::EpisodeRecord r2 = eval::RunEpisode(head2, runner, 77);
+  EXPECT_DOUBLE_EQ(r1.driving_time_s, r2.driving_time_s);
+  EXPECT_DOUBLE_EQ(r1.mean_v_mps, r2.mean_v_mps);
+}
+
+}  // namespace
+}  // namespace head

@@ -1,0 +1,95 @@
+// Multi-step roll-out extension: graph advancement and horizon evaluation.
+#include "perception/multi_step.h"
+
+#include <gtest/gtest.h>
+
+#include "data/real_dataset.h"
+#include "perception/lst_gat.h"
+
+namespace head::perception {
+namespace {
+
+RoadConfig DefaultRoad() { return RoadConfig{}; }
+
+StGraph SimpleGraph() {
+  const RoadConfig road = DefaultRoad();
+  HistoryBuffer buffer(5);
+  for (int k = 0; k < 5; ++k) {
+    ObservationFrame frame;
+    frame.ego = {3, 500.0 + 10.0 * k, 20.0};
+    frame.observed = {{7, {3, 540.0 + 9.0 * k, 18.0}}};
+    buffer.Push(frame);
+  }
+  return BuildStGraph(ConstructPhantoms(buffer, road, 100.0), road);
+}
+
+TEST(MultiStepTest, AdvanceGraphShiftsWindowAndEgo) {
+  Rng rng(1);
+  const LstGat model(LstGatConfig{}, rng);
+  const MultiStepPredictor rollout(model, DefaultRoad());
+  const StGraph graph = SimpleGraph();
+  Prediction step{};
+  for (int i = 0; i < kNumAreas; ++i) {
+    step[i].d_lat_m = graph.target_rel_current[i][0];
+    step[i].d_lon_m = graph.target_rel_current[i][1] +
+                      graph.target_rel_current[i][2] * 0.5;
+    step[i].v_rel_mps = graph.target_rel_current[i][2];
+  }
+  const StGraph next = rollout.AdvanceGraph(graph, step);
+  EXPECT_EQ(next.z(), graph.z());
+  EXPECT_DOUBLE_EQ(next.ego_current.lon_m,
+                   graph.ego_current.lon_m + 20.0 * 0.5);
+  // The old step 1 became step 0.
+  EXPECT_EQ(next.steps[0].feat, graph.steps[1].feat);
+  // Target relative state advanced by its relative velocity minus the ego's.
+  EXPECT_NEAR(next.target_rel_current[kFront][1],
+              graph.target_rel_current[kFront][1] +
+                  graph.target_rel_current[kFront][2] * 0.5 - 10.0,
+              1e-9);
+}
+
+TEST(MultiStepTest, RolloutLengthAndBaseRelativity) {
+  Rng rng(1);
+  const LstGat model(LstGatConfig{}, rng);
+  const MultiStepPredictor rollout(model, DefaultRoad());
+  const StGraph graph = SimpleGraph();
+  const Trajectory traj = rollout.Rollout(graph, 4);
+  ASSERT_EQ(traj.size(), 4u);
+  // First step must equal the base one-step prediction exactly.
+  const Prediction one = model.Predict(graph);
+  for (int i = 0; i < kNumAreas; ++i) {
+    EXPECT_DOUBLE_EQ(traj[0][i].d_lon_m, one[i].d_lon_m);
+  }
+}
+
+TEST(MultiStepTest, HorizonErrorsGrowForConstantVelocityTruth) {
+  // With an untrained network the per-step error compounds; horizons
+  // further out must not be more accurate than the first step.
+  data::RealDatasetConfig config = data::RealDatasetConfig::Default();
+  config.episodes = 1;
+  config.max_steps_per_episode = 60;
+  const auto samples = data::GenerateMultiStepSamples(config, 4);
+  ASSERT_FALSE(samples.empty());
+  Rng rng(3);
+  const LstGat model(LstGatConfig{}, rng);
+  const MultiStepPredictor rollout(model, config.sim.road);
+  const HorizonMetrics m = EvaluateHorizons(rollout, samples, 4);
+  ASSERT_EQ(m.mae.size(), 4u);
+  EXPECT_GT(m.mae[3], 0.0);
+  EXPECT_GE(m.mae[3], m.mae[0] * 0.5);  // no magical improvement with depth
+}
+
+TEST(MultiStepTest, SamplesCarryConsistentHorizons) {
+  data::RealDatasetConfig config = data::RealDatasetConfig::Default();
+  config.episodes = 1;
+  config.max_steps_per_episode = 40;
+  const auto samples = data::GenerateMultiStepSamples(config, 3);
+  for (const MultiStepSample& s : samples) {
+    EXPECT_EQ(s.truth.size(), 3u);
+    EXPECT_EQ(s.valid.size(), 3u);
+    EXPECT_EQ(s.graph.z(), config.history_z);
+  }
+}
+
+}  // namespace
+}  // namespace head::perception

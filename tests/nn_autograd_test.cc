@@ -1,0 +1,206 @@
+// Finite-difference gradient checks for every autograd op and for composed
+// networks (MLP, LSTM, GAT-style attention block).
+#include "nn/autograd.h"
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "nn/lstm.h"
+
+namespace head::nn {
+namespace {
+
+// Numerically verifies d(loss)/d(param) for a scalar-valued builder that
+// reconstructs the graph from the current parameter values on every call.
+void CheckGradient(Var param, const std::function<Var()>& build_loss,
+                   double eps = 1e-6, double tol = 1e-5) {
+  param.ZeroGrad();
+  Var loss = build_loss();
+  Backward(loss);
+  const Tensor analytic = param.grad();
+  Tensor& value = param.mutable_value();
+  for (int i = 0; i < value.size(); ++i) {
+    const double saved = value[i];
+    value[i] = saved + eps;
+    const double up = build_loss().value()[0];
+    value[i] = saved - eps;
+    const double down = build_loss().value()[0];
+    value[i] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(analytic[i], numeric, tol * std::max(1.0, std::fabs(numeric)))
+        << "param element " << i;
+  }
+}
+
+Tensor Arange(int rows, int cols, double scale = 0.1, double shift = -0.35) {
+  Tensor t(rows, cols);
+  for (int i = 0; i < t.size(); ++i) t[i] = scale * i + shift;
+  return t;
+}
+
+TEST(AutogradTest, MatMulGradient) {
+  Var a = Var::Param(Arange(2, 3));
+  Var b = Var::Param(Arange(3, 4, 0.2, -0.9));
+  auto loss = [&] { return Sum(MatMul(a, b)); };
+  CheckGradient(a, loss);
+  b.ZeroGrad();
+  CheckGradient(b, loss);
+}
+
+TEST(AutogradTest, AddSubMulGradient) {
+  Var a = Var::Param(Arange(2, 2));
+  Var b = Var::Param(Arange(2, 2, 0.3, 0.1));
+  CheckGradient(a, [&] { return Sum(Add(a, b)); });
+  a.ZeroGrad();
+  CheckGradient(a, [&] { return Sum(Sub(a, b)); });
+  a.ZeroGrad();
+  CheckGradient(a, [&] { return Sum(Mul(a, b)); });
+  b.ZeroGrad();
+  CheckGradient(b, [&] { return Sum(Mul(a, b)); });
+}
+
+TEST(AutogradTest, ScaleAndAddScalarGradient) {
+  Var a = Var::Param(Arange(3, 2));
+  CheckGradient(a, [&] { return Sum(Scale(a, -2.5)); });
+  a.ZeroGrad();
+  CheckGradient(a, [&] { return Sum(AddScalar(a, 3.0)); });
+}
+
+TEST(AutogradTest, AddRowBroadcastGradient) {
+  Var a = Var::Param(Arange(3, 4));
+  Var row = Var::Param(Arange(1, 4, 0.2, 0.0));
+  auto loss = [&] { return Sum(Square(AddRowBroadcast(a, row))); };
+  CheckGradient(a, loss);
+  row.ZeroGrad();
+  CheckGradient(row, loss);
+}
+
+TEST(AutogradTest, ActivationGradients) {
+  // Avoid points near the ReLU kink (finite differences are wrong there).
+  Tensor init = Arange(2, 3, 0.37, -0.83);
+  Var a = Var::Param(init);
+  CheckGradient(a, [&] { return Sum(Square(Relu(a))); });
+  a.ZeroGrad();
+  CheckGradient(a, [&] { return Sum(Square(LeakyRelu(a, 0.2))); });
+  a.ZeroGrad();
+  CheckGradient(a, [&] { return Sum(Square(Tanh(a))); });
+  a.ZeroGrad();
+  CheckGradient(a, [&] { return Sum(Square(Sigmoid(a))); });
+}
+
+TEST(AutogradTest, SoftmaxRowsGradient) {
+  Var a = Var::Param(Arange(2, 4, 0.4, -0.7));
+  Var weights = Var::Constant(Arange(2, 4, 0.13, -0.2));
+  CheckGradient(a, [&] { return Sum(Mul(SoftmaxRows(a), weights)); });
+}
+
+TEST(AutogradTest, SoftmaxRowsSumsToOne) {
+  Var a = Var::Constant(Arange(3, 5, 1.1, -2.0));
+  const Tensor y = SoftmaxRows(a).value();
+  for (int r = 0; r < y.rows(); ++r) {
+    double s = 0.0;
+    for (int c = 0; c < y.cols(); ++c) {
+      s += y.At(r, c);
+      EXPECT_GT(y.At(r, c), 0.0);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-12);
+  }
+}
+
+TEST(AutogradTest, ConcatSliceReshapeGradient) {
+  Var a = Var::Param(Arange(2, 3));
+  Var b = Var::Param(Arange(2, 2, 0.3, 0.2));
+  CheckGradient(a, [&] { return Sum(Square(ConcatCols({a, b}))); });
+  a.ZeroGrad();
+  Var c = Var::Param(Arange(1, 3, 0.25, -0.1));
+  CheckGradient(a, [&] { return Sum(Square(ConcatRows({a, c}))); });
+  a.ZeroGrad();
+  CheckGradient(a, [&] { return Sum(Square(SliceCols(a, 1, 3))); });
+  a.ZeroGrad();
+  CheckGradient(a, [&] { return Sum(Square(SliceRows(a, 0, 1))); });
+  a.ZeroGrad();
+  CheckGradient(a, [&] { return Sum(Square(Reshape(a, 3, 2))); });
+}
+
+TEST(AutogradTest, MeanAndMseGradient) {
+  Var a = Var::Param(Arange(2, 3));
+  CheckGradient(a, [&] { return Mean(Square(a)); });
+  a.ZeroGrad();
+  Var target = Var::Constant(Arange(2, 3, 0.2, 0.4));
+  CheckGradient(a, [&] { return MseLoss(a, target); });
+}
+
+TEST(AutogradTest, GradientAccumulatesAcrossReusedVar) {
+  // y = a*a uses `a` twice: dy/da = 2a.
+  Var a = Var::Param(Tensor::Full(1, 1, 3.0));
+  Var loss = Sum(Mul(a, a));
+  Backward(loss);
+  EXPECT_NEAR(a.grad()[0], 6.0, 1e-12);
+}
+
+TEST(AutogradTest, ConstantsReceiveNoGraph) {
+  Var a = Var::Constant(Tensor::Full(2, 2, 1.0));
+  Var b = Var::Constant(Tensor::Full(2, 2, 2.0));
+  Var c = Add(a, b);
+  EXPECT_FALSE(c.requires_grad());
+}
+
+TEST(AutogradTest, MlpGradient) {
+  Rng rng(42);
+  Mlp mlp({3, 5, 2}, Mlp::Activation::kTanh, rng);
+  Var x = Var::Constant(Arange(4, 3, 0.21, -0.4));
+  Var target = Var::Constant(Arange(4, 2, 0.1, 0.0));
+  auto loss = [&] { return MseLoss(mlp.Forward(x), target); };
+  for (Var p : mlp.Params()) {
+    p.ZeroGrad();
+    CheckGradient(p, loss, 1e-6, 1e-4);
+  }
+}
+
+TEST(AutogradTest, LstmGradient) {
+  Rng rng(7);
+  LstmCell cell(3, 4, rng);
+  std::vector<Var> inputs;
+  for (int k = 0; k < 3; ++k) {
+    inputs.push_back(Var::Constant(Arange(2, 3, 0.17 + 0.05 * k, -0.3)));
+  }
+  Var target = Var::Constant(Arange(2, 4, 0.09, 0.1));
+  auto loss = [&] {
+    LstmState s = cell.InitialState(2);
+    for (const Var& x : inputs) s = cell.Forward(x, s);
+    return MseLoss(s.h, target);
+  };
+  for (Var p : cell.Params()) {
+    p.ZeroGrad();
+    CheckGradient(p, loss, 1e-6, 1e-4);
+  }
+}
+
+TEST(AutogradTest, AttentionBlockGradient) {
+  // The LST-GAT attention pattern: softmax(LeakyReLU([bcast ‖ H]·w))·V.
+  Rng rng(11);
+  Var h = Var::Constant(Arange(7, 4, 0.11, -0.35));
+  Var phi1 = Var::Param(Tensor::XavierUniform(4, 6, rng));
+  Var phi2 = Var::Param(Tensor::XavierUniform(12, 1, rng));
+  Var phi3 = Var::Param(Tensor::XavierUniform(4, 6, rng));
+  Var ones = Var::Constant(Tensor::Full(7, 1, 1.0));
+  auto loss = [&] {
+    Var emb = MatMul(h, phi1);
+    Var target_row = SliceRows(emb, 0, 1);
+    Var cat = ConcatCols({MatMul(ones, target_row), emb});
+    Var scores = LeakyRelu(MatMul(cat, phi2), 0.2);
+    Var alpha = SoftmaxRows(Reshape(scores, 1, 7));
+    Var out = MatMul(alpha, MatMul(h, phi3));
+    return Sum(Square(out));
+  };
+  for (Var p : {phi1, phi2, phi3}) {
+    p.ZeroGrad();
+    CheckGradient(p, loss, 1e-6, 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace head::nn

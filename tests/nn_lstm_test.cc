@@ -1,0 +1,107 @@
+// LSTM cell behavior: shapes, state propagation, initialization, and the
+// ability to carry information across time.
+#include "nn/lstm.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/optimizer.h"
+
+namespace head::nn {
+namespace {
+
+TEST(LstmTest, ShapesAndInitialState) {
+  Rng rng(1);
+  LstmCell cell(3, 5, rng);
+  EXPECT_EQ(cell.input_size(), 3);
+  EXPECT_EQ(cell.hidden_size(), 5);
+  const LstmState s0 = cell.InitialState(4);
+  EXPECT_EQ(s0.h.value().rows(), 4);
+  EXPECT_EQ(s0.h.value().cols(), 5);
+  EXPECT_DOUBLE_EQ(s0.c.value().MaxAbs(), 0.0);
+}
+
+TEST(LstmTest, ForgetGateBiasStartsAtOne) {
+  Rng rng(1);
+  LstmCell cell(3, 4, rng);
+  const Tensor& b = cell.Params()[2].value();
+  // Gate order [i, f, g, o]: forget block = cols [4, 8).
+  for (int c = 4; c < 8; ++c) EXPECT_DOUBLE_EQ(b.At(0, c), 1.0);
+  for (int c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(b.At(0, c), 0.0);
+}
+
+TEST(LstmTest, OutputBounded) {
+  Rng rng(2);
+  LstmCell cell(2, 3, rng);
+  LstmState s = cell.InitialState(1);
+  for (int k = 0; k < 10; ++k) {
+    Tensor x(1, 2, {5.0 * k, -3.0 * k});
+    s = cell.Forward(Var::Constant(x), s);
+    // h = o ⊙ tanh(c) ∈ (−1, 1).
+    EXPECT_LT(s.h.value().MaxAbs(), 1.0);
+  }
+}
+
+TEST(LstmTest, StatePersistsAcrossSteps) {
+  Rng rng(3);
+  LstmCell cell(1, 4, rng);
+  // Two sequences identical except for the FIRST input; final hidden states
+  // must differ (memory) even after several identical steps.
+  auto run = [&](double first) {
+    LstmState s = cell.InitialState(1);
+    s = cell.Forward(Var::Constant(Tensor(1, 1, {first})), s);
+    for (int k = 0; k < 4; ++k) {
+      s = cell.Forward(Var::Constant(Tensor(1, 1, {0.1})), s);
+    }
+    return s.h.value();
+  };
+  EXPECT_NE(run(2.0), run(-2.0));
+}
+
+TEST(LstmTest, BatchRowsAreIndependent) {
+  Rng rng(4);
+  LstmCell cell(2, 3, rng);
+  // Batched forward of [a; b] equals the stack of individual forwards.
+  Tensor xa(1, 2, {0.5, -0.2});
+  Tensor xb(1, 2, {-1.0, 0.8});
+  Tensor xab(2, 2, {0.5, -0.2, -1.0, 0.8});
+  LstmState sa = cell.Forward(Var::Constant(xa), cell.InitialState(1));
+  LstmState sb = cell.Forward(Var::Constant(xb), cell.InitialState(1));
+  LstmState sab = cell.Forward(Var::Constant(xab), cell.InitialState(2));
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_NEAR(sab.h.value().At(0, c), sa.h.value().At(0, c), 1e-12);
+    EXPECT_NEAR(sab.h.value().At(1, c), sb.h.value().At(0, c), 1e-12);
+  }
+}
+
+TEST(LstmTest, LearnsToRememberSign) {
+  // Classic memory task: output the sign of the first input after a fixed
+  // number of noise steps.
+  Rng rng(5);
+  LstmCell cell(1, 8, rng);
+  Linear head(8, 1, rng);
+  std::vector<Var> params = cell.Params();
+  for (const Var& p : head.Params()) params.push_back(p);
+  Adam opt(params, 0.02);
+
+  Rng data_rng(6);
+  double final_loss = 1e9;
+  for (int iter = 0; iter < 300; ++iter) {
+    const double sign = data_rng.Bernoulli(0.5) ? 1.0 : -1.0;
+    LstmState s = cell.InitialState(1);
+    s = cell.Forward(Var::Constant(Tensor(1, 1, {sign})), s);
+    for (int k = 0; k < 5; ++k) {
+      s = cell.Forward(
+          Var::Constant(Tensor(1, 1, {data_rng.Uniform(-0.1, 0.1)})), s);
+    }
+    Var loss = MseLoss(head.Forward(s.h),
+                       Var::Constant(Tensor(1, 1, {sign})));
+    final_loss = loss.value()[0];
+    opt.ZeroGrad();
+    Backward(loss);
+    opt.Step();
+  }
+  EXPECT_LT(final_loss, 0.1);
+}
+
+}  // namespace
+}  // namespace head::nn

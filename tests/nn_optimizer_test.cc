@@ -1,0 +1,142 @@
+#include "nn/optimizer.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "nn/serialize.h"
+
+namespace head::nn {
+namespace {
+
+TEST(OptimizerTest, SgdMinimizesQuadratic) {
+  Var x = Var::Param(Tensor::Full(1, 1, 5.0));
+  Sgd opt({x}, 0.1);
+  for (int i = 0; i < 200; ++i) {
+    opt.ZeroGrad();
+    Var loss = Sum(Square(x));
+    Backward(loss);
+    opt.Step();
+  }
+  EXPECT_NEAR(x.value()[0], 0.0, 1e-6);
+}
+
+TEST(OptimizerTest, AdamMinimizesShiftedQuadratic) {
+  Var x = Var::Param(Tensor::Full(1, 3, -2.0));
+  Var target = Var::Constant(Tensor(1, 3, {1.0, -0.5, 2.0}));
+  Adam opt({x}, 0.05);
+  for (int i = 0; i < 500; ++i) {
+    opt.ZeroGrad();
+    Backward(MseLoss(x, target));
+    opt.Step();
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(x.value()[i], target.value()[i], 1e-3);
+  }
+}
+
+TEST(OptimizerTest, AdamFitsLinearRegression) {
+  Rng rng(5);
+  // Ground truth: y = x·W* + b*.
+  const Tensor w_star(2, 1, {1.5, -2.0});
+  const Tensor b_star(1, 1, {0.7});
+  const Tensor x_data = Tensor::Uniform(64, 2, -1, 1, rng);
+  Tensor y_data = AddRowBroadcast(MatMul(x_data, w_star), b_star);
+
+  Linear model(2, 1, rng);
+  Adam opt(model.Params(), 0.05);
+  Var x = Var::Constant(x_data);
+  Var y = Var::Constant(y_data);
+  double final_loss = 1e9;
+  for (int i = 0; i < 400; ++i) {
+    opt.ZeroGrad();
+    Var loss = MseLoss(model.Forward(x), y);
+    final_loss = loss.value()[0];
+    Backward(loss);
+    opt.Step();
+  }
+  EXPECT_LT(final_loss, 1e-5);
+}
+
+TEST(OptimizerTest, ClipGradNormScalesLargeGradients) {
+  Var x = Var::Param(Tensor::Full(1, 1, 100.0));
+  Sgd opt({x}, 1.0);
+  opt.ZeroGrad();
+  Backward(Sum(Square(x)));  // grad = 200
+  opt.ClipGradNorm(1.0);
+  EXPECT_NEAR(x.grad()[0], 1.0, 1e-12);
+}
+
+TEST(OptimizerTest, ClipGradNormLeavesSmallGradients) {
+  Var x = Var::Param(Tensor::Full(1, 1, 0.001));
+  Sgd opt({x}, 1.0);
+  opt.ZeroGrad();
+  Backward(Sum(Square(x)));  // grad = 0.002
+  opt.ClipGradNorm(1.0);
+  EXPECT_NEAR(x.grad()[0], 0.002, 1e-12);
+}
+
+TEST(ModuleTest, SoftUpdateBlends) {
+  Rng rng(3);
+  Linear a(2, 2, rng);
+  Linear b(2, 2, rng);
+  Linear target(2, 2, rng);
+  target.CopyParamsFrom(a);
+  target.SoftUpdateFrom(b, 0.25);
+  const auto ap = a.Params();
+  const auto bp = b.Params();
+  const auto tp = target.Params();
+  for (size_t i = 0; i < tp.size(); ++i) {
+    for (int j = 0; j < tp[i].value().size(); ++j) {
+      EXPECT_NEAR(tp[i].value()[j],
+                  0.25 * bp[i].value()[j] + 0.75 * ap[i].value()[j], 1e-12);
+    }
+  }
+}
+
+TEST(SerializeTest, RoundTripsThroughStream) {
+  Rng rng(9);
+  Mlp a({3, 4, 2}, Mlp::Activation::kRelu, rng);
+  Mlp b({3, 4, 2}, Mlp::Activation::kRelu, rng);
+  std::stringstream ss;
+  SaveParams(a, ss);
+  ASSERT_TRUE(LoadParams(b, ss));
+  const auto ap = a.Params();
+  const auto bp = b.Params();
+  for (size_t i = 0; i < ap.size(); ++i) {
+    EXPECT_EQ(ap[i].value(), bp[i].value());
+  }
+}
+
+TEST(SerializeTest, RejectsWrongArchitecture) {
+  Rng rng(9);
+  Mlp a({3, 4, 2}, Mlp::Activation::kRelu, rng);
+  Mlp wrong({3, 5, 2}, Mlp::Activation::kRelu, rng);
+  std::stringstream ss;
+  SaveParams(a, ss);
+  EXPECT_FALSE(LoadParams(wrong, ss));
+}
+
+TEST(SerializeTest, RejectsGarbage) {
+  Rng rng(9);
+  Mlp a({3, 4, 2}, Mlp::Activation::kRelu, rng);
+  std::stringstream ss("not a checkpoint");
+  EXPECT_FALSE(LoadParams(a, ss));
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  Rng rng(13);
+  Linear a(4, 3, rng);
+  Linear b(4, 3, rng);
+  const std::string path = ::testing::TempDir() + "/head_params.bin";
+  SaveParamsToFile(a, path);
+  ASSERT_TRUE(LoadParamsFromFile(b, path));
+  EXPECT_EQ(a.Params()[0].value(), b.Params()[0].value());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadParamsFromFile(b, path));
+}
+
+}  // namespace
+}  // namespace head::nn

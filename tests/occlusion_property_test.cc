@@ -1,0 +1,133 @@
+// Parameterized property tests tying the occlusion geometry to the phantom
+// construction of Eq. (6): for every diagonal area, a target placed in that
+// area casts a shadow exactly where the construction puts its phantom.
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "perception/phantom.h"
+#include "sensor/occlusion.h"
+#include "sensor/sensor_model.h"
+
+namespace head {
+namespace {
+
+using perception::Area;
+using perception::AreaIsFront;
+using perception::AreaLaneOffset;
+
+class OcclusionAreaTest : public ::testing::TestWithParam<int> {};
+
+// For each area i: put the ego at lane 3 and a target in area i; the
+// phantom constructed for the missing slot (i, i) must itself be occluded
+// by the target from the ego's viewpoint — Fig. 4's geometric consistency.
+TEST_P(OcclusionAreaTest, ConstructedPhantomLiesInTheShadow) {
+  const int area = GetParam();
+  const RoadConfig road;
+  const VehicleState ego{3, 500.0, 20.0};
+  VehicleState target;
+  target.lane = ego.lane + AreaLaneOffset(area);
+  target.lon_m = ego.lon_m + (AreaIsFront(area) ? 25.0 : -25.0);
+  target.v_mps = 18.0;
+
+  perception::HistoryBuffer buffer(5);
+  for (int k = 0; k < 5; ++k) {
+    perception::ObservationFrame frame;
+    frame.ego = ego;
+    frame.observed = {{7, target}};
+    buffer.Push(std::move(frame));
+  }
+  const perception::CompletedScene scene =
+      perception::ConstructPhantoms(buffer, road, 100.0);
+  ASSERT_EQ(scene.targets[area].id, 7);
+
+  const perception::VehicleHistory& phantom =
+      scene.surroundings[area][area];
+  ASSERT_EQ(phantom.kind, perception::MissingKind::kOcclusion)
+      << "area " << area;
+  // Eq. (6): the phantom sits one more area-step beyond the target.
+  const VehicleState& p = phantom.states.back();
+  EXPECT_EQ(p.lane, target.lane + AreaLaneOffset(area));
+  EXPECT_DOUBLE_EQ(p.lon_m, target.lon_m + DLon(target, ego));
+  EXPECT_DOUBLE_EQ(p.v_mps, target.v_mps);
+  // And geometrically it is indeed hidden behind the target.
+  EXPECT_TRUE(sensor::Occludes(ego, p, target, road.lane_width_m));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAreas, OcclusionAreaTest,
+                         ::testing::Values(perception::kFrontLeft,
+                                           perception::kFront,
+                                           perception::kFrontRight,
+                                           perception::kRearLeft,
+                                           perception::kRear,
+                                           perception::kRearRight));
+
+// Sweeping blocker positions along the sight line: everything strictly
+// between observer and target (same lane) occludes; things beyond don't.
+class ShadowSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ShadowSweepTest, SameLaneBetweenness) {
+  const RoadConfig road;
+  const double blocker_lon = GetParam();
+  const VehicleState observer{2, 0.0, 20.0};
+  const VehicleState target{2, 60.0, 20.0};
+  const VehicleState blocker{2, blocker_lon, 20.0};
+  const bool between = blocker_lon > 3.0 && blocker_lon < 57.0;
+  EXPECT_EQ(sensor::Occludes(observer, target, blocker, road.lane_width_m),
+            between)
+      << "blocker at " << blocker_lon;
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, ShadowSweepTest,
+                         ::testing::Values(10.0, 20.0, 30.0, 40.0, 50.0,
+                                           70.0, 90.0, -10.0));
+
+// Sensor + phantom consistency: everything the sensor reports visible must
+// appear somewhere in the completed scene's real entries OR be farther than
+// every selected slot of its area; nothing invisible may appear as real.
+TEST(SensorSceneConsistencyTest, RealEntriesAreAlwaysVisibleVehicles) {
+  const RoadConfig road;
+  sensor::SensorConfig sensor_config;
+  Rng rng(17);
+  for (int trial = 0; trial < 25; ++trial) {
+    const VehicleState ego{rng.UniformInt(1, road.num_lanes),
+                           rng.Uniform(200.0, 400.0), 20.0};
+    std::vector<sim::VehicleSnapshot> global = {{kEgoVehicleId, ego}};
+    const int n = rng.UniformInt(3, 12);
+    for (int i = 1; i <= n; ++i) {
+      VehicleState v{rng.UniformInt(1, road.num_lanes),
+                     ego.lon_m + rng.Uniform(-150.0, 150.0),
+                     rng.Uniform(10.0, 24.0)};
+      // Avoid exact overlap with the ego slot.
+      if (v.lane == ego.lane && std::fabs(v.lon_m - ego.lon_m) < 6.0) {
+        v.lon_m += 12.0;
+      }
+      global.push_back({i, v});
+    }
+    const auto observed = sensor::Observe(global, ego, sensor_config, road);
+    perception::HistoryBuffer buffer(3);
+    for (int k = 0; k < 3; ++k) {
+      buffer.Push(perception::ObservationFrame{ego, observed});
+    }
+    const perception::CompletedScene scene =
+        perception::ConstructPhantoms(buffer, road, sensor_config.range_m);
+    std::set<VehicleId> visible;
+    for (const auto& v : observed) visible.insert(v.id);
+    for (int i = 0; i < perception::kNumAreas; ++i) {
+      if (scene.targets[i].kind == perception::MissingKind::kNone) {
+        EXPECT_TRUE(visible.count(scene.targets[i].id) > 0);
+      }
+      for (int j = 0; j < perception::kNumAreas; ++j) {
+        const auto& s = scene.surroundings[i][j];
+        if (s.kind == perception::MissingKind::kNone) {
+          EXPECT_TRUE(visible.count(s.id) > 0);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace head

@@ -1,0 +1,98 @@
+// DrivingEnv: the PAMDP loop around the simulator, sensor and perception.
+#include "rl/env.h"
+
+#include <gtest/gtest.h>
+
+#include "perception/lst_gat.h"
+
+namespace head::rl {
+namespace {
+
+EnvConfig SmallEnv() {
+  EnvConfig c;
+  c.sim.road.length_m = 400.0;
+  c.sim.spawn.back_margin_m = 120.0;
+  c.sim.spawn.front_margin_m = 120.0;
+  return c;
+}
+
+TEST(DrivingEnvTest, ResetProducesWellFormedState) {
+  Rng rng(1);
+  perception::LstGat predictor(perception::LstGatConfig{}, rng);
+  DrivingEnv env(SmallEnv(), &predictor, 1);
+  const AugmentedState s = env.Reset(5);
+  EXPECT_EQ(s.h.rows(), kStateHRows);
+  EXPECT_EQ(s.h.cols(), kStateCols);
+  EXPECT_EQ(s.f.rows(), kStateFRows);
+  EXPECT_EQ(s.f.cols(), kStateCols);
+  EXPECT_EQ(env.simulation().step_count(), 0);
+}
+
+TEST(DrivingEnvTest, StepAdvancesAndRewardsAreBounded) {
+  Rng rng(1);
+  perception::LstGat predictor(perception::LstGatConfig{}, rng);
+  DrivingEnv env(SmallEnv(), &predictor, 1);
+  env.Reset(7);
+  for (int i = 0; i < 30; ++i) {
+    const auto out = env.Step(Maneuver{LaneChange::kKeep, 0.5});
+    // r = 0.9·r1 + 0.8·r2 + 0.6·r3 + 0.2·r4 ∈ [−4.5, 0.8].
+    EXPECT_LE(out.reward.total, 0.8 + 1e-9);
+    EXPECT_GE(out.reward.total, -4.5);
+    if (out.done) break;
+  }
+  EXPECT_GT(env.simulation().step_count(), 0);
+}
+
+TEST(DrivingEnvTest, CollisionTerminatesWithSafetyPenalty) {
+  EnvConfig config = SmallEnv();
+  Rng rng(1);
+  perception::LstGat predictor(perception::LstGatConfig{}, rng);
+  DrivingEnv env(config, &predictor, 1);
+  env.Reset(11);
+  DrivingEnv::StepOutcome out;
+  for (int i = 0; i < 10; ++i) {
+    out = env.Step(Maneuver{LaneChange::kLeft, 0.0});  // drive off-road
+    if (out.done) break;
+  }
+  ASSERT_TRUE(out.done);
+  EXPECT_EQ(out.status, sim::EpisodeStatus::kCollision);
+  EXPECT_DOUBLE_EQ(out.reward.safety, -3.0);
+}
+
+TEST(DrivingEnvTest, WithoutPredictionFutureBlockEqualsCurrent) {
+  EnvConfig config = SmallEnv();
+  config.use_prediction = false;
+  DrivingEnv env(config, nullptr, 1);
+  const AugmentedState s = env.Reset(13);
+  // f rows must replicate the current relative states in h rows 1..6.
+  for (int i = 0; i < kStateFRows; ++i) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_NEAR(s.f.At(i, c), s.h.At(1 + i, c), 1e-9) << i << "," << c;
+    }
+  }
+}
+
+TEST(DrivingEnvTest, UsePredictionRequiresPredictor) {
+  EnvConfig config = SmallEnv();
+  config.use_prediction = true;
+  EXPECT_DEATH(DrivingEnv(config, nullptr, 1), "predictor");
+}
+
+TEST(DrivingEnvTest, EfficiencyRewardTracksVelocity) {
+  EnvConfig config = SmallEnv();
+  config.use_prediction = false;
+  config.sim.spawn.density_veh_per_km = 1e-6;  // free road
+  DrivingEnv env(config, nullptr, 1);
+  env.Reset(17);
+  double last_eff = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    const auto out = env.Step(Maneuver{LaneChange::kKeep, 3.0});
+    EXPECT_GE(out.reward.efficiency, last_eff - 1e-9);  // speeding up
+    last_eff = out.reward.efficiency;
+    if (out.done) break;
+  }
+  EXPECT_GT(last_eff, 0.5);
+}
+
+}  // namespace
+}  // namespace head::rl

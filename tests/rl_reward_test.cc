@@ -1,0 +1,167 @@
+// Hybrid reward function (Eqs. 28–30): term ranges, masking, weighting.
+#include "rl/reward.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace head::rl {
+namespace {
+
+RoadConfig DefaultRoad() { return RoadConfig{}; }
+
+RewardFunction DefaultReward() {
+  return RewardFunction(RewardConfig{}, DefaultRoad());
+}
+
+TEST(TtcTest, BasicCases) {
+  const VehicleState ego{3, 100.0, 20.0};
+  const VehicleState front{3, 140.0, 15.0};  // 40 m ahead, closing at 5
+  const auto ttc = TimeToCollision(front, ego);
+  ASSERT_TRUE(ttc.has_value());
+  EXPECT_DOUBLE_EQ(*ttc, 8.0);
+
+  const VehicleState faster_front{3, 140.0, 25.0};
+  EXPECT_FALSE(TimeToCollision(faster_front, ego).has_value());
+}
+
+TEST(RewardTest, CollisionGivesMinimumSafety) {
+  const RewardFunction fn = DefaultReward();
+  RewardObservation obs;
+  obs.collision = true;
+  obs.ego_next = {3, 100.0, 20.0};
+  const RewardTerms r = fn.Compute(obs);
+  EXPECT_DOUBLE_EQ(r.safety, -3.0);
+}
+
+TEST(RewardTest, SafetyLogShapeWithinThreshold) {
+  const RewardFunction fn = DefaultReward();
+  RewardObservation obs;
+  obs.ego_next = {3, 100.0, 20.0};
+  obs.front_next = VehicleState{3, 110.0, 15.0};  // TTC = 10/5 = 2 < G=4
+  const RewardTerms r = fn.Compute(obs);
+  EXPECT_NEAR(r.safety, std::log(2.0 / 4.0), 1e-12);
+  EXPECT_LE(r.safety, 0.0);
+  EXPECT_GE(r.safety, -3.0);
+}
+
+TEST(RewardTest, SafetyZeroWhenTtcAboveThresholdOrNotClosing) {
+  const RewardFunction fn = DefaultReward();
+  RewardObservation obs;
+  obs.ego_next = {3, 100.0, 20.0};
+  obs.front_next = VehicleState{3, 200.0, 19.0};  // TTC = 100 > 4
+  EXPECT_DOUBLE_EQ(fn.Compute(obs).safety, 0.0);
+  obs.front_next = VehicleState{3, 110.0, 25.0};  // not closing
+  EXPECT_DOUBLE_EQ(fn.Compute(obs).safety, 0.0);
+  obs.front_next.reset();  // phantom front is masked
+  EXPECT_DOUBLE_EQ(fn.Compute(obs).safety, 0.0);
+}
+
+TEST(RewardTest, EfficiencyNormalization) {
+  const RewardFunction fn = DefaultReward();
+  const RoadConfig road = DefaultRoad();
+  RewardObservation obs;
+  obs.ego_next = {3, 100.0, road.v_min_mps};
+  EXPECT_DOUBLE_EQ(fn.Compute(obs).efficiency, 0.0);
+  obs.ego_next.v_mps = road.v_max_mps;
+  EXPECT_DOUBLE_EQ(fn.Compute(obs).efficiency, 1.0);
+  obs.ego_next.v_mps = 0.5 * (road.v_min_mps + road.v_max_mps);
+  EXPECT_NEAR(fn.Compute(obs).efficiency, 0.5, 1e-12);
+}
+
+TEST(RewardTest, ComfortPenalizesJerk) {
+  const RewardFunction fn = DefaultReward();
+  RewardObservation obs;
+  obs.ego_next = {3, 100.0, 20.0};
+  obs.accel_prev_mps2 = 3.0;
+  obs.accel_now_mps2 = -3.0;
+  EXPECT_DOUBLE_EQ(fn.Compute(obs).comfort, -1.0);  // max jerk
+  obs.accel_now_mps2 = 3.0;
+  EXPECT_DOUBLE_EQ(fn.Compute(obs).comfort, 0.0);
+}
+
+TEST(RewardTest, ImpactOnlyBeyondThreshold) {
+  const RewardFunction fn = DefaultReward();
+  RewardObservation obs;
+  obs.ego_next = {3, 100.0, 20.0};
+  obs.rear_v_now_mps = 20.0;
+  obs.rear_v_next_mps = 19.7;  // drop 0.3 < v_thr 0.5
+  EXPECT_DOUBLE_EQ(fn.Compute(obs).impact, 0.0);
+  obs.rear_v_next_mps = 19.0;  // drop 1.0 > 0.5
+  EXPECT_NEAR(fn.Compute(obs).impact, -1.0 / 3.0, 1e-12);  // −1/(2·3·0.5)
+  obs.rear_v_next_mps = 10.0;  // drop 10 → clamp at −1
+  EXPECT_DOUBLE_EQ(fn.Compute(obs).impact, -1.0);
+}
+
+TEST(RewardTest, ImpactMaskedWithoutRealRearVehicle) {
+  const RewardFunction fn = DefaultReward();
+  RewardObservation obs;
+  obs.ego_next = {3, 100.0, 20.0};
+  EXPECT_DOUBLE_EQ(fn.Compute(obs).impact, 0.0);
+}
+
+TEST(RewardTest, TotalIsWeightedSum) {
+  RewardConfig config;
+  const RewardFunction fn(config, DefaultRoad());
+  RewardObservation obs;
+  obs.ego_next = {3, 100.0, 20.0};
+  obs.front_next = VehicleState{3, 110.0, 15.0};
+  obs.accel_prev_mps2 = 1.0;
+  obs.accel_now_mps2 = -1.0;
+  obs.rear_v_now_mps = 20.0;
+  obs.rear_v_next_mps = 19.0;
+  const RewardTerms r = fn.Compute(obs);
+  EXPECT_NEAR(r.total,
+              0.9 * r.safety + 0.8 * r.efficiency + 0.6 * r.comfort +
+                  0.2 * r.impact,
+              1e-12);
+}
+
+TEST(RewardTest, WithoutImpactAblationDropsTheTerm) {
+  RewardConfig config;
+  config.use_impact = false;
+  const RewardFunction fn(config, DefaultRoad());
+  RewardObservation obs;
+  obs.ego_next = {3, 100.0, 20.0};
+  obs.rear_v_now_mps = 20.0;
+  obs.rear_v_next_mps = 10.0;
+  const RewardTerms r = fn.Compute(obs);
+  EXPECT_DOUBLE_EQ(r.impact, 0.0);
+  EXPECT_NEAR(r.total, 0.8 * r.efficiency, 1e-12);
+}
+
+TEST(RewardTest, TermRangesHoldUnderRandomInputs) {
+  const RewardFunction fn = DefaultReward();
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    RewardObservation obs;
+    obs.collision = rng.Bernoulli(0.1);
+    obs.ego_next = VehicleState{rng.UniformInt(1, 6), rng.Uniform(0, 3000),
+                                rng.Uniform(0, 30)};
+    if (rng.Bernoulli(0.7)) {
+      obs.front_next = VehicleState{obs.ego_next.lane,
+                                    obs.ego_next.lon_m + rng.Uniform(0, 120),
+                                    rng.Uniform(0, 30)};
+    }
+    if (rng.Bernoulli(0.7)) {
+      obs.rear_v_now_mps = rng.Uniform(0, 30);
+      obs.rear_v_next_mps = rng.Uniform(0, 30);
+    }
+    obs.accel_prev_mps2 = rng.Uniform(-3, 3);
+    obs.accel_now_mps2 = rng.Uniform(-3, 3);
+    const RewardTerms r = fn.Compute(obs);
+    EXPECT_GE(r.safety, -3.0);
+    EXPECT_LE(r.safety, 0.0);
+    EXPECT_GE(r.efficiency, 0.0);
+    EXPECT_LE(r.efficiency, 1.0);
+    EXPECT_GE(r.comfort, -1.0);
+    EXPECT_LE(r.comfort, 0.0);
+    EXPECT_GE(r.impact, -1.0);
+    EXPECT_LE(r.impact, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace head::rl

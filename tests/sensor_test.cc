@@ -1,0 +1,125 @@
+// Sensor model: detection radius and line-of-sight occlusion geometry.
+#include "sensor/sensor_model.h"
+
+#include <gtest/gtest.h>
+
+#include "sensor/occlusion.h"
+
+namespace head::sensor {
+namespace {
+
+RoadConfig DefaultRoad() { return RoadConfig{}; }
+
+TEST(OcclusionGeometryTest, SegmentRectIntersection) {
+  // Horizontal segment crossing a unit box at the origin.
+  EXPECT_TRUE(SegmentIntersectsRect(-2, 0, 2, 0, 0, 0, 1, 1));
+  // Segment passing above the box.
+  EXPECT_FALSE(SegmentIntersectsRect(-2, 2, 2, 2, 0, 0, 1, 1));
+  // Segment ending before the box.
+  EXPECT_FALSE(SegmentIntersectsRect(-3, 0, -2, 0, 0, 0, 1, 1));
+  // Diagonal through a corner region.
+  EXPECT_TRUE(SegmentIntersectsRect(-2, -2, 2, 2, 0, 0, 1, 1));
+  // Degenerate segment inside the box.
+  EXPECT_TRUE(SegmentIntersectsRect(0.1, 0.1, 0.1, 0.1, 0, 0, 1, 1));
+}
+
+TEST(OcclusionTest, SameLaneBlockerHidesVehicleBehindIt) {
+  const RoadConfig road = DefaultRoad();
+  const VehicleState observer{3, 0.0, 20.0};
+  const VehicleState blocker{3, 30.0, 20.0};
+  const VehicleState target{3, 60.0, 20.0};
+  EXPECT_TRUE(Occludes(observer, target, blocker, road.lane_width_m));
+}
+
+TEST(OcclusionTest, AdjacentLaneVehicleDoesNotHideSameLaneTarget) {
+  const RoadConfig road = DefaultRoad();
+  const VehicleState observer{3, 0.0, 20.0};
+  const VehicleState blocker{2, 30.0, 20.0};  // one lane over
+  const VehicleState target{3, 60.0, 20.0};
+  EXPECT_FALSE(Occludes(observer, target, blocker, road.lane_width_m));
+}
+
+TEST(OcclusionTest, DiagonalShadowMatchesFig4Geometry) {
+  const RoadConfig road = DefaultRoad();
+  // Fig. 4, case (1,1): C1 front-left of A; C11 beyond it on the same ray
+  // (one more lane left, double the longitudinal distance).
+  const VehicleState a{3, 0.0, 20.0};
+  const VehicleState c1{2, 20.0, 20.0};
+  const VehicleState c11{1, 40.0, 20.0};
+  EXPECT_TRUE(Occludes(a, c11, c1, road.lane_width_m));
+}
+
+TEST(OcclusionTest, BlockerBehindTargetDoesNotOcclude) {
+  const RoadConfig road = DefaultRoad();
+  const VehicleState observer{3, 0.0, 20.0};
+  const VehicleState target{3, 30.0, 20.0};
+  const VehicleState blocker{3, 60.0, 20.0};  // beyond the target
+  EXPECT_FALSE(Occludes(observer, target, blocker, road.lane_width_m));
+}
+
+TEST(SensorTest, RangeCutoff) {
+  const RoadConfig road = DefaultRoad();
+  SensorConfig sensor;
+  sensor.range_m = 100.0;
+  sensor.model_occlusion = false;
+  const VehicleState ego{3, 0.0, 20.0};
+  std::vector<sim::VehicleSnapshot> global = {
+      {0, ego},
+      {1, {3, 99.0, 20.0}},
+      {2, {3, 101.0, 20.0}},
+      {3, {3, -99.0, 20.0}},
+  };
+  const auto observed = Observe(global, ego, sensor, road);
+  ASSERT_EQ(observed.size(), 2u);
+  EXPECT_EQ(observed[0].id, 1);
+  EXPECT_EQ(observed[1].id, 3);
+}
+
+TEST(SensorTest, RangeIsEuclideanAcrossLanes) {
+  const RoadConfig road = DefaultRoad();
+  SensorConfig sensor;
+  sensor.range_m = 10.0;
+  sensor.model_occlusion = false;
+  const VehicleState ego{1, 0.0, 20.0};
+  // 9.9 m ahead but 3 lanes over (9.6 m lateral): distance ≈ 13.8 > 10.
+  std::vector<sim::VehicleSnapshot> global = {{1, {4, 9.9, 20.0}}};
+  EXPECT_TRUE(Observe(global, ego, sensor, road).empty());
+}
+
+TEST(SensorTest, OcclusionRemovesHiddenVehicle) {
+  const RoadConfig road = DefaultRoad();
+  SensorConfig sensor;
+  const VehicleState ego{3, 0.0, 20.0};
+  std::vector<sim::VehicleSnapshot> global = {
+      {1, {3, 30.0, 20.0}},
+      {2, {3, 60.0, 20.0}},  // hidden behind 1
+      {3, {2, 40.0, 20.0}},  // visible, other lane
+  };
+  const auto observed = Observe(global, ego, sensor, road);
+  ASSERT_EQ(observed.size(), 2u);
+  EXPECT_EQ(observed[0].id, 1);
+  EXPECT_EQ(observed[1].id, 3);
+}
+
+TEST(SensorTest, EgoNeverObservesItself) {
+  const RoadConfig road = DefaultRoad();
+  SensorConfig sensor;
+  const VehicleState ego{3, 0.0, 20.0};
+  std::vector<sim::VehicleSnapshot> global = {{kEgoVehicleId, ego}};
+  EXPECT_TRUE(Observe(global, ego, sensor, road).empty());
+}
+
+TEST(SensorTest, DisablingOcclusionRestoresHiddenVehicle) {
+  const RoadConfig road = DefaultRoad();
+  SensorConfig sensor;
+  sensor.model_occlusion = false;
+  const VehicleState ego{3, 0.0, 20.0};
+  std::vector<sim::VehicleSnapshot> global = {
+      {1, {3, 30.0, 20.0}},
+      {2, {3, 60.0, 20.0}},
+  };
+  EXPECT_EQ(Observe(global, ego, sensor, road).size(), 2u);
+}
+
+}  // namespace
+}  // namespace head::sensor

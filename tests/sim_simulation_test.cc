@@ -1,0 +1,196 @@
+// Simulation-engine invariants: spawning, stepping, collisions, termination.
+#include "sim/simulation.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sim/spawner.h"
+
+namespace head::sim {
+namespace {
+
+SimConfig SmallConfig() {
+  SimConfig c;
+  c.road.length_m = 500.0;
+  c.spawn.back_margin_m = 150.0;
+  c.spawn.front_margin_m = 150.0;
+  return c;
+}
+
+TEST(SpawnerTest, RespectsDensityRoughly) {
+  RoadConfig road;
+  road.length_m = 2000.0;
+  SpawnConfig spawn;
+  spawn.density_veh_per_km = 180.0;
+  spawn.back_margin_m = 0.0;
+  spawn.front_margin_m = 0.0;
+  Rng rng(3);
+  const auto fleet = SpawnInitialTraffic(road, spawn, 1, 0.0, rng);
+  const double expected = 180.0 * 2.0;  // 2 km
+  EXPECT_GT(fleet.size(), expected * 0.7);
+  EXPECT_LT(fleet.size(), expected * 1.3);
+}
+
+TEST(SpawnerTest, NoInitialOverlapsWithinLane) {
+  RoadConfig road;
+  SpawnConfig spawn;
+  Rng rng(11);
+  const auto fleet = SpawnInitialTraffic(road, spawn, 3, 0.0, rng);
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    for (size_t j = i + 1; j < fleet.size(); ++j) {
+      if (fleet[i].state.lane != fleet[j].state.lane) continue;
+      EXPECT_GT(std::fabs(fleet[i].state.lon_m - fleet[j].state.lon_m),
+                kVehicleLengthM)
+          << "vehicles " << fleet[i].id << " and " << fleet[j].id;
+    }
+  }
+}
+
+TEST(SpawnerTest, EgoClearZoneIsEmpty) {
+  RoadConfig road;
+  SpawnConfig spawn;
+  Rng rng(17);
+  const auto fleet = SpawnInitialTraffic(road, spawn, 2, 0.0, rng);
+  for (const Vehicle& v : fleet) {
+    if (v.state.lane != 2) continue;
+    EXPECT_GE(std::fabs(v.state.lon_m), spawn.ego_clear_zone_m);
+  }
+}
+
+TEST(SpawnerTest, UniqueIdsAndValidLanesAndSpeeds) {
+  RoadConfig road;
+  SpawnConfig spawn;
+  Rng rng(23);
+  const auto fleet = SpawnInitialTraffic(road, spawn, 1, 0.0, rng);
+  std::set<VehicleId> ids;
+  for (const Vehicle& v : fleet) {
+    EXPECT_TRUE(ids.insert(v.id).second);
+    EXPECT_NE(v.id, kEgoVehicleId);
+    EXPECT_TRUE(road.IsValidLane(v.state.lane));
+    EXPECT_GE(v.state.v_mps, road.v_min_mps);
+    EXPECT_LE(v.state.v_mps, road.v_max_mps);
+  }
+}
+
+TEST(SimulationTest, ResetPlacesEgoAtOrigin) {
+  Simulation sim(SmallConfig(), 1);
+  EXPECT_EQ(sim.ego_state().lon_m, 0.0);
+  EXPECT_EQ(sim.status(), EpisodeStatus::kRunning);
+  EXPECT_EQ(sim.step_count(), 0);
+}
+
+TEST(SimulationTest, DeterministicUnderSameSeed) {
+  Simulation a(SmallConfig(), 99);
+  Simulation b(SmallConfig(), 99);
+  for (int i = 0; i < 30; ++i) {
+    a.Step(Maneuver{LaneChange::kKeep, 1.0});
+    b.Step(Maneuver{LaneChange::kKeep, 1.0});
+  }
+  EXPECT_EQ(a.ego_state(), b.ego_state());
+  ASSERT_EQ(a.conventional_vehicles().size(), b.conventional_vehicles().size());
+  for (size_t i = 0; i < a.conventional_vehicles().size(); ++i) {
+    EXPECT_EQ(a.conventional_vehicles()[i].state,
+              b.conventional_vehicles()[i].state);
+  }
+}
+
+TEST(SimulationTest, BoundaryHitIsCollision) {
+  Simulation sim(SmallConfig(), 5);
+  // Drive off the left edge: repeatedly change left.
+  EpisodeStatus status = EpisodeStatus::kRunning;
+  for (int i = 0; i < 10 && status == EpisodeStatus::kRunning; ++i) {
+    status = sim.Step(Maneuver{LaneChange::kLeft, 0.0});
+  }
+  EXPECT_EQ(status, EpisodeStatus::kCollision);
+}
+
+TEST(SimulationTest, ReachesDestinationOnFreeRoad) {
+  SimConfig config = SmallConfig();
+  config.spawn.density_veh_per_km = 1e-6;  // effectively empty road
+  Simulation sim(config, 1);
+  EpisodeStatus status = EpisodeStatus::kRunning;
+  int steps = 0;
+  while (status == EpisodeStatus::kRunning && steps < 1000) {
+    status = sim.Step(Maneuver{LaneChange::kKeep, 3.0});
+    ++steps;
+  }
+  EXPECT_EQ(status, EpisodeStatus::kReachedDestination);
+  EXPECT_GE(sim.ego_state().lon_m, config.road.length_m);
+}
+
+TEST(SimulationTest, RearEndCollisionDetected) {
+  SimConfig config = SmallConfig();
+  Simulation sim(config, 7);
+  // Full throttle, no lane change: with traffic ahead capped at ~24 m/s and
+  // the ego at 25 m/s max, the ego eventually rear-ends someone.
+  EpisodeStatus status = EpisodeStatus::kRunning;
+  int steps = 0;
+  while (status == EpisodeStatus::kRunning && steps < 2000) {
+    status = sim.Step(Maneuver{LaneChange::kKeep, 3.0});
+    ++steps;
+  }
+  // Either crashed into the leader or (rarely) threaded through to the end.
+  EXPECT_NE(status, EpisodeStatus::kRunning);
+}
+
+TEST(SimulationTest, ConventionalVehiclesStayWithinSpeedLimits) {
+  Simulation sim(SmallConfig(), 13);
+  for (int i = 0; i < 50; ++i) {
+    sim.Step(Maneuver{LaneChange::kKeep, 0.0});
+    for (const Vehicle& v : sim.conventional_vehicles()) {
+      EXPECT_GE(v.state.v_mps, -1e-9);
+      EXPECT_LE(v.state.v_mps, sim.config().road.v_max_mps + 1e-9);
+      EXPECT_TRUE(sim.config().road.IsValidLane(v.state.lane));
+    }
+    if (sim.status() != EpisodeStatus::kRunning) break;
+  }
+}
+
+TEST(SimulationTest, ConventionalVehiclesDoNotCollide) {
+  Simulation sim(SmallConfig(), 21);
+  for (int i = 0; i < 120 && sim.status() == EpisodeStatus::kRunning; ++i) {
+    sim.Step(Maneuver{LaneChange::kKeep, -1.0});
+    const auto& fleet = sim.conventional_vehicles();
+    const RoadView view = sim.View();
+    const auto& sorted = view.vehicles();
+    for (size_t k = 1; k < sorted.size(); ++k) {
+      if (sorted[k].state.lane != sorted[k - 1].state.lane) continue;
+      if (sorted[k].id == kEgoVehicleId || sorted[k - 1].id == kEgoVehicleId) {
+        continue;
+      }
+      EXPECT_GT(sorted[k].state.lon_m - sorted[k - 1].state.lon_m,
+                kVehicleLengthM * 0.8)
+          << "step " << i;
+    }
+    (void)fleet;
+  }
+}
+
+TEST(SimulationTest, StepAfterTerminalIsNoOp) {
+  SimConfig config = SmallConfig();
+  Simulation sim(config, 5);
+  while (sim.Step(Maneuver{LaneChange::kLeft, 0.0}) ==
+         EpisodeStatus::kRunning) {
+  }
+  const VehicleState frozen = sim.ego_state();
+  const int steps = sim.step_count();
+  sim.Step(Maneuver{LaneChange::kKeep, 3.0});
+  EXPECT_EQ(sim.ego_state(), frozen);
+  EXPECT_EQ(sim.step_count(), steps);
+}
+
+TEST(SimulationTest, TimeoutTerminates) {
+  SimConfig config = SmallConfig();
+  config.max_steps = 5;
+  config.spawn.density_veh_per_km = 1e-6;
+  Simulation sim(config, 2);
+  EpisodeStatus status = EpisodeStatus::kRunning;
+  for (int i = 0; i < 10 && status == EpisodeStatus::kRunning; ++i) {
+    status = sim.Step(Maneuver{LaneChange::kKeep, -3.0});
+  }
+  EXPECT_EQ(status, EpisodeStatus::kTimeout);
+}
+
+}  // namespace
+}  // namespace head::sim

@@ -1,0 +1,71 @@
+// Bench workbench: profile selection and HEAD-config derivation (no
+// training — the heavy paths are exercised by the bench binaries).
+#include "eval/workbench.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace head::eval {
+namespace {
+
+TEST(BenchProfileTest, FastAndPaperDiffer) {
+  const BenchProfile fast = BenchProfile::Fast();
+  const BenchProfile paper = BenchProfile::Paper();
+  EXPECT_EQ(fast.name, "fast");
+  EXPECT_EQ(paper.name, "paper");
+  EXPECT_LT(fast.rl_train.episodes, paper.rl_train.episodes);
+  EXPECT_LT(fast.rl_sim.road.length_m, paper.rl_sim.road.length_m);
+  EXPECT_EQ(paper.rl_train.episodes, 4000);   // Sec. V-A
+  EXPECT_EQ(paper.pdqn.batch_size, 64);       // Sec. V-A
+  EXPECT_EQ(paper.test_episodes, 500);        // Sec. V-B
+  EXPECT_DOUBLE_EQ(paper.rl_sim.road.length_m, 3000.0);
+}
+
+TEST(BenchProfileTest, FromEnvSelectsProfile) {
+  ::setenv("HEAD_BENCH_PROFILE", "paper", 1);
+  EXPECT_EQ(BenchProfile::FromEnv().name, "paper");
+  ::setenv("HEAD_BENCH_PROFILE", "fast", 1);
+  EXPECT_EQ(BenchProfile::FromEnv().name, "fast");
+  ::unsetenv("HEAD_BENCH_PROFILE");
+  EXPECT_EQ(BenchProfile::FromEnv().name, "fast");
+}
+
+TEST(BenchProfileTest, PaperHyperparametersMatchSectionVA) {
+  const BenchProfile p = BenchProfile::Paper();
+  const core::HeadConfig head = MakeHeadConfig(p, core::HeadVariant::Full());
+  EXPECT_DOUBLE_EQ(head.pdqn.gamma, 0.9);
+  EXPECT_DOUBLE_EQ(head.pdqn.learning_rate, 0.001);
+  EXPECT_EQ(head.pdqn.buffer_capacity, 20000u);
+  EXPECT_DOUBLE_EQ(head.pdqn.tau, 0.01);
+  EXPECT_DOUBLE_EQ(head.pdqn.a_max, 3.0);
+  EXPECT_EQ(head.history_z, 5);
+  EXPECT_DOUBLE_EQ(head.sensor.range_m, 100.0);
+  EXPECT_DOUBLE_EQ(head.reward.weights.safety, 0.9);
+  EXPECT_DOUBLE_EQ(head.reward.weights.efficiency, 0.8);
+  EXPECT_DOUBLE_EQ(head.reward.weights.comfort, 0.6);
+  EXPECT_DOUBLE_EQ(head.reward.weights.impact, 0.2);
+  EXPECT_DOUBLE_EQ(head.reward.ttc_scale_s, 4.0);
+  EXPECT_DOUBLE_EQ(head.reward.impact_v_thr_mps, 0.5);
+}
+
+TEST(BenchProfileTest, VariantDrivesAgentChoice) {
+  const BenchProfile p = BenchProfile::Fast();
+  const core::HeadConfig full =
+      MakeHeadConfig(p, core::HeadVariant::Full());
+  EXPECT_TRUE(full.variant.use_bp_dqn);
+  const core::HeadConfig ablated =
+      MakeHeadConfig(p, core::HeadVariant::WithoutBpDqn());
+  EXPECT_FALSE(ablated.variant.use_bp_dqn);
+}
+
+TEST(RealDefaultsTest, MatchesPaperGeometry) {
+  const data::RealDatasetConfig real = data::RealDatasetConfig::Default();
+  EXPECT_DOUBLE_EQ(real.sim.road.length_m, 1140.0);  // 1.14 km
+  EXPECT_EQ(real.sim.road.num_lanes, 6);
+  EXPECT_DOUBLE_EQ(real.train_fraction, 0.8);        // 4:1 split
+  EXPECT_EQ(real.history_z, 5);                      // z = 5
+}
+
+}  // namespace
+}  // namespace head::eval

@@ -1,0 +1,157 @@
+// head_cli — command-line front end for the library.
+//
+//   head_cli scenarios
+//       List the built-in traffic scenarios.
+//   head_cli run <scenario> <policy> [episodes] [seed]
+//       Evaluate a policy (idm | acc | tpbts | head) in a scenario and print
+//       the Table I metrics row. `head` loads cached weights from
+//       .head_cache/ (training them first if absent).
+//   head_cli trace <scenario> <policy> <out.csv> [seed]
+//       Record one episode and write the per-step CSV.
+//   head_cli render <scenario> [seed]
+//       Print a short ASCII replay of an IDM-LC episode.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "decision/acc_lc.h"
+#include "decision/idm_lc.h"
+#include "decision/tp_bts.h"
+#include "eval/episode_runner.h"
+#include "eval/table.h"
+#include "eval/trace.h"
+#include "eval/workbench.h"
+#include "sim/scenario.h"
+
+namespace {
+
+using namespace head;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  head_cli scenarios\n"
+               "  head_cli run <scenario> <policy> [episodes] [seed]\n"
+               "  head_cli trace <scenario> <policy> <out.csv> [seed]\n"
+               "  head_cli render <scenario> [seed]\n"
+               "policies: idm | acc | tpbts | head\n"
+               "scenarios:");
+  for (const std::string& name : sim::ScenarioNames()) {
+    std::fprintf(stderr, " %s", name.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+std::unique_ptr<decision::Policy> MakeNamedPolicy(const std::string& name,
+                                                  const RoadConfig& road) {
+  if (name == "idm") {
+    return std::make_unique<decision::IdmLcPolicy>(
+        decision::RuleBasedConfig::ForRoad(road));
+  }
+  if (name == "acc") {
+    return std::make_unique<decision::AccLcPolicy>(
+        decision::RuleBasedConfig::ForRoad(road));
+  }
+  if (name == "tpbts") {
+    decision::TpBtsConfig config;
+    config.road = road;
+    return std::make_unique<decision::TpBtsPolicy>(config);
+  }
+  if (name == "head") {
+    eval::BenchProfile profile = eval::BenchProfile::FromEnv();
+    profile.rl_sim.road = road;
+    auto predictor = eval::TrainOrLoadLstGat(profile);
+    auto agent = eval::TrainOrLoadHeadPolicy(profile,
+                                             core::HeadVariant::Full(),
+                                             predictor);
+    return eval::MakePolicy(profile, core::HeadVariant::Full(), predictor,
+                            agent);
+  }
+  return nullptr;
+}
+
+int CmdRun(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const sim::SimConfig scenario = sim::ScenarioByName(argv[2]);
+  auto policy = MakeNamedPolicy(argv[3], scenario.road);
+  if (policy == nullptr) return Usage();
+
+  eval::RunnerConfig runner;
+  runner.sim = scenario;
+  runner.episodes = argc > 4 ? std::atoi(argv[4]) : 10;
+  runner.seed_base = argc > 5 ? std::atoll(argv[5]) : 1000;
+  const eval::AggregateMetrics m = eval::RunPolicy(*policy, runner);
+
+  eval::TablePrinter table(
+      {"Policy", "AvgDT-A(s)", "AvgDT-C(s)", "Avg#-CA", "MinTTC-A(s)",
+       "AvgV-A(m/s)", "AvgJ-A(m/s2)", "AvgD-CA(m/s)", "Done/Coll"});
+  table.AddRow({policy->name(), eval::FormatDouble(m.avg_dt_a_s, 1),
+                eval::FormatDouble(m.avg_dt_c_s, 1),
+                eval::FormatDouble(m.avg_num_ca, 1),
+                eval::FormatDouble(m.min_ttc_a_s, 2),
+                eval::FormatDouble(m.avg_v_a_mps, 2),
+                eval::FormatDouble(m.avg_j_a_mps2, 2),
+                eval::FormatDouble(m.avg_d_ca_mps, 2),
+                std::to_string(m.completed) + "/" +
+                    std::to_string(m.collisions)});
+  table.Print(std::cout, std::string(argv[2]) + " scenario, " +
+                             std::to_string(runner.episodes) + " episodes");
+  return 0;
+}
+
+int CmdTrace(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  eval::TraceConfig config;
+  config.sim = sim::ScenarioByName(argv[2]);
+  auto policy = MakeNamedPolicy(argv[3], config.sim.road);
+  if (policy == nullptr) return Usage();
+  const uint64_t seed = argc > 5 ? std::atoll(argv[5]) : 7;
+  const eval::EpisodeTrace trace =
+      eval::RecordEpisode(*policy, config, seed);
+  std::ofstream os(argv[4]);
+  if (!os.good()) {
+    std::fprintf(stderr, "cannot open %s for writing\n", argv[4]);
+    return 1;
+  }
+  eval::WriteTraceCsv(trace, os);
+  std::printf("%zu steps (%s) written to %s\n", trace.steps.size(),
+              ToString(trace.final_status), argv[4]);
+  return 0;
+}
+
+int CmdRender(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  eval::TraceConfig config;
+  config.sim = sim::ScenarioByName(argv[2]);
+  decision::IdmLcPolicy policy(
+      decision::RuleBasedConfig::ForRoad(config.sim.road));
+  const uint64_t seed = argc > 3 ? std::atoll(argv[3]) : 7;
+  const eval::EpisodeTrace trace = eval::RecordEpisode(policy, config, seed);
+  const size_t n = trace.steps.size();
+  for (size_t k = 0; k < 5 && n > 0; ++k) {
+    const size_t idx = std::min(n - 1, k * (n / 5 + 1));
+    std::cout << eval::RenderStep(trace.steps[idx], config.sim.road) << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "scenarios") {
+    for (const std::string& name : head::sim::ScenarioNames()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  if (cmd == "run") return CmdRun(argc, argv);
+  if (cmd == "trace") return CmdTrace(argc, argv);
+  if (cmd == "render") return CmdRender(argc, argv);
+  return Usage();
+}
