@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prediction_horizon.dir/ablation_prediction_horizon.cc.o"
+  "CMakeFiles/ablation_prediction_horizon.dir/ablation_prediction_horizon.cc.o.d"
+  "ablation_prediction_horizon"
+  "ablation_prediction_horizon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prediction_horizon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_prediction_efficiency.dir/table4_prediction_efficiency.cc.o"
+  "CMakeFiles/table4_prediction_efficiency.dir/table4_prediction_efficiency.cc.o.d"
+  "table4_prediction_efficiency"
+  "table4_prediction_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_prediction_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

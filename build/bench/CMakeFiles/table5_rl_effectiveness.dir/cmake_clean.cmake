@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_rl_effectiveness.dir/table5_rl_effectiveness.cc.o"
+  "CMakeFiles/table5_rl_effectiveness.dir/table5_rl_effectiveness.cc.o.d"
+  "table5_rl_effectiveness"
+  "table5_rl_effectiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_rl_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_rl_efficiency.dir/table6_rl_efficiency.cc.o"
+  "CMakeFiles/table6_rl_efficiency.dir/table6_rl_efficiency.cc.o.d"
+  "table6_rl_efficiency"
+  "table6_rl_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_rl_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_reward_shaping.dir/table7_reward_shaping.cc.o"
+  "CMakeFiles/table7_reward_shaping.dir/table7_reward_shaping.cc.o.d"
+  "table7_reward_shaping"
+  "table7_reward_shaping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_reward_shaping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dense_traffic_impact.dir/dense_traffic_impact.cpp.o"
+  "CMakeFiles/dense_traffic_impact.dir/dense_traffic_impact.cpp.o.d"
+  "dense_traffic_impact"
+  "dense_traffic_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dense_traffic_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dense_traffic_impact.
+# This may be replaced when dependencies are built.

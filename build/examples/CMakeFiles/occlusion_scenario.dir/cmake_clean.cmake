@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occlusion_scenario.dir/occlusion_scenario.cpp.o"
+  "CMakeFiles/occlusion_scenario.dir/occlusion_scenario.cpp.o.d"
+  "occlusion_scenario"
+  "occlusion_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occlusion_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/pretrain_all.cpp" "examples/CMakeFiles/pretrain_all.dir/pretrain_all.cpp.o" "gcc" "examples/CMakeFiles/pretrain_all.dir/pretrain_all.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/head_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/head_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/head_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/head_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/head_perception.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/head_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/head_decision.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/head_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/head_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/head_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pretrain_all.dir/pretrain_all.cpp.o"
+  "CMakeFiles/pretrain_all.dir/pretrain_all.cpp.o.d"
+  "pretrain_all"
+  "pretrain_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pretrain_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

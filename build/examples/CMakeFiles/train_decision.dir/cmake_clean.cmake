@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_decision.dir/train_decision.cpp.o"
+  "CMakeFiles/train_decision.dir/train_decision.cpp.o.d"
+  "train_decision"
+  "train_decision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

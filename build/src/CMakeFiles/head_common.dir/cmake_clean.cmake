@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/head_common.dir/common/check.cc.o"
+  "CMakeFiles/head_common.dir/common/check.cc.o.d"
+  "CMakeFiles/head_common.dir/common/logging.cc.o"
+  "CMakeFiles/head_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/head_common.dir/common/rng.cc.o"
+  "CMakeFiles/head_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/head_common.dir/common/types.cc.o"
+  "CMakeFiles/head_common.dir/common/types.cc.o.d"
+  "libhead_common.a"
+  "libhead_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/head_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

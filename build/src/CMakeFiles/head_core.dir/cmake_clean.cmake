@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/head_core.dir/core/head_agent.cc.o"
+  "CMakeFiles/head_core.dir/core/head_agent.cc.o.d"
+  "CMakeFiles/head_core.dir/core/head_config.cc.o"
+  "CMakeFiles/head_core.dir/core/head_config.cc.o.d"
+  "libhead_core.a"
+  "libhead_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/head_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

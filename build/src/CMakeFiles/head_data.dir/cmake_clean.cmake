@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/head_data.dir/data/real_dataset.cc.o"
+  "CMakeFiles/head_data.dir/data/real_dataset.cc.o.d"
+  "CMakeFiles/head_data.dir/data/sample_extractor.cc.o"
+  "CMakeFiles/head_data.dir/data/sample_extractor.cc.o.d"
+  "libhead_data.a"
+  "libhead_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/head_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

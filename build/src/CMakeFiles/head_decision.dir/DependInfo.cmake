@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/decision/acc_lc.cc" "src/CMakeFiles/head_decision.dir/decision/acc_lc.cc.o" "gcc" "src/CMakeFiles/head_decision.dir/decision/acc_lc.cc.o.d"
+  "/root/repo/src/decision/idm_lc.cc" "src/CMakeFiles/head_decision.dir/decision/idm_lc.cc.o" "gcc" "src/CMakeFiles/head_decision.dir/decision/idm_lc.cc.o.d"
+  "/root/repo/src/decision/tp_bts.cc" "src/CMakeFiles/head_decision.dir/decision/tp_bts.cc.o" "gcc" "src/CMakeFiles/head_decision.dir/decision/tp_bts.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/head_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/head_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/head_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

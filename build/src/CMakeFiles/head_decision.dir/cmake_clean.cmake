@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/head_decision.dir/decision/acc_lc.cc.o"
+  "CMakeFiles/head_decision.dir/decision/acc_lc.cc.o.d"
+  "CMakeFiles/head_decision.dir/decision/idm_lc.cc.o"
+  "CMakeFiles/head_decision.dir/decision/idm_lc.cc.o.d"
+  "CMakeFiles/head_decision.dir/decision/tp_bts.cc.o"
+  "CMakeFiles/head_decision.dir/decision/tp_bts.cc.o.d"
+  "libhead_decision.a"
+  "libhead_decision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/head_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

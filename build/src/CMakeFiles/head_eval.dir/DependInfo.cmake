@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/episode_runner.cc" "src/CMakeFiles/head_eval.dir/eval/episode_runner.cc.o" "gcc" "src/CMakeFiles/head_eval.dir/eval/episode_runner.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/head_eval.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/head_eval.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/table.cc" "src/CMakeFiles/head_eval.dir/eval/table.cc.o" "gcc" "src/CMakeFiles/head_eval.dir/eval/table.cc.o.d"
+  "/root/repo/src/eval/timer.cc" "src/CMakeFiles/head_eval.dir/eval/timer.cc.o" "gcc" "src/CMakeFiles/head_eval.dir/eval/timer.cc.o.d"
+  "/root/repo/src/eval/trace.cc" "src/CMakeFiles/head_eval.dir/eval/trace.cc.o" "gcc" "src/CMakeFiles/head_eval.dir/eval/trace.cc.o.d"
+  "/root/repo/src/eval/workbench.cc" "src/CMakeFiles/head_eval.dir/eval/workbench.cc.o" "gcc" "src/CMakeFiles/head_eval.dir/eval/workbench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/head_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/head_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/head_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/head_perception.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/head_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/head_decision.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/head_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/head_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/head_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

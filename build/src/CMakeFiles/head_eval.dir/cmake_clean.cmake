@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/head_eval.dir/eval/episode_runner.cc.o"
+  "CMakeFiles/head_eval.dir/eval/episode_runner.cc.o.d"
+  "CMakeFiles/head_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/head_eval.dir/eval/metrics.cc.o.d"
+  "CMakeFiles/head_eval.dir/eval/table.cc.o"
+  "CMakeFiles/head_eval.dir/eval/table.cc.o.d"
+  "CMakeFiles/head_eval.dir/eval/timer.cc.o"
+  "CMakeFiles/head_eval.dir/eval/timer.cc.o.d"
+  "CMakeFiles/head_eval.dir/eval/trace.cc.o"
+  "CMakeFiles/head_eval.dir/eval/trace.cc.o.d"
+  "CMakeFiles/head_eval.dir/eval/workbench.cc.o"
+  "CMakeFiles/head_eval.dir/eval/workbench.cc.o.d"
+  "libhead_eval.a"
+  "libhead_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/head_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/head_nn.dir/nn/autograd.cc.o"
+  "CMakeFiles/head_nn.dir/nn/autograd.cc.o.d"
+  "CMakeFiles/head_nn.dir/nn/layers.cc.o"
+  "CMakeFiles/head_nn.dir/nn/layers.cc.o.d"
+  "CMakeFiles/head_nn.dir/nn/lstm.cc.o"
+  "CMakeFiles/head_nn.dir/nn/lstm.cc.o.d"
+  "CMakeFiles/head_nn.dir/nn/optimizer.cc.o"
+  "CMakeFiles/head_nn.dir/nn/optimizer.cc.o.d"
+  "CMakeFiles/head_nn.dir/nn/serialize.cc.o"
+  "CMakeFiles/head_nn.dir/nn/serialize.cc.o.d"
+  "CMakeFiles/head_nn.dir/nn/tensor.cc.o"
+  "CMakeFiles/head_nn.dir/nn/tensor.cc.o.d"
+  "libhead_nn.a"
+  "libhead_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/head_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

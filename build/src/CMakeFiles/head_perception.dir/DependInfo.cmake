@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perception/baselines/ed_lstm.cc" "src/CMakeFiles/head_perception.dir/perception/baselines/ed_lstm.cc.o" "gcc" "src/CMakeFiles/head_perception.dir/perception/baselines/ed_lstm.cc.o.d"
+  "/root/repo/src/perception/baselines/gas_led.cc" "src/CMakeFiles/head_perception.dir/perception/baselines/gas_led.cc.o" "gcc" "src/CMakeFiles/head_perception.dir/perception/baselines/gas_led.cc.o.d"
+  "/root/repo/src/perception/baselines/lstm_mlp.cc" "src/CMakeFiles/head_perception.dir/perception/baselines/lstm_mlp.cc.o" "gcc" "src/CMakeFiles/head_perception.dir/perception/baselines/lstm_mlp.cc.o.d"
+  "/root/repo/src/perception/lst_gat.cc" "src/CMakeFiles/head_perception.dir/perception/lst_gat.cc.o" "gcc" "src/CMakeFiles/head_perception.dir/perception/lst_gat.cc.o.d"
+  "/root/repo/src/perception/multi_step.cc" "src/CMakeFiles/head_perception.dir/perception/multi_step.cc.o" "gcc" "src/CMakeFiles/head_perception.dir/perception/multi_step.cc.o.d"
+  "/root/repo/src/perception/neighbor.cc" "src/CMakeFiles/head_perception.dir/perception/neighbor.cc.o" "gcc" "src/CMakeFiles/head_perception.dir/perception/neighbor.cc.o.d"
+  "/root/repo/src/perception/phantom.cc" "src/CMakeFiles/head_perception.dir/perception/phantom.cc.o" "gcc" "src/CMakeFiles/head_perception.dir/perception/phantom.cc.o.d"
+  "/root/repo/src/perception/predictor.cc" "src/CMakeFiles/head_perception.dir/perception/predictor.cc.o" "gcc" "src/CMakeFiles/head_perception.dir/perception/predictor.cc.o.d"
+  "/root/repo/src/perception/st_graph.cc" "src/CMakeFiles/head_perception.dir/perception/st_graph.cc.o" "gcc" "src/CMakeFiles/head_perception.dir/perception/st_graph.cc.o.d"
+  "/root/repo/src/perception/trainer.cc" "src/CMakeFiles/head_perception.dir/perception/trainer.cc.o" "gcc" "src/CMakeFiles/head_perception.dir/perception/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/head_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/head_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/head_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/head_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

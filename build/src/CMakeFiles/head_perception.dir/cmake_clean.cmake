@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/head_perception.dir/perception/baselines/ed_lstm.cc.o"
+  "CMakeFiles/head_perception.dir/perception/baselines/ed_lstm.cc.o.d"
+  "CMakeFiles/head_perception.dir/perception/baselines/gas_led.cc.o"
+  "CMakeFiles/head_perception.dir/perception/baselines/gas_led.cc.o.d"
+  "CMakeFiles/head_perception.dir/perception/baselines/lstm_mlp.cc.o"
+  "CMakeFiles/head_perception.dir/perception/baselines/lstm_mlp.cc.o.d"
+  "CMakeFiles/head_perception.dir/perception/lst_gat.cc.o"
+  "CMakeFiles/head_perception.dir/perception/lst_gat.cc.o.d"
+  "CMakeFiles/head_perception.dir/perception/multi_step.cc.o"
+  "CMakeFiles/head_perception.dir/perception/multi_step.cc.o.d"
+  "CMakeFiles/head_perception.dir/perception/neighbor.cc.o"
+  "CMakeFiles/head_perception.dir/perception/neighbor.cc.o.d"
+  "CMakeFiles/head_perception.dir/perception/phantom.cc.o"
+  "CMakeFiles/head_perception.dir/perception/phantom.cc.o.d"
+  "CMakeFiles/head_perception.dir/perception/predictor.cc.o"
+  "CMakeFiles/head_perception.dir/perception/predictor.cc.o.d"
+  "CMakeFiles/head_perception.dir/perception/st_graph.cc.o"
+  "CMakeFiles/head_perception.dir/perception/st_graph.cc.o.d"
+  "CMakeFiles/head_perception.dir/perception/trainer.cc.o"
+  "CMakeFiles/head_perception.dir/perception/trainer.cc.o.d"
+  "libhead_perception.a"
+  "libhead_perception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/head_perception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhead_perception.a"
+)

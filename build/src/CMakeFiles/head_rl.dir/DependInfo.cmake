@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/drl_sc.cc" "src/CMakeFiles/head_rl.dir/rl/drl_sc.cc.o" "gcc" "src/CMakeFiles/head_rl.dir/rl/drl_sc.cc.o.d"
+  "/root/repo/src/rl/env.cc" "src/CMakeFiles/head_rl.dir/rl/env.cc.o" "gcc" "src/CMakeFiles/head_rl.dir/rl/env.cc.o.d"
+  "/root/repo/src/rl/mp_dqn.cc" "src/CMakeFiles/head_rl.dir/rl/mp_dqn.cc.o" "gcc" "src/CMakeFiles/head_rl.dir/rl/mp_dqn.cc.o.d"
+  "/root/repo/src/rl/nets.cc" "src/CMakeFiles/head_rl.dir/rl/nets.cc.o" "gcc" "src/CMakeFiles/head_rl.dir/rl/nets.cc.o.d"
+  "/root/repo/src/rl/p_ddpg.cc" "src/CMakeFiles/head_rl.dir/rl/p_ddpg.cc.o" "gcc" "src/CMakeFiles/head_rl.dir/rl/p_ddpg.cc.o.d"
+  "/root/repo/src/rl/pamdp.cc" "src/CMakeFiles/head_rl.dir/rl/pamdp.cc.o" "gcc" "src/CMakeFiles/head_rl.dir/rl/pamdp.cc.o.d"
+  "/root/repo/src/rl/pdqn_agent.cc" "src/CMakeFiles/head_rl.dir/rl/pdqn_agent.cc.o" "gcc" "src/CMakeFiles/head_rl.dir/rl/pdqn_agent.cc.o.d"
+  "/root/repo/src/rl/replay_buffer.cc" "src/CMakeFiles/head_rl.dir/rl/replay_buffer.cc.o" "gcc" "src/CMakeFiles/head_rl.dir/rl/replay_buffer.cc.o.d"
+  "/root/repo/src/rl/reward.cc" "src/CMakeFiles/head_rl.dir/rl/reward.cc.o" "gcc" "src/CMakeFiles/head_rl.dir/rl/reward.cc.o.d"
+  "/root/repo/src/rl/trainer.cc" "src/CMakeFiles/head_rl.dir/rl/trainer.cc.o" "gcc" "src/CMakeFiles/head_rl.dir/rl/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/head_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/head_perception.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/head_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/head_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/head_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/head_rl.dir/rl/drl_sc.cc.o"
+  "CMakeFiles/head_rl.dir/rl/drl_sc.cc.o.d"
+  "CMakeFiles/head_rl.dir/rl/env.cc.o"
+  "CMakeFiles/head_rl.dir/rl/env.cc.o.d"
+  "CMakeFiles/head_rl.dir/rl/mp_dqn.cc.o"
+  "CMakeFiles/head_rl.dir/rl/mp_dqn.cc.o.d"
+  "CMakeFiles/head_rl.dir/rl/nets.cc.o"
+  "CMakeFiles/head_rl.dir/rl/nets.cc.o.d"
+  "CMakeFiles/head_rl.dir/rl/p_ddpg.cc.o"
+  "CMakeFiles/head_rl.dir/rl/p_ddpg.cc.o.d"
+  "CMakeFiles/head_rl.dir/rl/pamdp.cc.o"
+  "CMakeFiles/head_rl.dir/rl/pamdp.cc.o.d"
+  "CMakeFiles/head_rl.dir/rl/pdqn_agent.cc.o"
+  "CMakeFiles/head_rl.dir/rl/pdqn_agent.cc.o.d"
+  "CMakeFiles/head_rl.dir/rl/replay_buffer.cc.o"
+  "CMakeFiles/head_rl.dir/rl/replay_buffer.cc.o.d"
+  "CMakeFiles/head_rl.dir/rl/reward.cc.o"
+  "CMakeFiles/head_rl.dir/rl/reward.cc.o.d"
+  "CMakeFiles/head_rl.dir/rl/trainer.cc.o"
+  "CMakeFiles/head_rl.dir/rl/trainer.cc.o.d"
+  "libhead_rl.a"
+  "libhead_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/head_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/head_sensor.dir/sensor/occlusion.cc.o"
+  "CMakeFiles/head_sensor.dir/sensor/occlusion.cc.o.d"
+  "CMakeFiles/head_sensor.dir/sensor/sensor_model.cc.o"
+  "CMakeFiles/head_sensor.dir/sensor/sensor_model.cc.o.d"
+  "libhead_sensor.a"
+  "libhead_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/head_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/acc.cc" "src/CMakeFiles/head_sim.dir/sim/acc.cc.o" "gcc" "src/CMakeFiles/head_sim.dir/sim/acc.cc.o.d"
+  "/root/repo/src/sim/idm.cc" "src/CMakeFiles/head_sim.dir/sim/idm.cc.o" "gcc" "src/CMakeFiles/head_sim.dir/sim/idm.cc.o.d"
+  "/root/repo/src/sim/krauss.cc" "src/CMakeFiles/head_sim.dir/sim/krauss.cc.o" "gcc" "src/CMakeFiles/head_sim.dir/sim/krauss.cc.o.d"
+  "/root/repo/src/sim/lane_change.cc" "src/CMakeFiles/head_sim.dir/sim/lane_change.cc.o" "gcc" "src/CMakeFiles/head_sim.dir/sim/lane_change.cc.o.d"
+  "/root/repo/src/sim/road.cc" "src/CMakeFiles/head_sim.dir/sim/road.cc.o" "gcc" "src/CMakeFiles/head_sim.dir/sim/road.cc.o.d"
+  "/root/repo/src/sim/scenario.cc" "src/CMakeFiles/head_sim.dir/sim/scenario.cc.o" "gcc" "src/CMakeFiles/head_sim.dir/sim/scenario.cc.o.d"
+  "/root/repo/src/sim/simulation.cc" "src/CMakeFiles/head_sim.dir/sim/simulation.cc.o" "gcc" "src/CMakeFiles/head_sim.dir/sim/simulation.cc.o.d"
+  "/root/repo/src/sim/spawner.cc" "src/CMakeFiles/head_sim.dir/sim/spawner.cc.o" "gcc" "src/CMakeFiles/head_sim.dir/sim/spawner.cc.o.d"
+  "/root/repo/src/sim/vehicle.cc" "src/CMakeFiles/head_sim.dir/sim/vehicle.cc.o" "gcc" "src/CMakeFiles/head_sim.dir/sim/vehicle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/head_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

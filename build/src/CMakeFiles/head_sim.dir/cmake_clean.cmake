@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/head_sim.dir/sim/acc.cc.o"
+  "CMakeFiles/head_sim.dir/sim/acc.cc.o.d"
+  "CMakeFiles/head_sim.dir/sim/idm.cc.o"
+  "CMakeFiles/head_sim.dir/sim/idm.cc.o.d"
+  "CMakeFiles/head_sim.dir/sim/krauss.cc.o"
+  "CMakeFiles/head_sim.dir/sim/krauss.cc.o.d"
+  "CMakeFiles/head_sim.dir/sim/lane_change.cc.o"
+  "CMakeFiles/head_sim.dir/sim/lane_change.cc.o.d"
+  "CMakeFiles/head_sim.dir/sim/road.cc.o"
+  "CMakeFiles/head_sim.dir/sim/road.cc.o.d"
+  "CMakeFiles/head_sim.dir/sim/scenario.cc.o"
+  "CMakeFiles/head_sim.dir/sim/scenario.cc.o.d"
+  "CMakeFiles/head_sim.dir/sim/simulation.cc.o"
+  "CMakeFiles/head_sim.dir/sim/simulation.cc.o.d"
+  "CMakeFiles/head_sim.dir/sim/spawner.cc.o"
+  "CMakeFiles/head_sim.dir/sim/spawner.cc.o.d"
+  "CMakeFiles/head_sim.dir/sim/vehicle.cc.o"
+  "CMakeFiles/head_sim.dir/sim/vehicle.cc.o.d"
+  "libhead_sim.a"
+  "libhead_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/head_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_step_test.dir/multi_step_test.cc.o"
+  "CMakeFiles/multi_step_test.dir/multi_step_test.cc.o.d"
+  "multi_step_test"
+  "multi_step_test.pdb"
+  "multi_step_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_step_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occlusion_property_test.dir/occlusion_property_test.cc.o"
+  "CMakeFiles/occlusion_property_test.dir/occlusion_property_test.cc.o.d"
+  "occlusion_property_test"
+  "occlusion_property_test.pdb"
+  "occlusion_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occlusion_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perception_graph_test.dir/perception_graph_test.cc.o"
+  "CMakeFiles/perception_graph_test.dir/perception_graph_test.cc.o.d"
+  "perception_graph_test"
+  "perception_graph_test.pdb"
+  "perception_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perception_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

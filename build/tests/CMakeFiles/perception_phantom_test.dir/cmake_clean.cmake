@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perception_phantom_test.dir/perception_phantom_test.cc.o"
+  "CMakeFiles/perception_phantom_test.dir/perception_phantom_test.cc.o.d"
+  "perception_phantom_test"
+  "perception_phantom_test.pdb"
+  "perception_phantom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perception_phantom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

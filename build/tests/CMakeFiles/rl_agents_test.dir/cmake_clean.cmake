@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_agents_test.dir/rl_agents_test.cc.o"
+  "CMakeFiles/rl_agents_test.dir/rl_agents_test.cc.o.d"
+  "rl_agents_test"
+  "rl_agents_test.pdb"
+  "rl_agents_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_agents_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_env_test.dir/rl_env_test.cc.o"
+  "CMakeFiles/rl_env_test.dir/rl_env_test.cc.o.d"
+  "rl_env_test"
+  "rl_env_test.pdb"
+  "rl_env_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_env_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_models_test.dir/sim_models_test.cc.o"
+  "CMakeFiles/sim_models_test.dir/sim_models_test.cc.o.d"
+  "sim_models_test"
+  "sim_models_test.pdb"
+  "sim_models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

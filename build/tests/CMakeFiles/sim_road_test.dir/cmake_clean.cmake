@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_road_test.dir/sim_road_test.cc.o"
+  "CMakeFiles/sim_road_test.dir/sim_road_test.cc.o.d"
+  "sim_road_test"
+  "sim_road_test.pdb"
+  "sim_road_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_road_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_autograd_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_road_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_models_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_simulation_test[1]_include.cmake")
+include("/root/repo/build/tests/sensor_test[1]_include.cmake")
+include("/root/repo/build/tests/perception_phantom_test[1]_include.cmake")
+include("/root/repo/build/tests/perception_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/rl_reward_test[1]_include.cmake")
+include("/root/repo/build/tests/rl_agents_test[1]_include.cmake")
+include("/root/repo/build/tests/rl_env_test[1]_include.cmake")
+include("/root/repo/build/tests/decision_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_lstm_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/occlusion_property_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_step_test[1]_include.cmake")
+include("/root/repo/build/tests/rl_nets_test[1]_include.cmake")
+include("/root/repo/build/tests/workbench_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/head_cli.dir/head_cli.cc.o"
+  "CMakeFiles/head_cli.dir/head_cli.cc.o.d"
+  "head_cli"
+  "head_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/head_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
