@@ -8,9 +8,14 @@
 //    does step by step.
 //
 // Run:  ./build/examples/quickstart
+//
+// Set HEAD_TRACE_OUT=trace.json to record a Chrome trace of the whole run
+// (open it in chrome://tracing or https://ui.perfetto.dev).
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/head_agent.h"
+#include "obs/span.h"
 #include "data/real_dataset.h"
 #include "eval/episode_runner.h"
 #include "eval/workbench.h"
@@ -20,6 +25,11 @@
 
 int main() {
   using namespace head;
+
+  const char* trace_out = std::getenv("HEAD_TRACE_OUT");
+  if (trace_out != nullptr && trace_out[0] != '\0') {
+    obs::SetTracingEnabled(true);
+  }
 
   // A deliberately tiny profile so the whole demo runs in well under a
   // minute; see bench/ for the real experiment harness.
@@ -101,6 +111,7 @@ int main() {
   double prev_accel = 0.0;
   int lane_changes = 0;
   while (sim.status() == sim::EpisodeStatus::kRunning) {
+    HEAD_SPAN("episode.step");
     decision::EgoView view;
     view.ego = sim.ego_state();
     view.observed =
@@ -121,5 +132,13 @@ int main() {
   }
   std::printf("   episode over: %s after %.1fs (%d lane changes)\n",
               ToString(sim.status()), sim.time_s(), lane_changes);
+  if (trace_out != nullptr && trace_out[0] != '\0') {
+    if (obs::WriteChromeTraceFile(trace_out)) {
+      std::printf("   wrote Chrome trace to %s\n", trace_out);
+    } else {
+      std::fprintf(stderr, "   failed to write trace to %s\n", trace_out);
+      return 1;
+    }
+  }
   return 0;
 }

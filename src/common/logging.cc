@@ -1,12 +1,32 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 namespace head {
 namespace {
 
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+/// Parses $HEAD_LOG_LEVEL; falls back to kInfo when unset or malformed.
+int InitialLogLevel() {
+  const char* env = std::getenv("HEAD_LOG_LEVEL");
+  if (env == nullptr) return static_cast<int>(LogLevel::kInfo);
+  std::string s(env);
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  if (s == "debug" || s == "0") return static_cast<int>(LogLevel::kDebug);
+  if (s == "info" || s == "1") return static_cast<int>(LogLevel::kInfo);
+  if (s == "warning" || s == "warn" || s == "2") {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  if (s == "error" || s == "3") return static_cast<int>(LogLevel::kError);
+  std::fprintf(stderr, "[WARN logging] unrecognized HEAD_LOG_LEVEL=\"%s\"\n",
+               env);
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+std::atomic<int> g_log_level{InitialLogLevel()};
 
 const char* LevelName(LogLevel level) {
   switch (level) {

@@ -1,8 +1,13 @@
 // Minimal leveled logging to stderr. Intended for library diagnostics; the
 // evaluation harness prints its tables directly to stdout.
+//
+// The initial threshold is read from the HEAD_LOG_LEVEL environment variable
+// ("debug" | "info" | "warning" | "error", case-insensitive, or 0–3) at
+// first use; SetLogLevel overrides it at runtime.
 #ifndef HEAD_COMMON_LOGGING_H_
 #define HEAD_COMMON_LOGGING_H_
 
+#include <atomic>
 #include <sstream>
 #include <string>
 
@@ -15,7 +20,8 @@ enum class LogLevel : int {
   kError = 3,
 };
 
-/// Global threshold; messages below it are dropped. Default: kInfo.
+/// Global threshold; messages below it are dropped. Default: kInfo, or
+/// $HEAD_LOG_LEVEL when set.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
@@ -44,11 +50,30 @@ class LogCapture {
   std::ostringstream oss_;
 };
 
+/// True on the 1st, (n+1)th, (2n+1)th … call with the same `counter` —
+/// the rate limiter behind HEAD_LOG_EVERY_N.
+inline bool LogEveryN(std::atomic<long>& counter, long n) {
+  return counter.fetch_add(1, std::memory_order_relaxed) % n == 0;
+}
+
 }  // namespace internal
 }  // namespace head
 
 #define HEAD_LOG(level)                                      \
   ::head::internal::LogCapture(::head::LogLevel::k##level,   \
                                __FILE__, __LINE__)
+
+#define HEAD_LOG_CONCAT_INNER(a, b) a##b
+#define HEAD_LOG_CONCAT(a, b) HEAD_LOG_CONCAT_INNER(a, b)
+
+/// HEAD_LOG that emits only every `n`th time this call site is reached
+/// (starting with the first) — for per-step warnings in the sim loop that
+/// would otherwise flood stderr. Thread-safe; usable only at function scope.
+#define HEAD_LOG_EVERY_N(level, n)                                        \
+  static ::std::atomic<long> HEAD_LOG_CONCAT(head_log_every_n_,           \
+                                             __LINE__){0};                \
+  if (::head::internal::LogEveryN(                                        \
+          HEAD_LOG_CONCAT(head_log_every_n_, __LINE__), (n)))             \
+  HEAD_LOG(level)
 
 #endif  // HEAD_COMMON_LOGGING_H_

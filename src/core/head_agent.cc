@@ -1,6 +1,8 @@
 #include "core/head_agent.h"
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace head::core {
 
@@ -28,23 +30,39 @@ rl::AugmentedState HeadAgent::Perceive(const decision::EgoView& view) {
   frame.ego = view.ego;
   frame.observed = view.observed;
   history_.Push(std::move(frame));
-  const perception::CompletedScene scene = perception::ConstructPhantoms(
-      history_, config_.road, config_.sensor.range_m,
-      config_.variant.use_pvc);
-  graph_ = perception::BuildStGraph(scene, config_.road, config_.scale);
+  perception::CompletedScene scene;
+  {
+    HEAD_SPAN("perception.phantom");
+    scene = perception::ConstructPhantoms(history_, config_.road,
+                                          config_.sensor.range_m,
+                                          config_.variant.use_pvc);
+  }
+  {
+    HEAD_SPAN("perception.graph");
+    graph_ = perception::BuildStGraph(scene, config_.road, config_.scale);
+  }
   perception::Prediction prediction{};
   if (config_.variant.use_lst_gat) {
-    prediction = predictor_->Predict(graph_);
+    prediction = predictor_->Predict(graph_);  // spans itself
   }
+  HEAD_SPAN("perception.augment");
   return rl::BuildAugmentedState(graph_, prediction, config_.road,
                                  config_.scale,
                                  config_.variant.use_lst_gat);
 }
 
 Maneuver HeadAgent::Decide(const decision::EgoView& view) {
+  HEAD_SPAN("agent.act");
+  static obs::Histogram& latency = obs::LatencyHistogram("agent.act");
+  static obs::Counter& decisions = obs::GetCounter("agent.decisions");
+  obs::ScopedTimer timer(latency);
+  decisions.Add();
   last_state_ = Perceive(view);
-  const rl::AgentAction action =
-      agent_->Act(last_state_, /*epsilon=*/0.0, act_rng_);
+  rl::AgentAction action;
+  {
+    HEAD_SPAN("rl.act");
+    action = agent_->Act(last_state_, /*epsilon=*/0.0, act_rng_);
+  }
   return action.maneuver;
 }
 

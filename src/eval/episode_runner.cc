@@ -4,6 +4,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "obs/span.h"
 #include "rl/reward.h"
 
 namespace head::eval {
@@ -34,6 +35,7 @@ EpisodeRecord RunEpisode(decision::Policy& policy, const RunnerConfig& config,
   std::unordered_map<VehicleId, FollowerStat> followers;
 
   while (sim.status() == sim::EpisodeStatus::kRunning) {
+    HEAD_SPAN("episode.step");
     const sim::RoadView before = sim.View();
     const VehicleState ego_before = sim.ego_state();
 

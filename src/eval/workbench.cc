@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "nn/serialize.h"
+#include "obs/metrics.h"
 
 namespace head::eval {
 
@@ -27,6 +28,19 @@ class AgentParams : public nn::Module {
 std::string CachePath(const BenchProfile& profile, const std::string& key) {
   std::filesystem::create_directories(profile.cache_dir);
   return profile.cache_dir + "/" + key + "_" + profile.name + ".bin";
+}
+
+/// Dumps (and resets) the global metrics next to a just-trained cached
+/// model, so a bench run's BENCH_*.json can be joined with the internal
+/// latency/telemetry of the training that produced its weights.
+void DumpTrainingMetrics(const BenchProfile& profile, const std::string& key) {
+  const std::string path =
+      profile.cache_dir + "/metrics_" + key + "_" + profile.name + ".json";
+  if (obs::WriteMetricsJsonFile(path, /*reset=*/true)) {
+    HEAD_LOG(Info) << "metrics snapshot written to " << path;
+  } else {
+    HEAD_LOG(Warning) << "failed to write metrics snapshot to " << path;
+  }
 }
 
 }  // namespace
@@ -110,6 +124,7 @@ std::shared_ptr<perception::LstGat> TrainOrLoadLstGat(
   const data::RealDataset dataset = BuildRealDataset(profile);
   perception::TrainPredictor(*model, dataset.train, profile.pred_train);
   nn::SaveParamsToFile(*model, path);
+  DumpTrainingMetrics(profile, "lstgat");
   return model;
 }
 
@@ -149,6 +164,7 @@ std::shared_ptr<rl::PdqnAgent> TrainOrLoadHeadPolicy(
   const rl::RlTrainResult result = rl::TrainAgent(*agent, env, train);
   if (train_result != nullptr) *train_result = result;
   nn::SaveParamsToFile(params, path);
+  DumpTrainingMetrics(profile, key);
   return agent;
 }
 
@@ -180,6 +196,7 @@ std::shared_ptr<rl::DrlScAgent> TrainOrLoadDrlSc(
   train.seed = profile.seed + 31;
   rl::TrainAgent(*agent, env, train);
   nn::SaveParamsToFile(agent->q_mlp(), path);
+  DumpTrainingMetrics(profile, "policy_DRL_SC");
   return agent;
 }
 

@@ -17,7 +17,7 @@ void Optimizer::ZeroGrad() {
   for (Var& p : params_) p.ZeroGrad();
 }
 
-void Optimizer::ClipGradNorm(double max_norm) {
+double Optimizer::ClipGradNorm(double max_norm) {
   HEAD_CHECK_GT(max_norm, 0.0);
   double sq = 0.0;
   for (Var& p : params_) {
@@ -25,12 +25,13 @@ void Optimizer::ClipGradNorm(double max_norm) {
     for (int i = 0; i < g.size(); ++i) sq += g[i] * g[i];
   }
   const double norm = std::sqrt(sq);
-  if (norm <= max_norm || norm == 0.0) return;
+  if (norm <= max_norm || norm == 0.0) return norm;
   const double scale = max_norm / norm;
   for (Var& p : params_) {
     Tensor& g = p.mutable_grad();
     for (int i = 0; i < g.size(); ++i) g[i] *= scale;
   }
+  return norm;
 }
 
 Sgd::Sgd(std::vector<Var> params, double lr) : Optimizer(std::move(params)) {

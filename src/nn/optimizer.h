@@ -21,7 +21,8 @@ class Optimizer {
   void ZeroGrad();
 
   /// Rescales gradients so their global L2 norm is at most `max_norm`.
-  void ClipGradNorm(double max_norm);
+  /// Returns the pre-clip norm (telemetry: gradient-norm histograms).
+  double ClipGradNorm(double max_norm);
 
   void set_learning_rate(double lr) { lr_ = lr; }
   double learning_rate() const { return lr_; }

@@ -1,0 +1,264 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace head::obs {
+
+namespace {
+
+/// fetch_add for atomic<double> via CAS (fetch_add on floating atomics is
+/// C++20 but not universally lock-free; the CAS loop is portable).
+void AtomicAdd(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Compact number formatting for text/JSON output (no trailing zeros).
+std::string FormatNumber(double v) {
+  std::ostringstream oss;
+  oss.precision(9);
+  oss << v;
+  return oss.str();
+}
+
+}  // namespace
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * count;
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double lower = i == 0 ? min : std::max(min, bounds[i - 1]);
+    const double upper = i == bounds.size() ? max : std::min(max, bounds[i]);
+    if (cumulative + buckets[i] >= rank) {
+      const double within =
+          buckets[i] > 0 ? (rank - cumulative) / buckets[i] : 0.0;
+      return std::clamp(lower + within * (upper - lower), min, max);
+    }
+    cumulative += buckets[i];
+  }
+  return max;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  HEAD_CHECK(!bounds_.empty());
+  HEAD_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::Observe(double v) {
+  // Bucket i holds (bounds[i-1], bounds[i]] — prometheus "le" convention.
+  const size_t i =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, v);
+  AtomicMin(min_, v);
+  AtomicMax(max_, v);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.bounds = bounds_;
+  s.buckets.reserve(buckets_.size());
+  for (const std::atomic<int64_t>& b : buckets_) {
+    s.buckets.push_back(b.load(std::memory_order_relaxed));
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  const double lo = min_.load(std::memory_order_relaxed);
+  const double hi = max_.load(std::memory_order_relaxed);
+  s.min = std::isfinite(lo) ? lo : 0.0;
+  s.max = std::isfinite(hi) ? hi : 0.0;
+  return s;
+}
+
+void Histogram::Reset() {
+  for (std::atomic<int64_t>& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+std::vector<double> ExponentialBounds(double start, double factor, int count) {
+  HEAD_CHECK_GT(start, 0.0);
+  HEAD_CHECK_GT(factor, 1.0);
+  HEAD_CHECK_GT(count, 0);
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+namespace {
+
+std::vector<double> DefaultLatencyBounds() {
+  // 1 µs · 2.5^k, k = 0..19 — tops out around 3.6e3 s; plenty for any span.
+  return ExponentialBounds(1e-6, 2.5, 20);
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToText() const {
+  std::ostringstream oss;
+  for (const auto& [name, v] : counters) {
+    oss << "counter   " << name << " = " << v << "\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    oss << "gauge     " << name << " = " << FormatNumber(v) << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    oss << "histogram " << name << " count=" << h.count
+        << " mean=" << FormatNumber(h.Mean())
+        << " min=" << FormatNumber(h.min) << " max=" << FormatNumber(h.max)
+        << " p50=" << FormatNumber(h.Quantile(0.50))
+        << " p95=" << FormatNumber(h.Quantile(0.95))
+        << " p99=" << FormatNumber(h.Quantile(0.99)) << "\n";
+  }
+  return oss.str();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream oss;
+  oss << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    oss << (first ? "" : ",") << "\"" << name << "\":" << v;
+    first = false;
+  }
+  oss << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    oss << (first ? "" : ",") << "\"" << name << "\":" << FormatNumber(v);
+    first = false;
+  }
+  oss << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    oss << (first ? "" : ",") << "\"" << name << "\":{"
+        << "\"count\":" << h.count << ",\"sum\":" << FormatNumber(h.sum)
+        << ",\"min\":" << FormatNumber(h.min)
+        << ",\"max\":" << FormatNumber(h.max)
+        << ",\"mean\":" << FormatNumber(h.Mean())
+        << ",\"p50\":" << FormatNumber(h.Quantile(0.50))
+        << ",\"p95\":" << FormatNumber(h.Quantile(0.95))
+        << ",\"p99\":" << FormatNumber(h.Quantile(0.99)) << "}";
+    first = false;
+  }
+  oss << "}}";
+  return oss.str();
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // never destroyed
+  return *registry;
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_[name];
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_[name];
+}
+
+Histogram& Registry::GetHistogram(const std::string& name,
+                                  std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  if (bounds.empty()) bounds = DefaultLatencyBounds();
+  return histograms_.try_emplace(name, std::move(bounds)).first->second;
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c.value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g.value();
+  for (const auto& [name, h] : histograms_) s.histograms[name] = h.Snapshot();
+  return s;
+}
+
+MetricsSnapshot Registry::SnapshotAndReset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  for (auto& [name, c] : counters_) {
+    s.counters[name] = c.value();
+    c.Reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    s.gauges[name] = g.value();
+    g.Reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    s.histograms[name] = h.Snapshot();
+    h.Reset();
+  }
+  return s;
+}
+
+Counter& GetCounter(const std::string& name) {
+  return Registry::Global().GetCounter(name);
+}
+
+Gauge& GetGauge(const std::string& name) {
+  return Registry::Global().GetGauge(name);
+}
+
+Histogram& GetHistogram(const std::string& name, std::vector<double> bounds) {
+  return Registry::Global().GetHistogram(name, std::move(bounds));
+}
+
+Histogram& LatencyHistogram(const std::string& name) {
+  return Registry::Global().GetHistogram(name + ".seconds");
+}
+
+bool WriteMetricsJsonFile(const std::string& path, bool reset) {
+  const MetricsSnapshot snapshot = reset
+                                       ? Registry::Global().SnapshotAndReset()
+                                       : Registry::Global().Snapshot();
+  std::ofstream os(path);
+  if (!os.good()) return false;
+  os << snapshot.ToJson() << "\n";
+  return os.good();
+}
+
+}  // namespace head::obs

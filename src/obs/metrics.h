@@ -1,0 +1,147 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms, all safe for concurrent use from the hot path. Benches and the
+// CLI take snapshots (optionally resetting the values) and export them as a
+// human-readable table or JSON, so internal latencies and training telemetry
+// (loss, epsilon, reward terms) can ride alongside the paper-table outputs.
+//
+// Call-site idiom — resolve the metric once, then touch only atomics:
+//
+//   static obs::Counter& steps = obs::GetCounter("sim.steps");
+//   steps.Add();
+//
+// Registered metrics are never removed (Reset only zeroes values), so the
+// references cached in function-local statics stay valid for the lifetime of
+// the process.
+#ifndef HEAD_OBS_METRICS_H_
+#define HEAD_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace head::obs {
+
+/// Monotonically increasing integer (events, steps, updates).
+class Counter {
+ public:
+  void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins double (epsilon, replay fill, learning rate).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time copy of a histogram, with the quantile math.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< meaningful only when count > 0
+  double max = 0.0;
+  /// Upper bounds of the first bounds.size() buckets; an implicit overflow
+  /// bucket catches everything above bounds.back().
+  std::vector<double> bounds;
+  std::vector<int64_t> buckets;  ///< size bounds.size() + 1
+
+  double Mean() const { return count > 0 ? sum / count : 0.0; }
+  /// Linear interpolation inside the bucket holding rank q·count, clamped to
+  /// the observed [min, max]. q in [0, 1]; returns 0 when empty.
+  double Quantile(double q) const;
+};
+
+/// Fixed-bucket histogram. Observe() is lock-free; cross-field consistency
+/// (count vs sum vs buckets) is only guaranteed at quiescence, which is all
+/// the snapshot/report use cases need.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<int64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// `count` upper bounds starting at `start`, each `factor` times the last —
+/// the default shape for latency-in-seconds histograms.
+std::vector<double> ExponentialBounds(double start, double factor, int count);
+
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Human-readable table, one metric per line.
+  std::string ToText() const;
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
+  ///  mean,p50,p95,p99}}}
+  std::string ToJson() const;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry used by all instrumentation.
+  static Registry& Global();
+
+  /// Finds or creates. The returned reference is valid forever.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// `bounds` is used only on first creation; empty selects the default
+  /// latency bounds (1 µs … ~130 s, factor 2.5).
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  MetricsSnapshot Snapshot() const;
+  /// Snapshot, then zero every value (metrics stay registered) — lets a
+  /// bench scope its measurement to one run.
+  MetricsSnapshot SnapshotAndReset();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  // unique_ptr-free node stability: std::map never moves its mapped values.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// Shorthands over Registry::Global().
+Counter& GetCounter(const std::string& name);
+Gauge& GetGauge(const std::string& name);
+Histogram& GetHistogram(const std::string& name,
+                        std::vector<double> bounds = {});
+/// Histogram named `<name>.seconds` with the default latency bounds.
+Histogram& LatencyHistogram(const std::string& name);
+
+/// Writes Registry::Global().Snapshot() as JSON to `path` (false on I/O
+/// error). When `reset` is true the values are zeroed after the snapshot.
+bool WriteMetricsJsonFile(const std::string& path, bool reset = false);
+
+}  // namespace head::obs
+
+#endif  // HEAD_OBS_METRICS_H_

@@ -1,0 +1,118 @@
+#include "obs/span.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+
+#include "obs/metrics.h"
+
+namespace head::obs {
+
+namespace {
+
+// Completed spans from every thread, appended under a mutex. Span end is not
+// a hot enough event to justify per-thread buffers yet: a traced sim step
+// produces ~10 spans, each append is ~20 ns.
+std::mutex g_events_mu;
+std::vector<TraceEvent> g_events;
+std::atomic<int64_t> g_dropped{0};
+
+// Unbounded traces of long RL trainings would eat the heap; cap and count.
+constexpr size_t kMaxEvents = 1 << 21;  // ~2M spans ≈ 80 MB
+
+std::atomic<uint32_t> g_next_tid{0};
+
+uint32_t ThisThreadId() {
+  thread_local const uint32_t tid =
+      g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+thread_local int t_depth = 0;
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+uint64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int SpanBegin() { return t_depth++; }
+
+void SpanEnd(const char* name, uint64_t start_ns, int depth) {
+  const uint64_t end_ns = NowNs();
+  --t_depth;
+  std::lock_guard<std::mutex> lock(g_events_mu);
+  if (g_events.size() >= kMaxEvents) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  g_events.push_back(
+      {name, ThisThreadId(), depth, start_ns, end_ns - start_ns});
+}
+
+}  // namespace internal
+
+void SetTracingEnabled(bool enabled) {
+  internal::g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> DrainTraceEvents() {
+  std::lock_guard<std::mutex> lock(g_events_mu);
+  std::vector<TraceEvent> out;
+  out.swap(g_events);
+  return out;
+}
+
+int64_t DroppedTraceEvents() {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Nanoseconds as decimal microseconds ("12.345") — Chrome's time unit,
+/// without losing the nanosecond precision.
+std::string NsAsUs(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+void WriteChromeTrace(const std::vector<TraceEvent>& events,
+                      std::ostream& os) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << e.name << "\",\"cat\":\"head\",\"ph\":\"X\""
+       << ",\"pid\":0,\"tid\":" << e.tid << ",\"ts\":" << NsAsUs(e.start_ns)
+       << ",\"dur\":" << NsAsUs(e.dur_ns)
+       << ",\"args\":{\"depth\":" << e.depth << "}}";
+  }
+  os << "]}\n";
+}
+
+bool WriteChromeTraceFile(const std::string& path) {
+  std::ofstream os(path);
+  if (!os.good()) return false;
+  WriteChromeTrace(DrainTraceEvents(), os);
+  return os.good();
+}
+
+ScopedTimer::~ScopedTimer() {
+  hist_.Observe((internal::NowNs() - start_ns_) * 1e-9);
+}
+
+}  // namespace head::obs

@@ -1,6 +1,7 @@
 #include "perception/lst_gat.h"
 
 #include "common/check.h"
+#include "obs/span.h"
 
 namespace head::perception {
 
@@ -69,6 +70,7 @@ nn::Var LstGat::GatStep(const StepNodes& nodes) const {
 }
 
 nn::Var LstGat::ForwardScaled(const StGraph& graph) const {
+  HEAD_SPAN("perception.lstgat.forward");
   HEAD_CHECK_GT(graph.z(), 0);
   nn::LstmState state = lstm_.InitialState(kNumAreas);
   for (int k = 0; k < graph.z(); ++k) {

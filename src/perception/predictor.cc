@@ -1,10 +1,15 @@
 #include "perception/predictor.h"
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace head::perception {
 
 Prediction StatePredictor::Predict(const StGraph& graph) const {
+  HEAD_SPAN("perception.predict");
+  static obs::Histogram& latency = obs::LatencyHistogram("perception.predict");
+  obs::ScopedTimer timer(latency);
   const nn::Var out = ForwardScaled(graph);
   HEAD_CHECK_EQ(out.value().rows(), kNumAreas);
   HEAD_CHECK_EQ(out.value().cols(), 3);

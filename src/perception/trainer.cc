@@ -8,6 +8,8 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace head::perception {
 
@@ -49,9 +51,20 @@ PredictionTrainResult TrainPredictor(
   std::vector<int> order(train.size());
   std::iota(order.begin(), order.end(), 0);
 
+  static obs::Counter& epochs_counter =
+      obs::GetCounter("perception.train.epochs");
+  static obs::Gauge& loss_gauge =
+      obs::GetGauge("perception.train.epoch_loss");
+  static obs::Gauge& rmse_gauge =
+      obs::GetGauge("perception.train.epoch_rmse");
+  static obs::Histogram& epoch_latency =
+      obs::LatencyHistogram("perception.train.epoch");
+
   PredictionTrainResult result;
   const auto start = std::chrono::steady_clock::now();
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    HEAD_SPAN("perception.train.epoch");
+    obs::ScopedTimer epoch_timer(epoch_latency);
     std::shuffle(order.begin(), order.end(), rng.engine());
     double epoch_loss = 0.0;
     for (size_t b = 0; b < order.size(); b += config.batch_size) {
@@ -73,6 +86,9 @@ PredictionTrainResult TrainPredictor(
       opt.Step();
     }
     epoch_loss /= train.size();
+    epochs_counter.Add();
+    loss_gauge.Set(epoch_loss);
+    rmse_gauge.Set(std::sqrt(std::max(epoch_loss, 0.0)));
     result.epoch_losses.push_back(epoch_loss);
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)

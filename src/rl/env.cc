@@ -1,6 +1,7 @@
 #include "rl/env.h"
 
 #include "common/check.h"
+#include "obs/span.h"
 
 namespace head::rl {
 
@@ -19,6 +20,7 @@ DrivingEnv::DrivingEnv(const EnvConfig& config,
 }
 
 AugmentedState DrivingEnv::Perceive() {
+  HEAD_SPAN("env.perceive");
   perception::ObservationFrame frame;
   frame.ego = sim_.ego_state();
   frame.observed = sensor::Observe(sim_.GlobalSnapshot(), sim_.ego_state(),
@@ -55,6 +57,7 @@ std::optional<sim::VehicleSnapshot> DrivingEnv::RealNeighbor(
 }
 
 DrivingEnv::StepOutcome DrivingEnv::Step(const Maneuver& maneuver) {
+  HEAD_SPAN("env.step");
   HEAD_CHECK(sim_.status() == sim::EpisodeStatus::kRunning);
 
   // Remember the rear conventional vehicle before acting (impact reward

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace head::rl {
 
@@ -106,8 +108,15 @@ void PdqnAgent::UpdateCritic(const std::vector<const Transition*>& batch) {
   for (size_t i = 1; i < losses.size(); ++i) loss = nn::Add(loss, losses[i]);
   loss = nn::Scale(loss, 1.0 / losses.size());
   nn::Backward(loss);
-  q_opt_.ClipGradNorm(10.0);
+  const double grad_norm = q_opt_.ClipGradNorm(10.0);
   q_opt_.Step();
+
+  static obs::Histogram& loss_hist = obs::GetHistogram(
+      "rl.critic_loss", obs::ExponentialBounds(1e-4, 2.0, 28));
+  static obs::Histogram& norm_hist = obs::GetHistogram(
+      "rl.grad_norm.critic", obs::ExponentialBounds(1e-4, 2.0, 28));
+  loss_hist.Observe(loss.value()[0]);
+  norm_hist.Observe(grad_norm);
 }
 
 void PdqnAgent::UpdateActor(const std::vector<const Transition*>& batch) {
@@ -124,8 +133,12 @@ void PdqnAgent::UpdateActor(const std::vector<const Transition*>& batch) {
   for (size_t i = 1; i < losses.size(); ++i) loss = nn::Add(loss, losses[i]);
   loss = nn::Scale(loss, 1.0 / losses.size());
   nn::Backward(loss);
-  x_opt_.ClipGradNorm(10.0);
+  const double grad_norm = x_opt_.ClipGradNorm(10.0);
   x_opt_.Step();
+
+  static obs::Histogram& norm_hist = obs::GetHistogram(
+      "rl.grad_norm.actor", obs::ExponentialBounds(1e-4, 2.0, 28));
+  norm_hist.Observe(grad_norm);
 }
 
 void PdqnAgent::Update(Rng& rng) {
@@ -145,6 +158,13 @@ void PdqnAgent::Update(Rng& rng) {
     train_q = phase == 0;
     train_x = phase == 1;
   }
+  HEAD_SPAN("rl.update");
+  static obs::Counter& updates = obs::GetCounter("rl.updates");
+  static obs::Gauge& replay_fill = obs::GetGauge("rl.replay_fill");
+  updates.Add();
+  replay_fill.Set(static_cast<double>(buffer_.size()) /
+                  static_cast<double>(config_.buffer_capacity));
+
   const std::vector<const Transition*> batch =
       buffer_.Sample(config_.batch_size, rng);
   if (train_q) UpdateCritic(batch);

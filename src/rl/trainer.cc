@@ -6,8 +6,22 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace head::rl {
+
+namespace {
+
+/// Bipolar value-scale bounds for reward/loss-style histograms: rewards and
+/// reward terms live roughly in [-3, 1]; bucket on [-4, 4] in 0.1 steps.
+std::vector<double> RewardBounds() {
+  std::vector<double> b;
+  for (double v = -4.0; v <= 4.0 + 1e-9; v += 0.1) b.push_back(v);
+  return b;
+}
+
+}  // namespace
 
 RlTrainResult TrainAgent(PamdpAgent& agent, DrivingEnv& env,
                          const RlTrainConfig& config) {
@@ -31,8 +45,25 @@ RlTrainResult TrainAgent(PamdpAgent& agent, DrivingEnv& env,
         config.epsilon_start +
         frac * (config.epsilon_end - config.epsilon_start);
 
+    static obs::Counter& episodes_counter = obs::GetCounter("rl.episodes");
+    static obs::Gauge& epsilon_gauge = obs::GetGauge("rl.epsilon");
+    static obs::Histogram& reward_hist =
+        obs::GetHistogram("rl.episode_reward", RewardBounds());
+    static obs::Histogram& safety_hist =
+        obs::GetHistogram("rl.reward.safety", RewardBounds());
+    static obs::Histogram& efficiency_hist =
+        obs::GetHistogram("rl.reward.efficiency", RewardBounds());
+    static obs::Histogram& comfort_hist =
+        obs::GetHistogram("rl.reward.comfort", RewardBounds());
+    static obs::Histogram& impact_hist =
+        obs::GetHistogram("rl.reward.impact", RewardBounds());
+    HEAD_SPAN("rl.train.episode");
+    episodes_counter.Add();
+    epsilon_gauge.Set(epsilon);
+
     AugmentedState state = env.Reset(config.seed * 7919 + ep);
     double ep_reward = 0.0;
+    RewardTerms ep_terms;  // per-episode sums of the Eq. 28 decomposition
     int steps = 0;
     while (steps < config.max_steps_per_episode) {
       const AgentAction action = agent.Act(state, epsilon, rng);
@@ -41,10 +72,20 @@ RlTrainResult TrainAgent(PamdpAgent& agent, DrivingEnv& env,
                      outcome.done);
       agent.Update(rng);
       ep_reward += outcome.reward.total;
+      ep_terms.safety += outcome.reward.safety;
+      ep_terms.efficiency += outcome.reward.efficiency;
+      ep_terms.comfort += outcome.reward.comfort;
+      ep_terms.impact += outcome.reward.impact;
       ++steps;
       state = outcome.next_state;
       if (outcome.done) break;
     }
+    const double inv_steps = 1.0 / std::max(steps, 1);
+    reward_hist.Observe(ep_reward * inv_steps);
+    safety_hist.Observe(ep_terms.safety * inv_steps);
+    efficiency_hist.Observe(ep_terms.efficiency * inv_steps);
+    comfort_hist.Observe(ep_terms.comfort * inv_steps);
+    impact_hist.Observe(ep_terms.impact * inv_steps);
     result.episode_rewards.push_back(ep_reward / std::max(steps, 1));
     result.episode_elapsed_seconds.push_back(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)

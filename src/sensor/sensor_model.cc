@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "sensor/occlusion.h"
 
 namespace head::sensor {
@@ -28,6 +30,9 @@ std::vector<sim::VehicleSnapshot> Observe(
     const std::vector<sim::VehicleSnapshot>& global_snapshot,
     const VehicleState& ego, const SensorConfig& sensor,
     const RoadConfig& road) {
+  HEAD_SPAN("sensor.observe");
+  static obs::Counter& observations = obs::GetCounter("sensor.observations");
+  observations.Add();
   std::vector<sim::VehicleSnapshot> out;
   for (const sim::VehicleSnapshot& v : global_snapshot) {
     if (v.id == kEgoVehicleId) continue;

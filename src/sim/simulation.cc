@@ -4,6 +4,9 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "sim/acc.h"
 #include "sim/idm.h"
 #include "sim/krauss.h"
@@ -169,6 +172,18 @@ bool Simulation::EgoCollided(double ego_prev_lon,
 
 EpisodeStatus Simulation::Step(const Maneuver& ego_maneuver) {
   if (status_ != EpisodeStatus::kRunning) return status_;
+  HEAD_SPAN("sim.step");
+  static obs::Counter& steps_counter = obs::GetCounter("sim.steps");
+  static obs::Histogram& step_latency = obs::LatencyHistogram("sim.step");
+  obs::ScopedTimer step_timer(step_latency);
+  steps_counter.Add();
+
+  if (std::fabs(ego_maneuver.accel_mps2) > config_.road.a_max_mps2) {
+    HEAD_LOG_EVERY_N(Warning, 200)
+        << "ego accel " << ego_maneuver.accel_mps2
+        << " m/s^2 exceeds road a_max " << config_.road.a_max_mps2
+        << "; kinematics will clamp it";
+  }
 
   const double ego_prev_lon = ego_.state.lon_m;
   std::vector<double> prev_lons(fleet_.size());

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Sanitizer gate for the concurrent observability layer: builds the project
+# with ThreadSanitizer (HEAD_SANITIZE=thread) and runs the obs + sim test
+# binaries under it. Usage:
+#
+#   tools/check.sh              # TSan build + obs/sim tests
+#   HEAD_SANITIZE=address tools/check.sh   # same gate under ASan+UBSan
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZER="${HEAD_SANITIZE:-thread}"
+BUILD_DIR="build-${SANITIZER}san"
+
+cmake -B "${BUILD_DIR}" -S . -DHEAD_SANITIZE="${SANITIZER}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD_DIR}" -j \
+  --target obs_test obs_trace_test sim_simulation_test sim_models_test
+
+echo "== running obs + sim tests under ${SANITIZER} sanitizer =="
+for t in obs_test obs_trace_test sim_simulation_test sim_models_test; do
+  echo "-- ${t}"
+  "${BUILD_DIR}/tests/${t}"
+done
+echo "== ${SANITIZER}-sanitized checks passed =="

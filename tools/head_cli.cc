@@ -10,12 +10,18 @@
 //       Record one episode and write the per-step CSV.
 //   head_cli render <scenario> [seed]
 //       Print a short ASCII replay of an IDM-LC episode.
+//
+// Global flags (any position):
+//   --metrics-out=<path>   Write a JSON metrics snapshot on exit.
+//   --trace-out=<path>     Enable span tracing; write Chrome trace-event
+//                          JSON on exit (open in chrome://tracing/Perfetto).
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "decision/acc_lc.h"
 #include "decision/idm_lc.h"
@@ -24,6 +30,8 @@
 #include "eval/table.h"
 #include "eval/trace.h"
 #include "eval/workbench.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "sim/scenario.h"
 
 namespace {
@@ -33,10 +41,12 @@ using namespace head;
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  head_cli scenarios\n"
-               "  head_cli run <scenario> <policy> [episodes] [seed]\n"
-               "  head_cli trace <scenario> <policy> <out.csv> [seed]\n"
-               "  head_cli render <scenario> [seed]\n"
+               "  head_cli [flags] scenarios\n"
+               "  head_cli [flags] run <scenario> <policy> [episodes] [seed]\n"
+               "  head_cli [flags] trace <scenario> <policy> <out.csv> "
+               "[seed]\n"
+               "  head_cli [flags] render <scenario> [seed]\n"
+               "flags: --metrics-out=<path> | --trace-out=<path>\n"
                "policies: idm | acc | tpbts | head\n"
                "scenarios:");
   for (const std::string& name : sim::ScenarioNames()) {
@@ -142,16 +152,57 @@ int CmdRender(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  const std::string cmd = argv[1];
+  // Strip the observability flags before command dispatch.
+  std::string metrics_out;
+  std::string trace_out;
+  std::vector<char*> args;
+  args.reserve(argc);
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(std::string("--metrics-out=").size());
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::string("--trace-out=").size());
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!trace_out.empty()) head::obs::SetTracingEnabled(true);
+
+  int rc = 2;
+  const int n = static_cast<int>(args.size());
+  const std::string cmd = n > 1 ? args[1] : "";
   if (cmd == "scenarios") {
     for (const std::string& name : head::sim::ScenarioNames()) {
       std::printf("%s\n", name.c_str());
     }
-    return 0;
+    rc = 0;
+  } else if (cmd == "run") {
+    rc = CmdRun(n, args.data());
+  } else if (cmd == "trace") {
+    rc = CmdTrace(n, args.data());
+  } else if (cmd == "render") {
+    rc = CmdRender(n, args.data());
+  } else {
+    rc = Usage();
   }
-  if (cmd == "run") return CmdRun(argc, argv);
-  if (cmd == "trace") return CmdTrace(argc, argv);
-  if (cmd == "render") return CmdRender(argc, argv);
-  return Usage();
+
+  if (!trace_out.empty()) {
+    if (head::obs::WriteChromeTraceFile(trace_out)) {
+      std::fprintf(stderr, "trace written to %s\n", trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_out.c_str());
+      rc = rc == 0 ? 1 : rc;
+    }
+  }
+  if (!metrics_out.empty()) {
+    if (head::obs::WriteMetricsJsonFile(metrics_out)) {
+      std::fprintf(stderr, "metrics written to %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write metrics to %s\n",
+                   metrics_out.c_str());
+      rc = rc == 0 ? 1 : rc;
+    }
+  }
+  return rc;
 }
