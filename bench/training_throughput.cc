@@ -1,0 +1,270 @@
+// Training-hot-path throughput: RL transitions/sec through PdqnAgent::Update
+// and prediction samples/sec through TrainPredictor, each measured on the
+// per-sample reference path and the vectorized minibatch path. Emits JSON
+// (--json-out) and optionally gates against a checked-in baseline
+// (--baseline, --max-regress) so CI catches throughput regressions.
+//
+// Usage:
+//   training_throughput [--json-out=path] [--baseline=path]
+//                       [--max-regress=0.30] [--skip-per-sample] [--trials=N]
+//
+// HEAD_BENCH_PROFILE=paper scales up the measured work; the default (fast)
+// sizes fit a CI smoke stage.
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "perception/lst_gat.h"
+#include "perception/trainer.h"
+#include "rl/pdqn_agent.h"
+
+namespace {
+
+using head::Rng;
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+head::rl::AugmentedState RandomState(Rng& rng) {
+  head::rl::AugmentedState s;
+  s.h = head::nn::Tensor::Uniform(head::rl::kStateHRows, head::rl::kStateCols,
+                                  -1.0, 1.0, rng);
+  s.f = head::nn::Tensor::Uniform(head::rl::kStateFRows, head::rl::kStateCols,
+                                  -1.0, 1.0, rng);
+  return s;
+}
+
+/// Transitions/sec of PdqnAgent::Update on a warmed-up replay buffer (each
+/// update consumes one minibatch through critic + actor).
+double MeasureRlThroughput(bool batched, int updates) {
+  head::rl::PdqnConfig config;  // paper-scale nets: hidden 64, batch 64
+  config.batched_updates = batched;
+  Rng init(11);
+  auto agent = head::rl::MakeBpDqnAgent(config, init);
+
+  Rng data(21);
+  for (int i = 0; i < config.warmup_transitions + config.batch_size; ++i) {
+    const head::rl::AugmentedState s = RandomState(data);
+    const head::rl::AugmentedState s2 = RandomState(data);
+    head::rl::AgentAction action;
+    action.behavior = data.UniformInt(0, head::rl::kNumBehaviors - 1);
+    action.params = head::nn::Tensor::Uniform(1, head::rl::kNumBehaviors,
+                                              -3.0, 3.0, data);
+    action.maneuver.lane_change =
+        head::rl::BehaviorToLaneChange(action.behavior);
+    action.maneuver.accel_mps2 = action.params[action.behavior];
+    agent->Remember(s, action, data.Uniform(-1.0, 1.0), s2,
+                    /*terminal=*/i % 23 == 0);
+  }
+
+  Rng rng(31);
+  agent->Update(rng);  // warm caches outside the timed region
+  const double t0 = Now();
+  for (int u = 0; u < updates; ++u) agent->Update(rng);
+  const double elapsed = Now() - t0;
+  return static_cast<double>(config.batch_size) * updates / elapsed;
+}
+
+std::vector<head::perception::PredictionSample> MakeSamples(int count, int z,
+                                                            Rng& rng) {
+  std::vector<head::perception::PredictionSample> samples;
+  samples.reserve(count);
+  for (int n = 0; n < count; ++n) {
+    head::perception::PredictionSample s;
+    s.graph.steps.resize(z);
+    for (auto& step : s.graph.steps) {
+      for (auto& target : step.feat) {
+        for (auto& node : target) {
+          for (double& f : node) f = rng.Uniform(-1.0, 1.0);
+        }
+      }
+    }
+    for (int i = 0; i < head::perception::kNumAreas; ++i) {
+      for (int c = 0; c < 3; ++c) {
+        s.graph.target_rel_current[i][c] = rng.Uniform(-1.0, 1.0);
+        s.truth.value[i][c] = rng.Uniform(-1.0, 1.0);
+      }
+      s.truth.valid[i] = rng.Uniform(0.0, 1.0) < 0.8;
+    }
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+/// Samples/sec of TrainPredictor over LST-GAT at paper-scale widths.
+double MeasurePredictionThroughput(bool batched, int sample_count,
+                                   int epochs) {
+  head::perception::LstGatConfig net_config;  // defaults: 64-wide, as paper
+  Rng init(7);
+  head::perception::LstGat model(net_config, init);
+  Rng data(17);
+  const auto samples = MakeSamples(sample_count, /*z=*/4, data);
+
+  head::perception::PredictionTrainConfig config;
+  config.epochs = epochs;
+  config.batched = batched;
+  const double t0 = Now();
+  head::perception::TrainPredictor(model, samples, config);
+  const double elapsed = Now() - t0;
+  return static_cast<double>(sample_count) * epochs / elapsed;
+}
+
+double ArgValue(int argc, char** argv, const std::string& flag,
+                double fallback) {
+  const std::string prefix = flag + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return std::atof(arg.c_str() + prefix.size());
+  }
+  return fallback;
+}
+
+std::string ArgString(int argc, char** argv, const std::string& flag) {
+  const std::string prefix = flag + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return "";
+}
+
+bool HasFlag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+/// Best-of-N throughput: on a shared machine a single trial can be halved by
+/// scheduling noise; the max over a few short trials is the stable signal the
+/// regression gate needs.
+double BestOf(int trials, const std::function<double()>& measure) {
+  double best = 0.0;
+  for (int t = 0; t < trials; ++t) best = std::max(best, measure());
+  return best;
+}
+
+/// Minimal extraction of `"key":<number>` from a flat JSON file — enough for
+/// the baseline format this binary itself writes.
+bool ReadJsonNumber(const std::string& text, const std::string& key,
+                    double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::atof(text.c_str() + pos + needle.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* profile_env = std::getenv("HEAD_BENCH_PROFILE");
+  const bool paper = profile_env && std::string(profile_env) == "paper";
+  const int rl_updates = paper ? 200 : 30;
+  const int pred_samples = paper ? 512 : 128;
+  const int pred_epochs = paper ? 4 : 1;
+  const int trials =
+      static_cast<int>(ArgValue(argc, argv, "--trials", paper ? 2 : 3));
+  const bool skip_per_sample = HasFlag(argc, argv, "--skip-per-sample");
+
+  std::cout << "profile: " << (paper ? "paper" : "fast") << " (best of "
+            << trials << " trials)\n";
+
+  const double rl_batched = BestOf(
+      trials, [&] { return MeasureRlThroughput(/*batched=*/true, rl_updates); });
+  std::cout << "rl batched:       " << rl_batched << " transitions/sec\n";
+  const double pred_batched = BestOf(trials, [&] {
+    return MeasurePredictionThroughput(/*batched=*/true, pred_samples,
+                                       pred_epochs);
+  });
+  std::cout << "pred batched:     " << pred_batched << " samples/sec\n";
+
+  double rl_per_sample = 0.0;
+  double pred_per_sample = 0.0;
+  if (!skip_per_sample) {
+    rl_per_sample = BestOf(trials, [&] {
+      return MeasureRlThroughput(/*batched=*/false, rl_updates);
+    });
+    std::cout << "rl per-sample:    " << rl_per_sample
+              << " transitions/sec (speedup "
+              << rl_batched / rl_per_sample << "x)\n";
+    pred_per_sample = BestOf(trials, [&] {
+      return MeasurePredictionThroughput(/*batched=*/false, pred_samples,
+                                         pred_epochs);
+    });
+    std::cout << "pred per-sample:  " << pred_per_sample
+              << " samples/sec (speedup " << pred_batched / pred_per_sample
+              << "x)\n";
+  }
+
+  std::ostringstream json;
+  json.precision(6);
+  json << "{\"profile\":\"" << (paper ? "paper" : "fast") << "\","
+       << "\"rl_transitions_per_sec_batched\":" << rl_batched << ","
+       << "\"rl_transitions_per_sec_per_sample\":" << rl_per_sample << ","
+       << "\"rl_speedup\":"
+       << (rl_per_sample > 0 ? rl_batched / rl_per_sample : 0.0) << ","
+       << "\"pred_samples_per_sec_batched\":" << pred_batched << ","
+       << "\"pred_samples_per_sec_per_sample\":" << pred_per_sample << ","
+       << "\"pred_speedup\":"
+       << (pred_per_sample > 0 ? pred_batched / pred_per_sample : 0.0)
+       << "}";
+
+  const std::string json_out = ArgString(argc, argv, "--json-out");
+  if (!json_out.empty()) {
+    std::ofstream os(json_out);
+    os << json.str() << "\n";
+    if (!os.good()) {
+      std::cerr << "failed to write " << json_out << "\n";
+      return 1;
+    }
+  }
+  std::cout << json.str() << "\n";
+
+  // Regression gate: current batched throughput must stay within
+  // --max-regress of the checked-in baseline.
+  const std::string baseline_path = ArgString(argc, argv, "--baseline");
+  if (!baseline_path.empty()) {
+    std::ifstream is(baseline_path);
+    if (!is.good()) {
+      std::cerr << "cannot read baseline " << baseline_path << "\n";
+      return 1;
+    }
+    std::stringstream buf;
+    buf << is.rdbuf();
+    const double max_regress = ArgValue(argc, argv, "--max-regress", 0.30);
+    const struct {
+      const char* key;
+      double current;
+    } gates[] = {
+        {"rl_transitions_per_sec_batched", rl_batched},
+        {"pred_samples_per_sec_batched", pred_batched},
+    };
+    for (const auto& gate : gates) {
+      double expected = 0.0;
+      if (!ReadJsonNumber(buf.str(), gate.key, &expected)) {
+        std::cerr << "baseline missing key " << gate.key << "\n";
+        return 1;
+      }
+      const double floor = expected * (1.0 - max_regress);
+      if (gate.current < floor) {
+        std::cerr << "PERF REGRESSION: " << gate.key << " = " << gate.current
+                  << " < floor " << floor << " (baseline " << expected
+                  << ", max regress " << max_regress * 100 << "%)\n";
+        return 1;
+      }
+      std::cout << "perf gate ok: " << gate.key << " = " << gate.current
+                << " >= " << floor << "\n";
+    }
+  }
+  return 0;
+}

@@ -21,6 +21,17 @@ struct VarImpl {
     if (grad.empty()) grad = Tensor::Zeros(value.rows(), value.cols());
     grad.AddScaled(g, 1.0);
   }
+
+  /// First accumulation adopts the temporary instead of allocating a zero
+  /// tensor and adding into it — closures feed freshly built tensors here,
+  /// so the common single-consumer case does no extra allocation or pass.
+  void AccumGrad(Tensor&& g) {
+    if (grad.empty()) {
+      grad = std::move(g);
+    } else {
+      grad.AddScaled(g, 1.0);
+    }
+  }
 };
 
 }  // namespace internal
@@ -79,6 +90,8 @@ void Var::ZeroGrad() {
 
 namespace {
 
+thread_local bool g_grad_enabled = true;
+
 /// Creates a result node; records parents/backward only if needed.
 Var MakeResult(Tensor value, std::vector<Var> inputs,
                std::function<void(VarImpl&)> backward) {
@@ -89,6 +102,7 @@ Var MakeResult(Tensor value, std::vector<Var> inputs,
     HEAD_CHECK(v.defined());
     if (v.requires_grad()) needs = true;
   }
+  if (!g_grad_enabled) needs = false;
   impl->requires_grad = needs;
   if (needs) {
     impl->parents.reserve(inputs.size());
@@ -108,6 +122,12 @@ void Topo(const std::shared_ptr<VarImpl>& node,
 }
 
 }  // namespace
+
+bool GradEnabled() { return g_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
+
+NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
 
 void Backward(const Var& loss) {
   HEAD_CHECK(loss.defined());
@@ -144,6 +164,25 @@ Var MatMul(const Var& a, const Var& b) {
       bi->AccumGrad(MatMulTransposeA(ai->value, self.grad));
     }
   });
+}
+
+Var Affine(const Var& a, const Var& b, const Var& bias) {
+  Tensor out = Affine(a.value(), b.value(), bias.value());
+  auto ai = a.impl();
+  auto bi = b.impl();
+  auto ci = bias.impl();
+  return MakeResult(std::move(out), {a, b, bias},
+                    [ai, bi, ci](VarImpl& self) {
+                      if (ai->requires_grad || !ai->parents.empty()) {
+                        ai->AccumGrad(MatMulTransposeB(self.grad, bi->value));
+                      }
+                      if (bi->requires_grad || !bi->parents.empty()) {
+                        bi->AccumGrad(MatMulTransposeA(ai->value, self.grad));
+                      }
+                      if (ci->requires_grad || !ci->parents.empty()) {
+                        ci->AccumGrad(SumRows(self.grad));
+                      }
+                    });
 }
 
 Var Add(const Var& a, const Var& b) {
@@ -216,7 +255,7 @@ Var UnaryElementwise(const Var& a, FwdFn fwd, GradFn grad_of_out) {
                         g[i] = self.grad[i] *
                                grad_of_out(ai->value[i], self.value[i]);
                       }
-                      ai->AccumGrad(g);
+                      ai->AccumGrad(std::move(g));
                     });
 }
 
@@ -276,7 +315,7 @@ Var SoftmaxRows(const Var& a) {
         g.At(r, c) = self.value.At(r, c) * (self.grad.At(r, c) - dot);
       }
     }
-    ai->AccumGrad(g);
+    ai->AccumGrad(std::move(g));
   });
 }
 
@@ -308,7 +347,7 @@ Var ConcatCols(const std::vector<Var>& parts) {
       for (int r = 0; r < g.rows(); ++r) {
         for (int c = 0; c < pc; ++c) g.At(r, c) = self.grad.At(r, off + c);
       }
-      pi->AccumGrad(g);
+      pi->AccumGrad(std::move(g));
       off += pc;
     }
   });
@@ -340,7 +379,7 @@ Var ConcatRows(const std::vector<Var>& parts) {
       for (int r = 0; r < pr; ++r) {
         for (int c = 0; c < g.cols(); ++c) g.At(r, c) = self.grad.At(off + r, c);
       }
-      pi->AccumGrad(g);
+      pi->AccumGrad(std::move(g));
       off += pr;
     }
   });
@@ -360,7 +399,7 @@ Var SliceCols(const Var& a, int c0, int c1) {
         g.At(r, c0 + c) = self.grad.At(r, c);
       }
     }
-    ai->AccumGrad(g);
+    ai->AccumGrad(std::move(g));
   });
 }
 
@@ -378,7 +417,7 @@ Var SliceRows(const Var& a, int r0, int r1) {
         g.At(r0 + r, c) = self.grad.At(r, c);
       }
     }
-    ai->AccumGrad(g);
+    ai->AccumGrad(std::move(g));
   });
 }
 
@@ -417,6 +456,163 @@ Var MseLoss(const Var& pred, const Var& target) {
   HEAD_CHECK_EQ(pred.value().rows(), target.value().rows());
   HEAD_CHECK_EQ(pred.value().cols(), target.value().cols());
   return Mean(Square(Sub(pred, target)));
+}
+
+Var GatherRows(const Var& a, std::vector<int> rows) {
+  const Tensor& av = a.value();
+  const int cols = av.cols();
+  Tensor out(static_cast<int>(rows.size()), cols);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const int r = rows[i];
+    HEAD_CHECK(r >= 0 && r < av.rows());
+    const double* src = av.data().data() + static_cast<size_t>(r) * cols;
+    double* dst = out.data().data() + i * cols;
+    for (int c = 0; c < cols; ++c) dst[c] = src[c];
+  }
+  auto ai = a.impl();
+  return MakeResult(std::move(out), {a},
+                    [ai, rows = std::move(rows)](VarImpl& self) {
+                      Tensor g =
+                          Tensor::Zeros(ai->value.rows(), ai->value.cols());
+                      const int cols = g.cols();
+                      for (size_t i = 0; i < rows.size(); ++i) {
+                        const double* src =
+                            self.grad.data().data() + i * cols;
+                        double* dst = g.data().data() +
+                                      static_cast<size_t>(rows[i]) * cols;
+                        for (int c = 0; c < cols; ++c) dst[c] += src[c];
+                      }
+                      ai->AccumGrad(std::move(g));
+                    });
+}
+
+Var SelectColumnPerRow(const Var& a, std::vector<int> cols) {
+  const Tensor& av = a.value();
+  HEAD_CHECK_EQ(static_cast<int>(cols.size()), av.rows());
+  Tensor out(av.rows(), 1);
+  for (int r = 0; r < av.rows(); ++r) {
+    HEAD_CHECK(cols[r] >= 0 && cols[r] < av.cols());
+    out[r] = av.At(r, cols[r]);
+  }
+  auto ai = a.impl();
+  return MakeResult(std::move(out), {a},
+                    [ai, cols = std::move(cols)](VarImpl& self) {
+                      Tensor g =
+                          Tensor::Zeros(ai->value.rows(), ai->value.cols());
+                      for (int r = 0; r < g.rows(); ++r) {
+                        g.At(r, cols[r]) = self.grad[r];
+                      }
+                      ai->AccumGrad(std::move(g));
+                    });
+}
+
+Var RowwiseMax(const Var& a) {
+  const Tensor& av = a.value();
+  HEAD_CHECK_GT(av.cols(), 0);
+  Tensor out(av.rows(), 1);
+  std::vector<int> argmax(av.rows());
+  for (int r = 0; r < av.rows(); ++r) {
+    int best = 0;
+    for (int c = 1; c < av.cols(); ++c) {
+      if (av.At(r, c) > av.At(r, best)) best = c;
+    }
+    argmax[r] = best;
+    out[r] = av.At(r, best);
+  }
+  auto ai = a.impl();
+  return MakeResult(std::move(out), {a},
+                    [ai, argmax = std::move(argmax)](VarImpl& self) {
+                      Tensor g =
+                          Tensor::Zeros(ai->value.rows(), ai->value.cols());
+                      for (int r = 0; r < g.rows(); ++r) {
+                        g.At(r, argmax[r]) = self.grad[r];
+                      }
+                      ai->AccumGrad(std::move(g));
+                    });
+}
+
+Var SumRows(const Var& a) {
+  Tensor out = SumRows(a.value());
+  auto ai = a.impl();
+  return MakeResult(std::move(out), {a}, [ai](VarImpl& self) {
+    Tensor g(ai->value.rows(), ai->value.cols());
+    const int cols = g.cols();
+    const double* src = self.grad.data().data();
+    for (int r = 0; r < g.rows(); ++r) {
+      double* dst = g.data().data() + static_cast<size_t>(r) * cols;
+      for (int c = 0; c < cols; ++c) dst[c] = src[c];
+    }
+    ai->AccumGrad(std::move(g));
+  });
+}
+
+Var ScaleRows(const Var& a, const Var& scale) {
+  const Tensor& av = a.value();
+  const Tensor& sv = scale.value();
+  HEAD_CHECK_EQ(sv.rows(), av.rows());
+  HEAD_CHECK_EQ(sv.cols(), 1);
+  Tensor out(av.rows(), av.cols());
+  const int cols = av.cols();
+  for (int r = 0; r < av.rows(); ++r) {
+    const double s = sv[r];
+    const double* src = av.data().data() + static_cast<size_t>(r) * cols;
+    double* dst = out.data().data() + static_cast<size_t>(r) * cols;
+    for (int c = 0; c < cols; ++c) dst[c] = src[c] * s;
+  }
+  auto ai = a.impl();
+  auto si = scale.impl();
+  return MakeResult(std::move(out), {a, scale}, [ai, si](VarImpl& self) {
+    const int rows = ai->value.rows();
+    const int cols = ai->value.cols();
+    Tensor ga(rows, cols);
+    Tensor gs(rows, 1);
+    for (int r = 0; r < rows; ++r) {
+      const double s = si->value[r];
+      const double* gout =
+          self.grad.data().data() + static_cast<size_t>(r) * cols;
+      const double* arow =
+          ai->value.data().data() + static_cast<size_t>(r) * cols;
+      double* garow = ga.data().data() + static_cast<size_t>(r) * cols;
+      double dot = 0.0;
+      for (int c = 0; c < cols; ++c) {
+        garow[c] = gout[c] * s;
+        dot += gout[c] * arow[c];
+      }
+      gs[r] = dot;
+    }
+    ai->AccumGrad(std::move(ga));
+    si->AccumGrad(std::move(gs));
+  });
+}
+
+Var SumRowGroups(const Var& a, int group_size) {
+  const Tensor& av = a.value();
+  HEAD_CHECK_GT(group_size, 0);
+  HEAD_CHECK_EQ(av.rows() % group_size, 0);
+  const int groups = av.rows() / group_size;
+  const int cols = av.cols();
+  Tensor out(groups, cols);
+  for (int g = 0; g < groups; ++g) {
+    double* dst = out.data().data() + static_cast<size_t>(g) * cols;
+    for (int n = 0; n < group_size; ++n) {
+      const double* src =
+          av.data().data() +
+          static_cast<size_t>(g * group_size + n) * cols;
+      for (int c = 0; c < cols; ++c) dst[c] += src[c];
+    }
+  }
+  auto ai = a.impl();
+  return MakeResult(std::move(out), {a}, [ai, group_size](VarImpl& self) {
+    const int cols = ai->value.cols();
+    Tensor g(ai->value.rows(), cols);
+    for (int r = 0; r < g.rows(); ++r) {
+      const double* src =
+          self.grad.data().data() + static_cast<size_t>(r / group_size) * cols;
+      double* dst = g.data().data() + static_cast<size_t>(r) * cols;
+      for (int c = 0; c < cols; ++c) dst[c] = src[c];
+    }
+    ai->AccumGrad(std::move(g));
+  });
 }
 
 }  // namespace head::nn

@@ -55,9 +55,35 @@ class Var {
 /// into the .grad() of every reachable Param.
 void Backward(const Var& loss);
 
+// ---- Gradient mode ----
+//
+// Ops consult a thread-local flag before recording backward closures. With
+// gradients disabled every op still computes its value but produces a plain
+// constant node — no parents, no closure, no shared_ptr graph — which makes
+// inference and target-network evaluation allocation-lean and leak-proof by
+// construction.
+
+/// True (the default) when ops record backward closures on this thread.
+bool GradEnabled();
+
+/// RAII guard that disables closure recording for its scope (nestable).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
 // ---- Differentiable ops ----
 
 Var MatMul(const Var& a, const Var& b);
+/// Fused a·b + row-broadcast bias — one graph node and one output traversal
+/// instead of the MatMul + AddRowBroadcast pair (see nn::Affine on Tensor).
+Var Affine(const Var& a, const Var& b, const Var& bias);
 Var Add(const Var& a, const Var& b);
 Var Sub(const Var& a, const Var& b);
 Var Mul(const Var& a, const Var& b);  // elementwise
@@ -81,6 +107,31 @@ Var SliceRows(const Var& a, int r0, int r1);  // [r0, r1)
 
 /// Reinterprets `a` as rows×cols (same element count, row-major order kept).
 Var Reshape(const Var& a, int rows, int cols);
+
+// ---- Batched (minibatch) ops ----
+
+/// out[i] = a[rows[i]]; rows may repeat. Backward scatter-adds.
+Var GatherRows(const Var& a, std::vector<int> rows);
+
+/// (rows×1) column with out[r] = a[r, cols[r]] — the per-row one-hot select
+/// used to pick the chosen behavior's Q value out of a (B×|A|) matrix.
+Var SelectColumnPerRow(const Var& a, std::vector<int> cols);
+
+/// (rows×1) column of per-row maxima; the gradient routes to the (first)
+/// argmax entry of each row.
+Var RowwiseMax(const Var& a);
+
+/// Sums all rows into a (1×cols) row vector (differentiable counterpart of
+/// the raw tensor SumRows).
+Var SumRows(const Var& a);
+
+/// out[r,c] = a[r,c] · scale[r]; `scale` is (rows×1). Differentiable in both
+/// inputs — the row-wise attention weighting of the batched GAT step.
+Var ScaleRows(const Var& a, const Var& scale);
+
+/// Sums each consecutive group of `group_size` rows: (G·group_size × cols)
+/// → (G × cols). The block-diagonal aggregation of the batched GAT step.
+Var SumRowGroups(const Var& a, int group_size);
 
 Var Sum(const Var& a);   // 1×1
 Var Mean(const Var& a);  // 1×1

@@ -48,7 +48,7 @@ Linear::Linear(int in_features, int out_features, Rng& rng)
 
 Var Linear::Forward(const Var& x) const {
   HEAD_CHECK_EQ(x.value().cols(), w_.value().rows());
-  return AddRowBroadcast(MatMul(x, w_), b_);
+  return Affine(x, w_, b_);
 }
 
 Mlp::Mlp(const std::vector<int>& dims, Activation act, Rng& rng) : act_(act) {

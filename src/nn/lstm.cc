@@ -26,8 +26,7 @@ LstmState LstmCell::InitialState(int batch) const {
 LstmState LstmCell::Forward(const Var& x, const LstmState& state) const {
   HEAD_CHECK_EQ(x.value().cols(), w_ih_.value().rows());
   HEAD_CHECK_EQ(x.value().rows(), state.h.value().rows());
-  const Var gates = AddRowBroadcast(
-      Add(MatMul(x, w_ih_), MatMul(state.h, w_hh_)), b_);
+  const Var gates = Add(Affine(x, w_ih_, b_), MatMul(state.h, w_hh_));
   const int h = hidden_size_;
   const Var i = Sigmoid(SliceCols(gates, 0, h));
   const Var f = Sigmoid(SliceCols(gates, h, 2 * h));

@@ -1,5 +1,6 @@
 #include "nn/tensor.h"
 
+#include <algorithm>
 #include <cmath>
 #include <ostream>
 #include <utility>
@@ -74,16 +75,74 @@ std::ostream& operator<<(std::ostream& os, const Tensor& t) {
   return os << "]";
 }
 
+// The matmul family runs in the training hot path (every Linear forward and
+// both backward closures), so all three variants use raw-pointer inner loops
+// over the row-major storage: the compiler can vectorize them, and nothing
+// re-derives r*cols+c per element. Loop order is chosen per variant so the
+// innermost loop is always a contiguous streaming access of both operands.
+
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   HEAD_CHECK_EQ(a.cols(), b.rows());
-  Tensor out(a.rows(), b.cols());
-  for (int i = 0; i < a.rows(); ++i) {
-    for (int k = 0; k < a.cols(); ++k) {
-      const double aik = a.At(i, k);
+  const int m = a.rows(), kk = a.cols(), n = b.cols();
+  Tensor out(m, n);
+  const double* pa = a.data().data();
+  const double* pb = b.data().data();
+  double* po = out.data().data();
+  if (n == 1) {
+    // Column output: ikj would run a length-1 inner loop per k. A dot
+    // product per row streams both operands instead (b is contiguous).
+    for (int i = 0; i < m; ++i) {
+      const double* arow = pa + static_cast<size_t>(i) * kk;
+      double s = 0.0;
+      for (int k = 0; k < kk; ++k) s += arow[k] * pb[k];
+      po[i] = s;
+    }
+    return out;
+  }
+  // ikj: out row i accumulates a[i,k] · b row k — contiguous in b and out.
+  for (int i = 0; i < m; ++i) {
+    const double* arow = pa + static_cast<size_t>(i) * kk;
+    double* orow = po + static_cast<size_t>(i) * n;
+    for (int k = 0; k < kk; ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;  // one-hot / masked rows are common
+      const double* brow = pb + static_cast<size_t>(k) * n;
+      for (int j = 0; j < n; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor Affine(const Tensor& a, const Tensor& b, const Tensor& bias) {
+  HEAD_CHECK_EQ(a.cols(), b.rows());
+  HEAD_CHECK_EQ(bias.rows(), 1);
+  HEAD_CHECK_EQ(bias.cols(), b.cols());
+  const int m = a.rows(), kk = a.cols(), n = b.cols();
+  Tensor out(m, n);
+  const double* pa = a.data().data();
+  const double* pb = b.data().data();
+  const double* pc = bias.data().data();
+  double* po = out.data().data();
+  if (n == 1) {
+    for (int i = 0; i < m; ++i) {
+      const double* arow = pa + static_cast<size_t>(i) * kk;
+      double s = 0.0;
+      for (int k = 0; k < kk; ++k) s += arow[k] * pb[k];
+      po[i] = s + pc[0];
+    }
+    return out;
+  }
+  // Same ikj schedule as MatMul, but output rows start as the bias row, so
+  // no separate broadcast-add pass (or its temporary) is needed.
+  for (int i = 0; i < m; ++i) {
+    const double* arow = pa + static_cast<size_t>(i) * kk;
+    double* orow = po + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) orow[j] = pc[j];
+    for (int k = 0; k < kk; ++k) {
+      const double aik = arow[k];
       if (aik == 0.0) continue;
-      for (int j = 0; j < b.cols(); ++j) {
-        out.At(i, j) += aik * b.At(k, j);
-      }
+      const double* brow = pb + static_cast<size_t>(k) * n;
+      for (int j = 0; j < n; ++j) orow[j] += aik * brow[j];
     }
   }
   return out;
@@ -91,12 +150,20 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 
 Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
   HEAD_CHECK_EQ(a.cols(), b.cols());
-  Tensor out(a.rows(), b.rows());
-  for (int i = 0; i < a.rows(); ++i) {
-    for (int j = 0; j < b.rows(); ++j) {
+  const int m = a.rows(), kk = a.cols(), n = b.rows();
+  Tensor out(m, n);
+  const double* pa = a.data().data();
+  const double* pb = b.data().data();
+  double* po = out.data().data();
+  // Each output element is a dot product of two contiguous rows.
+  for (int i = 0; i < m; ++i) {
+    const double* arow = pa + static_cast<size_t>(i) * kk;
+    double* orow = po + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const double* brow = pb + static_cast<size_t>(j) * kk;
       double s = 0.0;
-      for (int k = 0; k < a.cols(); ++k) s += a.At(i, k) * b.At(j, k);
-      out.At(i, j) = s;
+      for (int k = 0; k < kk; ++k) s += arow[k] * brow[k];
+      orow[j] = s;
     }
   }
   return out;
@@ -104,23 +171,54 @@ Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
 
 Tensor MatMulTransposeA(const Tensor& a, const Tensor& b) {
   HEAD_CHECK_EQ(a.rows(), b.rows());
-  Tensor out(a.cols(), b.cols());
-  for (int k = 0; k < a.rows(); ++k) {
-    for (int i = 0; i < a.cols(); ++i) {
-      const double aki = a.At(k, i);
+  const int kk = a.rows(), m = a.cols(), n = b.cols();
+  Tensor out(m, n);
+  const double* pa = a.data().data();
+  const double* pb = b.data().data();
+  double* po = out.data().data();
+  if (n == 1) {
+    // Column b (a gradient through a width-1 layer): accumulate b[k]·a[k,:]
+    // into the output column with a branch-free contiguous inner loop.
+    for (int k = 0; k < kk; ++k) {
+      const double bk = pb[k];
+      const double* arow = pa + static_cast<size_t>(k) * m;
+      for (int i = 0; i < m; ++i) po[i] += bk * arow[i];
+    }
+    return out;
+  }
+  // kij: rank-1 update per shared row k — contiguous in a, b, and out.
+  for (int k = 0; k < kk; ++k) {
+    const double* arow = pa + static_cast<size_t>(k) * m;
+    const double* brow = pb + static_cast<size_t>(k) * n;
+    for (int i = 0; i < m; ++i) {
+      const double aki = arow[i];
       if (aki == 0.0) continue;
-      for (int j = 0; j < b.cols(); ++j) {
-        out.At(i, j) += aki * b.At(k, j);
-      }
+      double* orow = po + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) orow[j] += aki * brow[j];
     }
   }
   return out;
 }
 
 Tensor Transpose(const Tensor& a) {
-  Tensor out(a.cols(), a.rows());
-  for (int r = 0; r < a.rows(); ++r) {
-    for (int c = 0; c < a.cols(); ++c) out.At(c, r) = a.At(r, c);
+  const int rows = a.rows(), cols = a.cols();
+  Tensor out(cols, rows);
+  const double* pa = a.data().data();
+  double* po = out.data().data();
+  // Cache-blocked: both the row-major read and the strided write stay within
+  // a block that fits in L1, instead of striding the whole output per row.
+  constexpr int kBlock = 32;
+  for (int r0 = 0; r0 < rows; r0 += kBlock) {
+    const int r1 = std::min(rows, r0 + kBlock);
+    for (int c0 = 0; c0 < cols; c0 += kBlock) {
+      const int c1 = std::min(cols, c0 + kBlock);
+      for (int r = r0; r < r1; ++r) {
+        const double* arow = pa + static_cast<size_t>(r) * cols;
+        for (int c = c0; c < c1; ++c) {
+          po[static_cast<size_t>(c) * rows + r] = arow[c];
+        }
+      }
+    }
   }
   return out;
 }
@@ -149,13 +247,20 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 Tensor Mul(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
   Tensor out(a.rows(), a.cols());
-  for (int i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  const double* pa = a.data().data();
+  const double* pb = b.data().data();
+  double* po = out.data().data();
+  const int n = a.size();
+  for (int i = 0; i < n; ++i) po[i] = pa[i] * pb[i];
   return out;
 }
 
 Tensor Scale(const Tensor& a, double s) {
   Tensor out(a.rows(), a.cols());
-  for (int i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  const double* pa = a.data().data();
+  double* po = out.data().data();
+  const int n = a.size();
+  for (int i = 0; i < n; ++i) po[i] = pa[i] * s;
   return out;
 }
 
@@ -163,16 +268,22 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& row) {
   HEAD_CHECK_EQ(row.rows(), 1);
   HEAD_CHECK_EQ(row.cols(), a.cols());
   Tensor out = a;
+  const int cols = a.cols();
+  const double* pr = row.data().data();
   for (int r = 0; r < a.rows(); ++r) {
-    for (int c = 0; c < a.cols(); ++c) out.At(r, c) += row.At(0, c);
+    double* orow = out.data().data() + static_cast<size_t>(r) * cols;
+    for (int c = 0; c < cols; ++c) orow[c] += pr[c];
   }
   return out;
 }
 
 Tensor SumRows(const Tensor& a) {
-  Tensor out(1, a.cols());
+  const int cols = a.cols();
+  Tensor out(1, cols);
+  double* po = out.data().data();
   for (int r = 0; r < a.rows(); ++r) {
-    for (int c = 0; c < a.cols(); ++c) out.At(0, c) += a.At(r, c);
+    const double* arow = a.data().data() + static_cast<size_t>(r) * cols;
+    for (int c = 0; c < cols; ++c) po[c] += arow[c];
   }
   return out;
 }

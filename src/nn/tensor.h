@@ -71,6 +71,10 @@ std::ostream& operator<<(std::ostream& os, const Tensor& t);
 // ---- Raw matrix ops (allocate their result; shape-checked). ----
 
 Tensor MatMul(const Tensor& a, const Tensor& b);
+/// a·b + row-broadcast bias in one pass: output rows start as `bias`, so the
+/// fused form skips the extra allocation and the two full traversals (copy +
+/// add) that `AddRowBroadcast(MatMul(a, b), bias)` pays.
+Tensor Affine(const Tensor& a, const Tensor& b, const Tensor& bias);
 /// a·bᵀ without materializing the transpose.
 Tensor MatMulTransposeB(const Tensor& a, const Tensor& b);
 /// aᵀ·b without materializing the transpose.

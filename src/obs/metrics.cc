@@ -1,8 +1,10 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <fstream>
+#include <functional>
 #include <limits>
 #include <sstream>
 
@@ -127,12 +129,49 @@ std::vector<double> ExponentialBounds(double start, double factor, int count) {
 
 namespace {
 
+/// Shared memoization for the Cached*Bounds helpers: one immutable vector per
+/// parameter tuple, alive for the process lifetime so returned references
+/// never dangle. std::map nodes are stable across inserts.
+const std::vector<double>& MemoizeBounds(
+    const std::array<double, 3>& key,
+    const std::function<std::vector<double>()>& build) {
+  static std::mutex mu;
+  static std::map<std::array<double, 3>, std::vector<double>>* cache =
+      new std::map<std::array<double, 3>, std::vector<double>>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache->find(key);
+  if (it != cache->end()) return it->second;
+  return cache->emplace(key, build()).first->second;
+}
+
 std::vector<double> DefaultLatencyBounds() {
   // 1 µs · 2.5^k, k = 0..19 — tops out around 3.6e3 s; plenty for any span.
   return ExponentialBounds(1e-6, 2.5, 20);
 }
 
 }  // namespace
+
+const std::vector<double>& CachedExponentialBounds(double start, double factor,
+                                                   int count) {
+  return MemoizeBounds({start, factor, static_cast<double>(count)}, [&] {
+    return ExponentialBounds(start, factor, count);
+  });
+}
+
+const std::vector<double>& CachedLinearBounds(double lo, double hi,
+                                              double step) {
+  HEAD_CHECK_LT(lo, hi);
+  HEAD_CHECK_GT(step, 0.0);
+  return MemoizeBounds({lo, hi, step}, [&] {
+    std::vector<double> b;
+    b.reserve(static_cast<size_t>((hi - lo) / step) + 2);
+    for (double v = lo; v <= hi + 1e-9 * std::max(1.0, std::abs(hi));
+         v += step) {
+      b.push_back(v);
+    }
+    return b;
+  });
+}
 
 std::string MetricsSnapshot::ToText() const {
   std::ostringstream oss;

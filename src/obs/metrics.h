@@ -90,6 +90,18 @@ class Histogram {
 /// the default shape for latency-in-seconds histograms.
 std::vector<double> ExponentialBounds(double start, double factor, int count);
 
+/// Memoized ExponentialBounds: the first call for a given (start, factor,
+/// count) builds the vector, later calls return the same immutable instance.
+/// Hot-path histogram registration (per-update telemetry) would otherwise
+/// rebuild these bucket vectors on every call.
+const std::vector<double>& CachedExponentialBounds(double start, double factor,
+                                                   int count);
+
+/// Memoized linear bounds [lo, lo+step, …, hi] (hi included up to fp slack).
+/// Requires lo < hi and step > 0.
+const std::vector<double>& CachedLinearBounds(double lo, double hi,
+                                              double step);
+
 struct MetricsSnapshot {
   std::map<std::string, int64_t> counters;
   std::map<std::string, double> gauges;

@@ -69,6 +69,69 @@ nn::Var LstGat::GatStep(const StepNodes& nodes) const {
   return nn::ConcatRows(updated);  // (6×Dφ3)
 }
 
+nn::Var LstGat::GatStepStacked(const nn::Var& m, int groups) const {
+  HEAD_CHECK_EQ(m.value().rows(), groups * kNodesPerTarget);
+  const nn::Var h_embed = nn::MatMul(m, phi1_);  // (G·7×Dφ1)
+  const nn::Var values = nn::MatMul(m, phi3_);   // (G·7×Dφ3)
+  nn::Var alpha_col;                             // (G·7×1) attention weights
+  if (config_.use_attention) {
+    // Pair every node with its group's target (node 0) — Eq. (10) for all
+    // groups at once, without slicing per target.
+    std::vector<int> tgt_idx(groups * kNodesPerTarget);
+    for (int g = 0; g < groups; ++g) {
+      for (int n = 0; n < kNodesPerTarget; ++n) {
+        tgt_idx[g * kNodesPerTarget + n] = g * kNodesPerTarget;
+      }
+    }
+    const nn::Var tgt = nn::GatherRows(h_embed, std::move(tgt_idx));
+    const nn::Var concat = nn::ConcatCols({tgt, h_embed});
+    const nn::Var scores =
+        nn::LeakyRelu(nn::MatMul(concat, phi2_), config_.leaky_slope);
+    const nn::Var alpha =
+        nn::SoftmaxRows(nn::Reshape(scores, groups, kNodesPerTarget));
+    alpha_col = nn::Reshape(alpha, groups * kNodesPerTarget, 1);
+  } else {
+    alpha_col = nn::Var::Constant(nn::Tensor::Full(
+        groups * kNodesPerTarget, 1, 1.0 / kNodesPerTarget));
+  }
+  // Weighted aggregation (Eq. 11) as scale-rows + within-group row sums —
+  // the same multiply-then-accumulate order as the per-target MatMul, so
+  // values match the loop path bitwise.
+  return nn::SumRowGroups(nn::ScaleRows(values, alpha_col), kNodesPerTarget);
+}
+
+nn::Var LstGat::ForwardScaledBatch(
+    const std::vector<const StGraph*>& graphs) const {
+  HEAD_SPAN("perception.lstgat.forward_batch");
+  HEAD_CHECK(!graphs.empty());
+  const int z = graphs[0]->z();
+  HEAD_CHECK_GT(z, 0);
+  for (const StGraph* g : graphs) {
+    if (g->z() != z) return StatePredictor::ForwardScaledBatch(graphs);
+  }
+  const int batch = static_cast<int>(graphs.size());
+  const int rows_per_sample = kNumAreas * kNodesPerTarget;
+  nn::LstmState state = lstm_.InitialState(batch * kNumAreas);
+  for (int k = 0; k < z; ++k) {
+    nn::Tensor m(batch * rows_per_sample, kFeatureDim);
+    double* dst = m.data().data();
+    for (const StGraph* g : graphs) {
+      const StepNodes& nodes = g->steps[k];
+      for (int i = 0; i < kNumAreas; ++i) {
+        for (int n = 0; n < kNodesPerTarget; ++n) {
+          for (int f = 0; f < kFeatureDim; ++f) {
+            *dst++ = nodes.feat[i][n][f];
+          }
+        }
+      }
+    }
+    const nn::Var h_updated = GatStepStacked(
+        nn::Var::Constant(std::move(m)), batch * kNumAreas);
+    state = lstm_.Forward(h_updated, state);  // Eq. (12), batched over B·6
+  }
+  return head_.Forward(state.h);  // (B·6×3), Eq. (13)
+}
+
 nn::Var LstGat::ForwardScaled(const StGraph& graph) const {
   HEAD_SPAN("perception.lstgat.forward");
   HEAD_CHECK_GT(graph.z(), 0);

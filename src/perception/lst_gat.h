@@ -34,6 +34,14 @@ class LstGat : public StatePredictor {
 
   nn::Var ForwardScaled(const StGraph& graph) const override;
 
+  /// Vectorized minibatch pass: stacks every sample's 42 step-k nodes into
+  /// one (B·42×4) matrix, runs the GAT as block-diagonal gather/softmax/
+  /// scatter ops (no per-target slicing loop), and drives the LSTM with a
+  /// batch of B·6 target rows. Falls back to the stacked per-sample default
+  /// when the graphs disagree on history depth z.
+  nn::Var ForwardScaledBatch(
+      const std::vector<const StGraph*>& graphs) const override;
+
   std::vector<nn::Var> Params() const override;
 
   const LstGatConfig& config() const { return config_; }
@@ -45,6 +53,10 @@ class LstGat : public StatePredictor {
  private:
   /// Per-step GAT: returns the (6 × d_phi3) updated target states h' (Eq. 11).
   nn::Var GatStep(const StepNodes& nodes) const;
+
+  /// Per-step GAT over `groups` stacked 7-node groups at once: `m` is
+  /// (groups·7 × 4); returns the (groups × d_phi3) updated states.
+  nn::Var GatStepStacked(const nn::Var& m, int groups) const;
 
   LstGatConfig config_;
   nn::Var phi1_;  // (4 × D_φ1)

@@ -1,15 +1,27 @@
 #include "perception/predictor.h"
 
 #include "common/check.h"
+#include "nn/autograd.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
 namespace head::perception {
 
+nn::Var StatePredictor::ForwardScaledBatch(
+    const std::vector<const StGraph*>& graphs) const {
+  HEAD_CHECK(!graphs.empty());
+  std::vector<nn::Var> rows;
+  rows.reserve(graphs.size());
+  for (const StGraph* g : graphs) rows.push_back(ForwardScaled(*g));
+  return rows.size() == 1 ? rows[0] : nn::ConcatRows(rows);
+}
+
 Prediction StatePredictor::Predict(const StGraph& graph) const {
   HEAD_SPAN("perception.predict");
   static obs::Histogram& latency = obs::LatencyHistogram("perception.predict");
   obs::ScopedTimer timer(latency);
+  // Inference only — don't record an autograd graph for this forward pass.
+  const nn::NoGradGuard no_grad;
   const nn::Var out = ForwardScaled(graph);
   HEAD_CHECK_EQ(out.value().rows(), kNumAreas);
   HEAD_CHECK_EQ(out.value().cols(), 3);

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <string>
+#include <vector>
 
 #include "nn/layers.h"
 #include "perception/st_graph.h"
@@ -51,6 +52,13 @@ class StatePredictor : public nn::Module {
   /// Differentiable forward pass: (6×3) Var of *scaled residuals* from each
   /// target's current relative state. Used by the trainer.
   virtual nn::Var ForwardScaled(const StGraph& graph) const = 0;
+
+  /// Differentiable minibatch forward pass: (B·6×3) Var, sample-major (the
+  /// 6 rows of graphs[0], then graphs[1], …). The default stacks per-sample
+  /// ForwardScaled results; models override it with a genuinely vectorized
+  /// pass (one autograd graph over the whole minibatch).
+  virtual nn::Var ForwardScaledBatch(
+      const std::vector<const StGraph*>& graphs) const;
 
   /// Inference: decodes ForwardScaled into absolute relative states.
   Prediction Predict(const StGraph& graph) const;

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "nn/autograd.h"
 #include "nn/optimizer.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -30,11 +31,45 @@ nn::Var SampleLoss(const StatePredictor& model, const PredictionSample& s) {
   return nn::Scale(nn::Sum(nn::Square(err)), 1.0 / (3.0 * valid));
 }
 
+/// Mean masked scaled MSE of a whole minibatch as ONE differentiable Var:
+/// truth and per-element weights (mask / (3·valid_s), zero rows for all-
+/// masked samples) are stacked sample-major to match ForwardScaledBatch.
+nn::Var BatchLoss(const StatePredictor& model,
+                  const std::vector<const PredictionSample*>& batch) {
+  const int b = static_cast<int>(batch.size());
+  std::vector<const StGraph*> graphs;
+  graphs.reserve(b);
+  nn::Tensor truth(b * kNumAreas, 3);
+  nn::Tensor weight(b * kNumAreas, 3);
+  for (int s = 0; s < b; ++s) {
+    const PredictionSample& sample = *batch[s];
+    graphs.push_back(&sample.graph);
+    const nn::Tensor t =
+        ScaledResidualTruth(sample.graph, sample.truth, model.scale());
+    int valid = 0;
+    for (bool v : sample.truth.valid) valid += v ? 1 : 0;
+    const double w = valid > 0 ? 1.0 / (3.0 * valid) : 0.0;
+    for (int i = 0; i < kNumAreas; ++i) {
+      for (int c = 0; c < 3; ++c) {
+        truth.At(s * kNumAreas + i, c) = t.At(i, c);
+        weight.At(s * kNumAreas + i, c) =
+            sample.truth.valid[i] ? w : 0.0;
+      }
+    }
+  }
+  const nn::Var pred = model.ForwardScaledBatch(graphs);
+  const nn::Var err = nn::Sub(pred, nn::Var::Constant(std::move(truth)));
+  const nn::Var weighted =
+      nn::Mul(nn::Square(err), nn::Var::Constant(std::move(weight)));
+  return nn::Scale(nn::Sum(weighted), 1.0 / b);
+}
+
 }  // namespace
 
 double PredictionLoss(const StatePredictor& model,
                       const std::vector<PredictionSample>& samples) {
   HEAD_CHECK(!samples.empty());
+  const nn::NoGradGuard no_grad;  // evaluation — values only
   double total = 0.0;
   for (const PredictionSample& s : samples) {
     total += SampleLoss(model, s).value()[0];
@@ -70,16 +105,24 @@ PredictionTrainResult TrainPredictor(
     for (size_t b = 0; b < order.size(); b += config.batch_size) {
       const size_t end = std::min(order.size(), b + config.batch_size);
       opt.ZeroGrad();
-      std::vector<nn::Var> losses;
-      losses.reserve(end - b);
-      for (size_t k = b; k < end; ++k) {
-        losses.push_back(SampleLoss(model, train[order[k]]));
+      nn::Var batch_loss;
+      if (config.batched) {
+        std::vector<const PredictionSample*> batch;
+        batch.reserve(end - b);
+        for (size_t k = b; k < end; ++k) batch.push_back(&train[order[k]]);
+        batch_loss = BatchLoss(model, batch);
+      } else {
+        std::vector<nn::Var> losses;
+        losses.reserve(end - b);
+        for (size_t k = b; k < end; ++k) {
+          losses.push_back(SampleLoss(model, train[order[k]]));
+        }
+        batch_loss = losses[0];
+        for (size_t k = 1; k < losses.size(); ++k) {
+          batch_loss = nn::Add(batch_loss, losses[k]);
+        }
+        batch_loss = nn::Scale(batch_loss, 1.0 / losses.size());
       }
-      nn::Var batch_loss = losses[0];
-      for (size_t k = 1; k < losses.size(); ++k) {
-        batch_loss = nn::Add(batch_loss, losses[k]);
-      }
-      batch_loss = nn::Scale(batch_loss, 1.0 / losses.size());
       epoch_loss += batch_loss.value()[0] * (end - b);
       nn::Backward(batch_loss);
       opt.ClipGradNorm(5.0);

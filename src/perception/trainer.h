@@ -16,6 +16,10 @@ struct PredictionTrainConfig {
   int batch_size = 64;
   uint64_t shuffle_seed = 7;
   bool verbose = false;
+  /// Vectorized minibatch updates: one ForwardScaledBatch graph per
+  /// minibatch instead of one graph per sample. Same objective (gradient-
+  /// parity tested); the per-sample path is kept as a reference.
+  bool batched = true;
 };
 
 struct PredictionTrainResult {

@@ -4,6 +4,52 @@
 
 namespace head::rl {
 
+namespace {
+
+/// Stacks the h (or f) blocks of B augmented states row-wise into one
+/// ((B·rows)×4) tensor, so a branch encoder can reduce the whole minibatch
+/// in a single pass.
+nn::Tensor StackBlocks(const std::vector<const AugmentedState*>& batch,
+                       bool h_block) {
+  HEAD_CHECK(!batch.empty());
+  const nn::Tensor& first = h_block ? batch[0]->h : batch[0]->f;
+  const int rows = first.rows();
+  const int cols = first.cols();
+  nn::Tensor stacked(static_cast<int>(batch.size()) * rows, cols);
+  double* dst = stacked.data().data();
+  for (const AugmentedState* s : batch) {
+    const nn::Tensor& block = h_block ? s->h : s->f;
+    HEAD_CHECK_EQ(block.rows(), rows);
+    HEAD_CHECK_EQ(block.cols(), cols);
+    for (int i = 0; i < block.size(); ++i) *dst++ = block[i];
+  }
+  return stacked;
+}
+
+}  // namespace
+
+nn::Var XNet::ForwardBatch(
+    const std::vector<const AugmentedState*>& batch) const {
+  HEAD_CHECK(!batch.empty());
+  std::vector<nn::Var> rows;
+  rows.reserve(batch.size());
+  for (const AugmentedState* s : batch) rows.push_back(Forward(*s));
+  return nn::ConcatRows(rows);
+}
+
+nn::Var QNet::ForwardBatch(const std::vector<const AugmentedState*>& batch,
+                           const nn::Var& x) const {
+  HEAD_CHECK(!batch.empty());
+  HEAD_CHECK_EQ(x.value().rows(), static_cast<int>(batch.size()));
+  std::vector<nn::Var> rows;
+  rows.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const int r = static_cast<int>(i);
+    rows.push_back(Forward(*batch[i], nn::SliceRows(x, r, r + 1)));
+  }
+  return nn::ConcatRows(rows);
+}
+
 BranchEncoder::BranchEncoder(int rows, int hidden, Rng& rng)
     : rows_(rows),
       l1_(perception::kFeatureDim, hidden, rng),
@@ -18,15 +64,20 @@ BranchEncoder::BranchEncoder(int rows, int hidden, Rng& rng)
 }
 
 nn::Var BranchEncoder::Forward(const nn::Tensor& block) const {
-  HEAD_CHECK_EQ(block.rows(), rows_);
-  const nn::Var x = nn::Var::Constant(block);
+  return ForwardStacked(block, /*batch=*/1);
+}
+
+nn::Var BranchEncoder::ForwardStacked(const nn::Tensor& blocks,
+                                      int batch) const {
+  HEAD_CHECK_EQ(blocks.rows(), batch * rows_);
+  const nn::Var x = nn::Var::Constant(blocks);
   // LeakyReLU in place of the paper's ReLU: the reduction to one scalar per
   // vehicle makes plain ReLU units die irrecoverably during RL training
   // (observed empirically), freezing the whole branch; the leaky slope
   // preserves the architecture while keeping gradients alive.
-  const nn::Var h = nn::LeakyRelu(l1_.Forward(x));  // (rows×hidden)
-  const nn::Var e = nn::LeakyRelu(l2_.Forward(h));  // (rows×1)
-  return nn::Reshape(e, 1, rows_);                  // (1×rows)
+  const nn::Var h = nn::LeakyRelu(l1_.Forward(x));  // ((B·rows)×hidden)
+  const nn::Var e = nn::LeakyRelu(l2_.Forward(h));  // ((B·rows)×1)
+  return nn::Reshape(e, batch, rows_);              // (B×rows)
 }
 
 std::vector<nn::Var> BranchEncoder::Params() const {
@@ -46,8 +97,16 @@ BpXNet::BpXNet(int hidden, double a_max, Rng& rng)
 }
 
 nn::Var BpXNet::Forward(const AugmentedState& s) const {
+  return ForwardBatch({&s});
+}
+
+nn::Var BpXNet::ForwardBatch(
+    const std::vector<const AugmentedState*>& batch) const {
+  const int b = static_cast<int>(batch.size());
   const nn::Var merged = nn::ConcatCols(
-      {h_branch_.Forward(s.h), f_branch_.Forward(s.f)});  // (1×13)
+      {h_branch_.ForwardStacked(StackBlocks(batch, /*h_block=*/true), b),
+       f_branch_.ForwardStacked(StackBlocks(batch, /*h_block=*/false),
+                                b)});                      // (B×13)
   return nn::Scale(nn::Tanh(out_.Forward(merged)), a_max_);  // Eq. (25)
 }
 
@@ -73,10 +132,19 @@ BpQNet::BpQNet(int hidden, Rng& rng)
 }
 
 nn::Var BpQNet::Forward(const AugmentedState& s, const nn::Var& x) const {
+  return ForwardBatch({&s}, x);
+}
+
+nn::Var BpQNet::ForwardBatch(const std::vector<const AugmentedState*>& batch,
+                             const nn::Var& x) const {
+  const int b = static_cast<int>(batch.size());
+  HEAD_CHECK_EQ(x.value().rows(), b);
   const nn::Var xb =
       nn::LeakyRelu(x2_.Forward(nn::LeakyRelu(x1_.Forward(x))));
   const nn::Var merged = nn::ConcatCols(
-      {h_branch_.Forward(s.h), f_branch_.Forward(s.f), xb});  // (1×16)
+      {h_branch_.ForwardStacked(StackBlocks(batch, /*h_block=*/true), b),
+       f_branch_.ForwardStacked(StackBlocks(batch, /*h_block=*/false), b),
+       xb});  // (B×16)
   return out_.Forward(nn::LeakyRelu(fuse_.Forward(merged)));
 }
 
@@ -104,6 +172,12 @@ nn::Var FlatXNet::Forward(const AugmentedState& s) const {
   return nn::Scale(nn::Tanh(mlp_.Forward(flat)), a_max_);
 }
 
+nn::Var FlatXNet::ForwardBatch(
+    const std::vector<const AugmentedState*>& batch) const {
+  const nn::Var flat = nn::Var::Constant(FlattenStates(batch));
+  return nn::Scale(nn::Tanh(mlp_.Forward(flat)), a_max_);
+}
+
 std::vector<nn::Var> FlatXNet::Params() const { return mlp_.Params(); }
 
 FlatQNet::FlatQNet(int hidden, Rng& rng)
@@ -116,6 +190,15 @@ nn::Var FlatQNet::Forward(const AugmentedState& s, const nn::Var& x) const {
   // features and the action parameters enter one shared layer.
   const nn::Var joint =
       nn::ConcatCols({nn::Var::Constant(FlattenState(s)), x});
+  return out_.Forward(
+      nn::Relu(mid_.Forward(nn::Relu(in_.Forward(joint)))));
+}
+
+nn::Var FlatQNet::ForwardBatch(const std::vector<const AugmentedState*>& batch,
+                               const nn::Var& x) const {
+  HEAD_CHECK_EQ(x.value().rows(), static_cast<int>(batch.size()));
+  const nn::Var joint =
+      nn::ConcatCols({nn::Var::Constant(FlattenStates(batch)), x});
   return out_.Forward(
       nn::Relu(mid_.Forward(nn::Relu(in_.Forward(joint)))));
 }

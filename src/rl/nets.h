@@ -21,6 +21,11 @@ class XNet : public nn::Module {
  public:
   ~XNet() override = default;
   virtual nn::Var Forward(const AugmentedState& s) const = 0;
+  /// Minibatch forward: one autograd graph over all B states, (B×3) output.
+  /// The default stacks per-sample Forward results; the concrete nets
+  /// override it with a genuinely vectorized pass.
+  virtual nn::Var ForwardBatch(
+      const std::vector<const AugmentedState*>& batch) const;
 };
 
 /// Action-value network Q(s, x; θQ): three Q values, one per behavior.
@@ -29,6 +34,9 @@ class QNet : public nn::Module {
  public:
   ~QNet() override = default;
   virtual nn::Var Forward(const AugmentedState& s, const nn::Var& x) const = 0;
+  /// Minibatch forward; `x` is (B×3) and gradients still flow through it.
+  virtual nn::Var ForwardBatch(const std::vector<const AugmentedState*>& batch,
+                               const nn::Var& x) const;
 };
 
 /// Per-vehicle branch of Eq. (24)/(26): ReLU(φ_b·ReLU(φ_a·X + b_a) + b_b)
@@ -38,6 +46,9 @@ class BranchEncoder : public nn::Module {
  public:
   BranchEncoder(int rows, int hidden, Rng& rng);
   nn::Var Forward(const nn::Tensor& block) const;
+  /// Vectorized over a minibatch: `blocks` is B per-state blocks stacked
+  /// row-wise ((B·rows)×4); returns (B×rows), one reduced row per state.
+  nn::Var ForwardStacked(const nn::Tensor& blocks, int batch) const;
   std::vector<nn::Var> Params() const override;
   int rows() const { return rows_; }
 
@@ -53,6 +64,8 @@ class BpXNet : public XNet {
  public:
   BpXNet(int hidden, double a_max, Rng& rng);
   nn::Var Forward(const AugmentedState& s) const override;  // Eq. (25)
+  nn::Var ForwardBatch(
+      const std::vector<const AugmentedState*>& batch) const override;
   std::vector<nn::Var> Params() const override;
 
  private:
@@ -66,6 +79,8 @@ class BpQNet : public QNet {
  public:
   BpQNet(int hidden, Rng& rng);
   nn::Var Forward(const AugmentedState& s, const nn::Var& x) const override;
+  nn::Var ForwardBatch(const std::vector<const AugmentedState*>& batch,
+                       const nn::Var& x) const override;
   std::vector<nn::Var> Params() const override;
 
  private:
@@ -88,6 +103,8 @@ class FlatXNet : public XNet {
  public:
   FlatXNet(int hidden, double a_max, Rng& rng);
   nn::Var Forward(const AugmentedState& s) const override;
+  nn::Var ForwardBatch(
+      const std::vector<const AugmentedState*>& batch) const override;
   std::vector<nn::Var> Params() const override;
 
  private:
@@ -99,6 +116,8 @@ class FlatQNet : public QNet {
  public:
   FlatQNet(int hidden, Rng& rng);
   nn::Var Forward(const AugmentedState& s, const nn::Var& x) const override;
+  nn::Var ForwardBatch(const std::vector<const AugmentedState*>& batch,
+                       const nn::Var& x) const override;
   std::vector<nn::Var> Params() const override;
 
  private:

@@ -70,4 +70,16 @@ nn::Tensor FlattenState(const AugmentedState& s) {
   return flat;
 }
 
+nn::Tensor FlattenStates(const std::vector<const AugmentedState*>& batch) {
+  HEAD_CHECK(!batch.empty());
+  nn::Tensor flat(static_cast<int>(batch.size()), kFlatStateDim);
+  double* dst = flat.data().data();
+  for (const AugmentedState* s : batch) {
+    HEAD_CHECK_EQ(s->h.size() + s->f.size(), kFlatStateDim);
+    for (int i = 0; i < s->h.size(); ++i) *dst++ = s->h[i];
+    for (int i = 0; i < s->f.size(); ++i) *dst++ = s->f[i];
+  }
+  return flat;
+}
+
 }  // namespace head::rl

@@ -53,6 +53,10 @@ AugmentedState BuildAugmentedState(const perception::StGraph& graph,
 /// Flattens s⁺ into a (1×52) row for single-branch networks.
 nn::Tensor FlattenState(const AugmentedState& s);
 
+/// Flattens a minibatch of states into a (B×52) matrix, one row per state —
+/// the input shape of the vectorized single-branch forward passes.
+nn::Tensor FlattenStates(const std::vector<const AugmentedState*>& batch);
+
 /// The action an agent chose, with the internals needed for replay.
 struct AgentAction {
   Maneuver maneuver;

@@ -45,6 +45,7 @@ PdqnAgent::PdqnAgent(std::string name, const PdqnConfig& config,
 
 AgentAction PdqnAgent::Act(const AugmentedState& state, double epsilon,
                            Rng& rng) {
+  const nn::NoGradGuard no_grad;  // action selection never backprops
   nn::Tensor x = x_->Forward(state).value();  // (1×3)
   int b;
   if (epsilon > 0.0 && rng.Uniform(0.0, 1.0) < epsilon) {
@@ -88,6 +89,10 @@ void PdqnAgent::Remember(const AugmentedState& state,
 }
 
 void PdqnAgent::UpdateCritic(const std::vector<const Transition*>& batch) {
+  if (config_.batched_updates) {
+    UpdateCriticBatched(batch);
+    return;
+  }
   q_opt_.ZeroGrad();
   std::vector<nn::Var> losses;
   losses.reserve(batch.size());
@@ -112,14 +117,18 @@ void PdqnAgent::UpdateCritic(const std::vector<const Transition*>& batch) {
   q_opt_.Step();
 
   static obs::Histogram& loss_hist = obs::GetHistogram(
-      "rl.critic_loss", obs::ExponentialBounds(1e-4, 2.0, 28));
+      "rl.critic_loss", obs::CachedExponentialBounds(1e-4, 2.0, 28));
   static obs::Histogram& norm_hist = obs::GetHistogram(
-      "rl.grad_norm.critic", obs::ExponentialBounds(1e-4, 2.0, 28));
+      "rl.grad_norm.critic", obs::CachedExponentialBounds(1e-4, 2.0, 28));
   loss_hist.Observe(loss.value()[0]);
   norm_hist.Observe(grad_norm);
 }
 
 void PdqnAgent::UpdateActor(const std::vector<const Transition*>& batch) {
+  if (config_.batched_updates) {
+    UpdateActorBatched(batch);
+    return;
+  }
   x_opt_.ZeroGrad();
   q_->ZeroGrad();  // critic grads from this pass are discarded
   std::vector<nn::Var> losses;
@@ -137,7 +146,80 @@ void PdqnAgent::UpdateActor(const std::vector<const Transition*>& batch) {
   x_opt_.Step();
 
   static obs::Histogram& norm_hist = obs::GetHistogram(
-      "rl.grad_norm.actor", obs::ExponentialBounds(1e-4, 2.0, 28));
+      "rl.grad_norm.actor", obs::CachedExponentialBounds(1e-4, 2.0, 28));
+  norm_hist.Observe(grad_norm);
+}
+
+void PdqnAgent::UpdateCriticBatched(
+    const std::vector<const Transition*>& batch) {
+  const int b = static_cast<int>(batch.size());
+  std::vector<const AugmentedState*> states(b);
+  std::vector<const AugmentedState*> next_states(b);
+  std::vector<int> behaviors(b);
+  nn::Tensor params(b, kNumBehaviors);
+  for (int i = 0; i < b; ++i) {
+    const Transition* t = batch[i];
+    states[i] = &t->state;
+    next_states[i] = &t->next_state;
+    behaviors[i] = t->behavior;
+    HEAD_CHECK_EQ(t->params.size(), kNumBehaviors);
+    for (int c = 0; c < kNumBehaviors; ++c) {
+      params.At(i, c) = t->params[c];
+    }
+  }
+
+  // TD targets y = r + γ·max_b Q'(s', x'(s'))·(1 − done), all under no-grad:
+  // the target networks never receive gradients, so no closures are built.
+  nn::Tensor y(b, 1);
+  {
+    const nn::NoGradGuard no_grad;
+    const nn::Var x_next = x_target_->ForwardBatch(next_states);
+    const nn::Tensor q_max =
+        nn::RowwiseMax(q_target_->ForwardBatch(next_states, x_next)).value();
+    for (int i = 0; i < b; ++i) {
+      y[i] = batch[i]->reward +
+             (batch[i]->terminal ? 0.0 : config_.gamma * q_max[i]);
+    }
+  }
+
+  // One graph for the whole minibatch: Q(s,x) as (B×3), the chosen
+  // behavior's value picked per row, ½·mean((Q_b − y)²) as in Eq. (22).
+  q_opt_.ZeroGrad();
+  const nn::Var q_all =
+      q_->ForwardBatch(states, nn::Var::Constant(std::move(params)));
+  const nn::Var q_b = nn::SelectColumnPerRow(q_all, std::move(behaviors));
+  const nn::Var loss = nn::Scale(
+      nn::Sum(nn::Square(nn::Sub(q_b, nn::Var::Constant(std::move(y))))),
+      0.5 / b);
+  nn::Backward(loss);
+  const double grad_norm = q_opt_.ClipGradNorm(10.0);
+  q_opt_.Step();
+
+  static obs::Histogram& loss_hist = obs::GetHistogram(
+      "rl.critic_loss", obs::CachedExponentialBounds(1e-4, 2.0, 28));
+  static obs::Histogram& norm_hist = obs::GetHistogram(
+      "rl.grad_norm.critic", obs::CachedExponentialBounds(1e-4, 2.0, 28));
+  loss_hist.Observe(loss.value()[0]);
+  norm_hist.Observe(grad_norm);
+}
+
+void PdqnAgent::UpdateActorBatched(
+    const std::vector<const Transition*>& batch) {
+  const int b = static_cast<int>(batch.size());
+  std::vector<const AugmentedState*> states(b);
+  for (int i = 0; i < b; ++i) states[i] = &batch[i]->state;
+
+  x_opt_.ZeroGrad();
+  q_->ZeroGrad();  // critic grads from this pass are discarded
+  const nn::Var x = x_->ForwardBatch(states);
+  const nn::Var q_all = q_->ForwardBatch(states, x);
+  const nn::Var loss = nn::Scale(nn::Sum(q_all), -1.0 / b);  // Eq. (23)
+  nn::Backward(loss);
+  const double grad_norm = x_opt_.ClipGradNorm(10.0);
+  x_opt_.Step();
+
+  static obs::Histogram& norm_hist = obs::GetHistogram(
+      "rl.grad_norm.actor", obs::CachedExponentialBounds(1e-4, 2.0, 28));
   norm_hist.Observe(grad_norm);
 }
 
@@ -184,11 +266,13 @@ void PdqnAgent::SyncTargets() {
 }
 
 nn::Tensor PdqnAgent::ActionParams(const AugmentedState& s) const {
+  const nn::NoGradGuard no_grad;
   return x_->Forward(s).value();
 }
 
 nn::Tensor PdqnAgent::QValues(const AugmentedState& s,
                               const nn::Tensor& x) const {
+  const nn::NoGradGuard no_grad;
   return q_->Forward(s, nn::Var::Constant(x)).value();
 }
 

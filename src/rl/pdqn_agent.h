@@ -47,6 +47,10 @@ struct PdqnConfig {
   int terminal_replay_boost = 4;
   /// P-QP: update calls per alternation phase (0 ⇒ joint optimization).
   int alternate_period = 0;
+  /// Vectorized minibatch updates: one autograd graph per minibatch instead
+  /// of one per transition. Identical math (gradient-parity tested); the
+  /// per-sample path is kept for that parity test and as a reference.
+  bool batched_updates = true;
 };
 
 class PdqnAgent : public PamdpAgent {
@@ -81,6 +85,8 @@ class PdqnAgent : public PamdpAgent {
  private:
   void UpdateCritic(const std::vector<const Transition*>& batch);
   void UpdateActor(const std::vector<const Transition*>& batch);
+  void UpdateCriticBatched(const std::vector<const Transition*>& batch);
+  void UpdateActorBatched(const std::vector<const Transition*>& batch);
 
   std::string name_;
   PdqnConfig config_;

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "nn/autograd.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
@@ -15,10 +16,8 @@ namespace {
 
 /// Bipolar value-scale bounds for reward/loss-style histograms: rewards and
 /// reward terms live roughly in [-3, 1]; bucket on [-4, 4] in 0.1 steps.
-std::vector<double> RewardBounds() {
-  std::vector<double> b;
-  for (double v = -4.0; v <= 4.0 + 1e-9; v += 0.1) b.push_back(v);
-  return b;
+const std::vector<double>& RewardBounds() {
+  return obs::CachedLinearBounds(-4.0, 4.0, 0.1);
 }
 
 }  // namespace
@@ -124,7 +123,11 @@ RlTrainResult TrainAgent(PamdpAgent& agent, DrivingEnv& env,
 }
 
 RewardStats EvaluateAgent(PamdpAgent& agent, DrivingEnv& env, int episodes,
-                          uint64_t seed_base) {
+                          uint64_t seed_base, int max_steps_per_episode) {
+  HEAD_CHECK_GT(max_steps_per_episode, 0);
+  // Evaluation is pure inference: no gradient graph should be recorded for
+  // any forward pass below.
+  const nn::NoGradGuard no_grad;
   Rng rng(seed_base);
   RewardStats stats;
   stats.min_reward = std::numeric_limits<double>::infinity();
@@ -132,7 +135,7 @@ RewardStats EvaluateAgent(PamdpAgent& agent, DrivingEnv& env, int episodes,
   double sum = 0.0;
   for (int ep = 0; ep < episodes; ++ep) {
     AugmentedState state = env.Reset(seed_base * 104729 + ep);
-    while (true) {
+    for (int step = 0; step < max_steps_per_episode; ++step) {
       const AgentAction action = agent.Act(state, /*epsilon=*/0.0, rng);
       const DrivingEnv::StepOutcome outcome = env.Step(action.maneuver);
       const double r = outcome.reward.total;

@@ -49,9 +49,12 @@ struct RewardStats {
 RlTrainResult TrainAgent(PamdpAgent& agent, DrivingEnv& env,
                          const RlTrainConfig& config);
 
-/// Runs `episodes` greedy episodes and aggregates per-step rewards.
+/// Runs `episodes` greedy episodes and aggregates per-step rewards. Episodes
+/// are truncated at `max_steps_per_episode` so a policy that never reaches a
+/// terminal state cannot hang evaluation or the benches.
 RewardStats EvaluateAgent(PamdpAgent& agent, DrivingEnv& env, int episodes,
-                          uint64_t seed_base);
+                          uint64_t seed_base,
+                          int max_steps_per_episode = 100000);
 
 }  // namespace head::rl
 

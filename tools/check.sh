@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
-# Sanitizer gate for the concurrent observability layer: builds the project
-# with ThreadSanitizer (HEAD_SANITIZE=thread) and runs the obs + sim test
-# binaries under it. Usage:
+# CI-style gates beyond plain ctest:
+#   1. Sanitizer stage: builds with ThreadSanitizer (HEAD_SANITIZE=thread) and
+#      runs the concurrent-observability + sim tests under it, plus the
+#      batched-ops test that exercises the thread-local grad-mode switch.
+#   2. Perf smoke stage: optimized build of bench/training_throughput (a few
+#      seconds at the fast profile), gated against the checked-in baseline —
+#      fails if batched training throughput regresses more than 30%.
 #
-#   tools/check.sh              # TSan build + obs/sim tests
-#   HEAD_SANITIZE=address tools/check.sh   # same gate under ASan+UBSan
+# Usage:
+#   tools/check.sh                         # both stages
+#   HEAD_SANITIZE=address tools/check.sh   # sanitizer stage under ASan+UBSan
+#   HEAD_SKIP_PERF=1 tools/check.sh        # sanitizer stage only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -12,14 +18,31 @@ cd "$(dirname "$0")/.."
 SANITIZER="${HEAD_SANITIZE:-thread}"
 BUILD_DIR="build-${SANITIZER}san"
 
+SAN_TESTS=(obs_test obs_trace_test sim_simulation_test sim_models_test
+           nn_batched_ops_test)
+
 cmake -B "${BUILD_DIR}" -S . -DHEAD_SANITIZE="${SANITIZER}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "${BUILD_DIR}" -j \
-  --target obs_test obs_trace_test sim_simulation_test sim_models_test
+cmake --build "${BUILD_DIR}" -j --target "${SAN_TESTS[@]}"
 
-echo "== running obs + sim tests under ${SANITIZER} sanitizer =="
-for t in obs_test obs_trace_test sim_simulation_test sim_models_test; do
+echo "== running obs + sim + nn tests under ${SANITIZER} sanitizer =="
+for t in "${SAN_TESTS[@]}"; do
   echo "-- ${t}"
   "${BUILD_DIR}/tests/${t}"
 done
 echo "== ${SANITIZER}-sanitized checks passed =="
+
+if [[ "${HEAD_SKIP_PERF:-0}" != "1" ]]; then
+  # Perf needs an optimized, unsanitized build — separate from the sanitizer
+  # tree so switching stages never rebuilds the world.
+  PERF_BUILD_DIR="build-perf"
+  cmake -B "${PERF_BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${PERF_BUILD_DIR}" -j --target training_throughput
+
+  echo "== perf smoke: training throughput vs checked-in baseline =="
+  "${PERF_BUILD_DIR}/bench/training_throughput" \
+    --skip-per-sample \
+    --baseline=bench/baselines/training_throughput.json \
+    --max-regress=0.30
+  echo "== perf smoke passed =="
+fi
