@@ -1,0 +1,79 @@
+// Dispatch-overhead microbench for the parallel layer, and the measurement
+// behind the matmul threshold choice (kParallelFlops = 2^18 multiply-adds
+// in src/nn/tensor.cc).
+//
+// What it reports:
+//  - BM_SubmitWait: round-trip latency of one Submit + future wait — the
+//    per-task fixed cost of the pool's single-queue design.
+//  - BM_ParallelForEmpty: a ParallelFor dispatch whose chunks do no work —
+//    the fork/join floor paid by every above-threshold kernel call.
+//  - BM_MatMul/<side>/<threads>: square MatMul across the threshold.
+//    side=64 is ~2^18 multiply-adds, i.e. right at the threshold: the
+//    1-thread and 4-thread times should be comparable there, with the
+//    4-thread path pulling ahead above it (on a multi-core host) and the
+//    dispatch floor dominating below it. That break-even point is why the
+//    threshold sits at 2^18: below it the fork/join floor (tens of µs on
+//    contended boxes) exceeds the kernel's serial runtime.
+//
+// Thread counts are explicit per benchmark (a local pool + the
+// GlobalPoolOverride RAII), so the comparison is meaningful even when
+// HEAD_THREADS or the hardware concurrency is 1.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+#include "parallel/thread_pool.h"
+
+namespace {
+
+using namespace head;
+
+void BM_SubmitWait(benchmark::State& state) {
+  parallel::ThreadPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    pool.Submit([] {}).wait();
+  }
+  state.SetLabel(std::to_string(pool.thread_count()) + " threads");
+}
+BENCHMARK(BM_SubmitWait)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ParallelForEmpty(benchmark::State& state) {
+  parallel::ThreadPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    pool.ParallelFor(0, 1024, 64, [](int64_t, int64_t) {});
+  }
+  state.SetLabel(std::to_string(pool.thread_count()) + " threads");
+}
+BENCHMARK(BM_ParallelForEmpty)->Arg(1)->Arg(2)->Arg(4);
+
+/// Square MatMul of side `range(0)` on a pool of `range(1)` threads. The
+/// multiply-add count is side³: side 32 ≈ 2^15 (always inline), side 64 ≈
+/// 2^18 (the threshold), side 128 ≈ 2^21 (always threaded when threads>1).
+void BM_MatMul(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  parallel::ThreadPool pool(static_cast<int>(state.range(1)));
+  parallel::GlobalPoolOverride overridden(&pool);
+  Rng rng(42);
+  const nn::Tensor a = nn::Tensor::Uniform(side, side, -1.0, 1.0, rng);
+  const nn::Tensor b = nn::Tensor::Uniform(side, side, -1.0, 1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatMul(a, b));
+  }
+  state.counters["madds"] = static_cast<double>(side) * side * side;
+  state.SetLabel(std::to_string(side) + "^2 x " +
+                 std::to_string(pool.thread_count()) + " threads");
+}
+BENCHMARK(BM_MatMul)
+    ->Args({32, 1})
+    ->Args({32, 4})
+    ->Args({64, 1})
+    ->Args({64, 4})
+    ->Args({128, 1})
+    ->Args({128, 4})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -8,6 +8,7 @@
 
 #include "eval/table.h"
 #include "eval/workbench.h"
+#include "parallel/env_pool.h"
 #include "rl/p_ddpg.h"
 #include "rl/pdqn_agent.h"
 #include "rl/trainer.h"
@@ -56,21 +57,25 @@ void RunTable5() {
   std::vector<std::string> avg_row = {"AvgR"};
   std::vector<std::string> coll_row = {"Collisions"};
 
+  // One env pool reused by every method: training collects rounds of
+  // K = rollout_envs episodes in parallel, and greedy evaluation fans the
+  // test episodes across the same pool (per-episode seed streams make the
+  // evaluation numbers identical to a serial run).
+  parallel::EnvPool envs =
+      eval::MakeEnvPool(g_profile, core::HeadVariant::Full(), g_predictor);
   for (const std::string name : {"P-QP", "P-DDPG", "P-DQN", "BP-DQN"}) {
     Rng rng(g_profile.seed + 17);
     std::shared_ptr<rl::PamdpAgent> agent =
         MakeAgent(name, head.pdqn, rng);
-    rl::DrivingEnv env(head.MakeEnvConfig(g_profile.rl_sim),
-                       g_predictor.get(), g_profile.seed);
     rl::RlTrainConfig train = g_profile.rl_train;
     // Method comparison needs a ranking, not a final policy: half budget.
     train.episodes = std::max(100, train.episodes / 2);
     train.seed = g_profile.seed + 29;
     std::cout << "training " << name << " (" << train.episodes
-              << " episodes)...\n";
-    rl::TrainAgent(*agent, env, train);
+              << " episodes, K=" << envs.size() << " envs)...\n";
+    rl::TrainAgent(*agent, envs, train);
     const rl::RewardStats stats = rl::EvaluateAgent(
-        *agent, env, g_profile.test_episodes, g_profile.seed * 1000);
+        *agent, envs, g_profile.test_episodes, g_profile.seed * 1000);
     min_row.push_back(eval::FormatDouble(stats.min_reward, 2));
     max_row.push_back(eval::FormatDouble(stats.max_reward, 2));
     avg_row.push_back(eval::FormatDouble(stats.avg_reward, 2));

@@ -8,6 +8,7 @@
 #include "eval/table.h"
 #include "eval/timer.h"
 #include "eval/workbench.h"
+#include "parallel/env_pool.h"
 #include "rl/p_ddpg.h"
 #include "rl/pdqn_agent.h"
 #include "rl/trainer.h"
@@ -60,15 +61,17 @@ void RunTable6() {
     } else {
       agent = rl::MakeBpDqnAgent(head.pdqn, rng);
     }
-    rl::DrivingEnv env(head.MakeEnvConfig(profile.rl_sim), predictor.get(),
-                       profile.seed);
+    // TCT measures wall-clock with parallel collection: rounds of
+    // K = rollout_envs episodes fan out across the global thread pool.
+    parallel::EnvPool envs =
+        eval::MakeEnvPool(profile, core::HeadVariant::Full(), predictor);
     rl::RlTrainConfig train = profile.rl_train;
     // Method comparison needs a ranking, not a final policy: half budget.
     train.episodes = std::max(100, train.episodes / 3);
     train.seed = profile.seed + 29;
     std::cout << "training " << name << " (" << train.episodes
-              << " episodes)...\n";
-    const rl::RlTrainResult result = rl::TrainAgent(*agent, env, train);
+              << " episodes, K=" << envs.size() << " envs)...\n";
+    const rl::RlTrainResult result = rl::TrainAgent(*agent, envs, train);
 
     Rng act_rng(1);
     const double avg_it = eval::MeasureAvgMillis(

@@ -15,6 +15,7 @@
 #include "eval/episode_runner.h"
 #include "eval/table.h"
 #include "eval/workbench.h"
+#include "parallel/env_pool.h"
 #include "rl/trainer.h"
 
 namespace {
@@ -48,13 +49,18 @@ double TrainAndScore(const rl::RewardWeights& weights) {
   head.reward.weights = weights;
   Rng rng(g_profile.seed + 17);
   std::shared_ptr<rl::PdqnAgent> agent = rl::MakeBpDqnAgent(head.pdqn, rng);
-  rl::DrivingEnv env(head.MakeEnvConfig(g_profile.rl_sim), g_predictor.get(),
-                     g_profile.seed);
+  // Each sweep point trains with parallel collection. The pool is rebuilt
+  // per point because the reward weights live inside the env config.
+  const rl::EnvConfig env_config = head.MakeEnvConfig(g_profile.rl_sim);
+  parallel::EnvPool envs(g_profile.rollout_envs, [&](int) {
+    return std::make_unique<rl::DrivingEnv>(env_config, g_predictor.get(),
+                                            g_profile.seed);
+  });
   rl::RlTrainConfig train = g_profile.rl_train;
   // Shortened runs: the sweep needs a ranking, not a final policy.
   train.episodes = std::max(40, train.episodes / 10);
   train.seed = g_profile.seed + 29;
-  rl::TrainAgent(*agent, env, train);
+  rl::TrainAgent(*agent, envs, train);
   return ScorePolicy(head, agent);
 }
 

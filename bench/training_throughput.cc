@@ -15,11 +15,14 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "parallel/env_pool.h"
+#include "parallel/thread_pool.h"
 #include "perception/lst_gat.h"
 #include "perception/trainer.h"
 #include "rl/pdqn_agent.h"
@@ -118,6 +121,37 @@ double MeasurePredictionThroughput(bool batched, int sample_count,
   return static_cast<double>(sample_count) * epochs / elapsed;
 }
 
+/// Env steps/sec collecting greedy episodes through an EnvPool of K envs on
+/// the (already-overridden) global thread pool — the parallel-rollout axis
+/// of the training hot path. Uses an untrained agent: rollout cost is
+/// forward-pass + sim dominated and independent of weight values.
+double MeasureRolloutThroughput(int num_envs, int episodes) {
+  head::rl::EnvConfig env_config;
+  env_config.sim.road.length_m = 400.0;
+  env_config.sim.spawn.back_margin_m = 120.0;
+  env_config.sim.spawn.front_margin_m = 120.0;
+  Rng init(13);
+  head::perception::LstGat predictor(head::perception::LstGatConfig{}, init);
+  head::rl::PdqnConfig config;
+  Rng agent_rng(19);
+  auto agent = head::rl::MakeBpDqnAgent(config, agent_rng);
+
+  head::parallel::EnvPool pool(num_envs, [&](int) {
+    return std::make_unique<head::rl::DrivingEnv>(env_config, &predictor, 1);
+  });
+  head::parallel::EnvPool::RolloutOptions opts;
+  opts.seed_base = 97;
+  opts.max_steps_per_episode = 200;
+  // Warm one round outside the timed region.
+  pool.RunEpisodes(*agent, 0, num_envs, opts);
+  const double t0 = Now();
+  const auto results = pool.RunEpisodes(*agent, 0, episodes, opts);
+  const double elapsed = Now() - t0;
+  long steps = 0;
+  for (const auto& r : results) steps += r.steps;
+  return static_cast<double>(steps) / elapsed;
+}
+
 double ArgValue(int argc, char** argv, const std::string& flag,
                 double fallback) {
   const std::string prefix = flag + "=";
@@ -175,9 +209,18 @@ int main(int argc, char** argv) {
   const int trials =
       static_cast<int>(ArgValue(argc, argv, "--trials", paper ? 2 : 3));
   const bool skip_per_sample = HasFlag(argc, argv, "--skip-per-sample");
+  const int rollout_envs = paper ? 8 : 4;
+  const int rollout_episodes = paper ? 32 : 12;
+
+  // The threads axis: --threads=N routes every ParallelFor/EnvPool below
+  // through an N-thread pool (default: HEAD_THREADS or hardware concurrency).
+  const int threads = static_cast<int>(ArgValue(
+      argc, argv, "--threads", head::parallel::ConfiguredThreadCount()));
+  head::parallel::ThreadPool bench_pool(threads);
+  head::parallel::GlobalPoolOverride pool_override(&bench_pool);
 
   std::cout << "profile: " << (paper ? "paper" : "fast") << " (best of "
-            << trials << " trials)\n";
+            << trials << " trials, " << threads << " threads)\n";
 
   const double rl_batched = BestOf(
       trials, [&] { return MeasureRlThroughput(/*batched=*/true, rl_updates); });
@@ -187,6 +230,11 @@ int main(int argc, char** argv) {
                                        pred_epochs);
   });
   std::cout << "pred batched:     " << pred_batched << " samples/sec\n";
+  const double rollout = BestOf(trials, [&] {
+    return MeasureRolloutThroughput(rollout_envs, rollout_episodes);
+  });
+  std::cout << "rollout (K=" << rollout_envs << "): " << rollout
+            << " env steps/sec\n";
 
   double rl_per_sample = 0.0;
   double pred_per_sample = 0.0;
@@ -209,6 +257,9 @@ int main(int argc, char** argv) {
   std::ostringstream json;
   json.precision(6);
   json << "{\"profile\":\"" << (paper ? "paper" : "fast") << "\","
+       << "\"threads\":" << threads << ","
+       << "\"rollout_envs\":" << rollout_envs << ","
+       << "\"rollout_env_steps_per_sec\":" << rollout << ","
        << "\"rl_transitions_per_sec_batched\":" << rl_batched << ","
        << "\"rl_transitions_per_sec_per_sample\":" << rl_per_sample << ","
        << "\"rl_speedup\":"
@@ -248,6 +299,7 @@ int main(int argc, char** argv) {
     } gates[] = {
         {"rl_transitions_per_sec_batched", rl_batched},
         {"pred_samples_per_sec_batched", pred_batched},
+        {"rollout_env_steps_per_sec", rollout},
     };
     for (const auto& gate : gates) {
       double expected = 0.0;

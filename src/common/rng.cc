@@ -4,6 +4,21 @@
 
 namespace head {
 
+uint64_t SplitMix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+uint64_t SplitMix(uint64_t seed_base, uint64_t stream) {
+  // Golden-ratio stream spacing (the SplitMix64 increment) before the
+  // finalizer, so stream 0, 1, 2, … land far apart in the scrambled space.
+  return SplitMix64(seed_base + stream * 0x9e3779b97f4a7c15ULL);
+}
+
 double Rng::Uniform(double lo, double hi) {
   HEAD_DCHECK(lo <= hi);
   std::uniform_real_distribution<double> dist(lo, hi);
@@ -27,14 +42,8 @@ bool Rng::Bernoulli(double p) {
 }
 
 Rng Rng::Fork() {
-  // splitmix-style decorrelation of a fresh seed drawn from this engine.
-  uint64_t s = engine_();
-  s ^= s >> 30;
-  s *= 0xbf58476d1ce4e5b9ULL;
-  s ^= s >> 27;
-  s *= 0x94d049bb133111ebULL;
-  s ^= s >> 31;
-  return Rng(s);
+  // splitmix decorrelation of a fresh seed drawn from this engine.
+  return Rng(SplitMix64(engine_()));
 }
 
 }  // namespace head

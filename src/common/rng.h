@@ -9,6 +9,19 @@
 
 namespace head {
 
+/// SplitMix64 finalizer: bijectively scrambles `x` so that nearby inputs
+/// yield decorrelated outputs (Steele et al., "Fast splittable pseudorandom
+/// number generators").
+uint64_t SplitMix64(uint64_t x);
+
+/// Derives the seed of stream `stream` from `seed_base` — the canonical way
+/// to give each episode / worker its own independent generator. Streams are
+/// decorrelated even for consecutive indices, and the derivation depends
+/// only on (seed_base, stream), never on which thread or worker consumes
+/// the stream — the keystone of the parallel layer's reproducibility
+/// contract (see DESIGN.md "Parallel execution").
+uint64_t SplitMix(uint64_t seed_base, uint64_t stream);
+
 class Rng {
  public:
   explicit Rng(uint64_t seed) : engine_(seed) {}

@@ -109,6 +109,19 @@ data::RealDataset BuildRealDataset(const BenchProfile& profile) {
   return data::GenerateRealDataset(profile.real);
 }
 
+parallel::EnvPool MakeEnvPool(
+    const BenchProfile& profile, const core::HeadVariant& variant,
+    const std::shared_ptr<perception::LstGat>& predictor, int num_envs) {
+  const core::HeadConfig head = MakeHeadConfig(profile, variant);
+  const rl::EnvConfig env_config = head.MakeEnvConfig(profile.rl_sim);
+  perception::LstGat* pred =
+      variant.use_lst_gat ? predictor.get() : nullptr;
+  const int k = num_envs > 0 ? num_envs : profile.rollout_envs;
+  return parallel::EnvPool(k, [&](int) {
+    return std::make_unique<rl::DrivingEnv>(env_config, pred, profile.seed);
+  });
+}
+
 std::shared_ptr<perception::LstGat> TrainOrLoadLstGat(
     const BenchProfile& profile, bool use_cache) {
   Rng rng(profile.seed);
@@ -154,14 +167,20 @@ std::shared_ptr<rl::PdqnAgent> TrainOrLoadHeadPolicy(
 
   HEAD_LOG(Info) << variant.Name() << ": training ("
                  << profile.rl_train.episodes << " episodes, "
-                 << profile.name << " profile)";
-  rl::EnvConfig env_config = head.MakeEnvConfig(profile.rl_sim);
-  rl::DrivingEnv env(env_config,
-                     variant.use_lst_gat ? predictor.get() : nullptr,
-                     profile.seed);
+                 << profile.name << " profile, K=" << profile.rollout_envs
+                 << " rollout envs)";
   rl::RlTrainConfig train = profile.rl_train;
   train.seed = profile.seed + 29;
-  const rl::RlTrainResult result = rl::TrainAgent(*agent, env, train);
+  rl::RlTrainResult result;
+  if (profile.rollout_envs > 1) {
+    parallel::EnvPool envs = MakeEnvPool(profile, variant, predictor);
+    result = rl::TrainAgent(*agent, envs, train);
+  } else {
+    rl::DrivingEnv env(head.MakeEnvConfig(profile.rl_sim),
+                       variant.use_lst_gat ? predictor.get() : nullptr,
+                       profile.seed);
+    result = rl::TrainAgent(*agent, env, train);
+  }
   if (train_result != nullptr) *train_result = result;
   nn::SaveParamsToFile(params, path);
   DumpTrainingMetrics(profile, key);
@@ -187,14 +206,20 @@ std::shared_ptr<rl::DrlScAgent> TrainOrLoadDrlSc(
     return agent;
   }
   HEAD_LOG(Info) << "DRL-SC: training (" << profile.rl_train.episodes
-                 << " episodes, " << profile.name << " profile)";
+                 << " episodes, " << profile.name << " profile, K="
+                 << profile.rollout_envs << " rollout envs)";
   core::HeadVariant variant = core::HeadVariant::WithoutLstGat();
-  rl::EnvConfig env_config =
-      MakeHeadConfig(profile, variant).MakeEnvConfig(profile.rl_sim);
-  rl::DrivingEnv env(env_config, nullptr, profile.seed);
   rl::RlTrainConfig train = profile.rl_train;
   train.seed = profile.seed + 31;
-  rl::TrainAgent(*agent, env, train);
+  if (profile.rollout_envs > 1) {
+    parallel::EnvPool envs = MakeEnvPool(profile, variant, nullptr);
+    rl::TrainAgent(*agent, envs, train);
+  } else {
+    rl::EnvConfig env_config =
+        MakeHeadConfig(profile, variant).MakeEnvConfig(profile.rl_sim);
+    rl::DrivingEnv env(env_config, nullptr, profile.seed);
+    rl::TrainAgent(*agent, env, train);
+  }
   nn::SaveParamsToFile(agent->q_mlp(), path);
   DumpTrainingMetrics(profile, "policy_DRL_SC");
   return agent;

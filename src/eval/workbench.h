@@ -10,6 +10,7 @@
 
 #include "core/head_agent.h"
 #include "data/real_dataset.h"
+#include "parallel/env_pool.h"
 #include "perception/lst_gat.h"
 #include "perception/trainer.h"
 #include "rl/drl_sc.h"
@@ -25,6 +26,10 @@ struct BenchProfile {
   rl::RlTrainConfig rl_train;
   rl::PdqnConfig pdqn;
   int test_episodes = 20;
+  /// Environments per EnvPool (collection-round size K). Fixed per profile —
+  /// not derived from the thread count — so trained policies and evaluation
+  /// statistics are reproducible on any machine; threads only change speed.
+  int rollout_envs = 4;
   uint64_t seed = 42;
   std::string cache_dir = ".head_cache";
 
@@ -57,6 +62,16 @@ std::shared_ptr<rl::PdqnAgent> TrainOrLoadHeadPolicy(
 std::shared_ptr<rl::DrlScAgent> TrainOrLoadDrlSc(
     const BenchProfile& profile, std::shared_ptr<perception::LstGat> predictor,
     bool use_cache = true);
+
+/// K identical environments (K = `num_envs`, or profile.rollout_envs when 0)
+/// for pooled rollouts and evaluation on the global thread pool. All envs
+/// share `predictor` (read-only during no-grad inference), so the pool must
+/// not outlive it.
+parallel::EnvPool MakeEnvPool(const BenchProfile& profile,
+                              const core::HeadVariant& variant,
+                              const std::shared_ptr<perception::LstGat>&
+                                  predictor,
+                              int num_envs = 0);
 
 /// Wraps a trained agent as an evaluation policy.
 std::unique_ptr<core::HeadAgent> MakePolicy(

@@ -6,8 +6,48 @@
 #include <utility>
 
 #include "common/check.h"
+#include "parallel/thread_pool.h"
 
 namespace head::nn {
+
+namespace {
+
+// ---- Multi-thread dispatch for the matmul family ----
+//
+// The three hot kernels (MatMul, Affine, MatMulTransposeA) partition their
+// output rows across the global pool when the total multiply-add count
+// clears kParallelFlops. Each thread owns a disjoint row range and keeps
+// the serial kernel's inner-loop order within it, so results are bitwise
+// identical to the single-thread path for every thread count.
+//
+// kParallelFlops = 2^18 ≈ 260k multiply-adds (~60–100 µs of serial work at
+// a few GFLOP/s) against a ParallelFor dispatch cost of single-digit
+// microseconds per helper (measured by bench/parallel_overhead) keeps
+// dispatch below ~5% of kernel time at the break-even point. The paper-
+// scale minibatch shapes (B=64, hidden=64) sit right at the threshold:
+// batched training forwards parallelize, tiny inference matmuls (B=1)
+// never do.
+constexpr int64_t kParallelFlops = int64_t{1} << 18;
+
+/// Row-partitions `kernel` over [0, rows) when the kernel's total work
+/// (`flops` multiply-adds) is worth the dispatch; otherwise runs inline.
+/// Grain keeps every chunk above ~half the threshold of work. Templated so
+/// the below-threshold path calls the lambda directly — type-erasing into a
+/// std::function would put an allocation on every small-matmul call.
+template <typename Kernel>
+void ForEachRowChunk(int64_t rows, int64_t flops, const Kernel& kernel) {
+  parallel::ThreadPool& pool = parallel::ThreadPool::Global();
+  if (flops < kParallelFlops || pool.thread_count() == 1 || rows < 2) {
+    kernel(int64_t{0}, rows);
+    return;
+  }
+  const int64_t flops_per_row = std::max<int64_t>(1, flops / rows);
+  const int64_t grain =
+      std::max<int64_t>(1, (kParallelFlops / 2) / flops_per_row);
+  pool.ParallelFor(0, rows, grain, kernel);
+}
+
+}  // namespace
 
 Tensor::Tensor(int rows, int cols, double fill)
     : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, fill) {
@@ -80,6 +120,9 @@ std::ostream& operator<<(std::ostream& os, const Tensor& t) {
 // over the row-major storage: the compiler can vectorize them, and nothing
 // re-derives r*cols+c per element. Loop order is chosen per variant so the
 // innermost loop is always a contiguous streaming access of both operands.
+// Above kParallelFlops of work the output rows are partitioned across the
+// global thread pool (see ForEachRowChunk); each thread runs the same
+// serial schedule on its disjoint row range.
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   HEAD_CHECK_EQ(a.cols(), b.rows());
@@ -88,28 +131,33 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const double* pa = a.data().data();
   const double* pb = b.data().data();
   double* po = out.data().data();
+  const int64_t flops = int64_t{m} * kk * n;
   if (n == 1) {
     // Column output: ikj would run a length-1 inner loop per k. A dot
     // product per row streams both operands instead (b is contiguous).
-    for (int i = 0; i < m; ++i) {
-      const double* arow = pa + static_cast<size_t>(i) * kk;
-      double s = 0.0;
-      for (int k = 0; k < kk; ++k) s += arow[k] * pb[k];
-      po[i] = s;
-    }
+    ForEachRowChunk(m, flops, [=](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        const double* arow = pa + static_cast<size_t>(i) * kk;
+        double s = 0.0;
+        for (int k = 0; k < kk; ++k) s += arow[k] * pb[k];
+        po[i] = s;
+      }
+    });
     return out;
   }
   // ikj: out row i accumulates a[i,k] · b row k — contiguous in b and out.
-  for (int i = 0; i < m; ++i) {
-    const double* arow = pa + static_cast<size_t>(i) * kk;
-    double* orow = po + static_cast<size_t>(i) * n;
-    for (int k = 0; k < kk; ++k) {
-      const double aik = arow[k];
-      if (aik == 0.0) continue;  // one-hot / masked rows are common
-      const double* brow = pb + static_cast<size_t>(k) * n;
-      for (int j = 0; j < n; ++j) orow[j] += aik * brow[j];
+  ForEachRowChunk(m, flops, [=](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const double* arow = pa + static_cast<size_t>(i) * kk;
+      double* orow = po + static_cast<size_t>(i) * n;
+      for (int k = 0; k < kk; ++k) {
+        const double aik = arow[k];
+        if (aik == 0.0) continue;  // one-hot / masked rows are common
+        const double* brow = pb + static_cast<size_t>(k) * n;
+        for (int j = 0; j < n; ++j) orow[j] += aik * brow[j];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -123,28 +171,33 @@ Tensor Affine(const Tensor& a, const Tensor& b, const Tensor& bias) {
   const double* pb = b.data().data();
   const double* pc = bias.data().data();
   double* po = out.data().data();
+  const int64_t flops = int64_t{m} * kk * n;
   if (n == 1) {
-    for (int i = 0; i < m; ++i) {
-      const double* arow = pa + static_cast<size_t>(i) * kk;
-      double s = 0.0;
-      for (int k = 0; k < kk; ++k) s += arow[k] * pb[k];
-      po[i] = s + pc[0];
-    }
+    ForEachRowChunk(m, flops, [=](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        const double* arow = pa + static_cast<size_t>(i) * kk;
+        double s = 0.0;
+        for (int k = 0; k < kk; ++k) s += arow[k] * pb[k];
+        po[i] = s + pc[0];
+      }
+    });
     return out;
   }
   // Same ikj schedule as MatMul, but output rows start as the bias row, so
   // no separate broadcast-add pass (or its temporary) is needed.
-  for (int i = 0; i < m; ++i) {
-    const double* arow = pa + static_cast<size_t>(i) * kk;
-    double* orow = po + static_cast<size_t>(i) * n;
-    for (int j = 0; j < n; ++j) orow[j] = pc[j];
-    for (int k = 0; k < kk; ++k) {
-      const double aik = arow[k];
-      if (aik == 0.0) continue;
-      const double* brow = pb + static_cast<size_t>(k) * n;
-      for (int j = 0; j < n; ++j) orow[j] += aik * brow[j];
+  ForEachRowChunk(m, flops, [=](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const double* arow = pa + static_cast<size_t>(i) * kk;
+      double* orow = po + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) orow[j] = pc[j];
+      for (int k = 0; k < kk; ++k) {
+        const double aik = arow[k];
+        if (aik == 0.0) continue;
+        const double* brow = pb + static_cast<size_t>(k) * n;
+        for (int j = 0; j < n; ++j) orow[j] += aik * brow[j];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -176,27 +229,37 @@ Tensor MatMulTransposeA(const Tensor& a, const Tensor& b) {
   const double* pa = a.data().data();
   const double* pb = b.data().data();
   double* po = out.data().data();
+  const int64_t flops = int64_t{m} * kk * n;
   if (n == 1) {
     // Column b (a gradient through a width-1 layer): accumulate b[k]·a[k,:]
-    // into the output column with a branch-free contiguous inner loop.
-    for (int k = 0; k < kk; ++k) {
-      const double bk = pb[k];
-      const double* arow = pa + static_cast<size_t>(k) * m;
-      for (int i = 0; i < m; ++i) po[i] += bk * arow[i];
-    }
+    // into the output column with a branch-free contiguous inner loop. The
+    // chunked form keeps k outermost per chunk, so every output element
+    // still accumulates over k in increasing order (bitwise parity).
+    ForEachRowChunk(m, flops, [=](int64_t i0, int64_t i1) {
+      for (int k = 0; k < kk; ++k) {
+        const double bk = pb[k];
+        const double* arow = pa + static_cast<size_t>(k) * m;
+        for (int64_t i = i0; i < i1; ++i) po[i] += bk * arow[i];
+      }
+    });
     return out;
   }
-  // kij: rank-1 update per shared row k — contiguous in a, b, and out.
-  for (int k = 0; k < kk; ++k) {
-    const double* arow = pa + static_cast<size_t>(k) * m;
-    const double* brow = pb + static_cast<size_t>(k) * n;
-    for (int i = 0; i < m; ++i) {
-      const double aki = arow[i];
-      if (aki == 0.0) continue;
-      double* orow = po + static_cast<size_t>(i) * n;
-      for (int j = 0; j < n; ++j) orow[j] += aki * brow[j];
+  // kij: rank-1 update per shared row k — contiguous in b and out; a is read
+  // with a column stride only at chunk boundaries. Output rows partition
+  // across threads; k stays outermost within a chunk for bitwise parity
+  // with the serial schedule.
+  ForEachRowChunk(m, flops, [=](int64_t i0, int64_t i1) {
+    for (int k = 0; k < kk; ++k) {
+      const double* arow = pa + static_cast<size_t>(k) * m;
+      const double* brow = pb + static_cast<size_t>(k) * n;
+      for (int64_t i = i0; i < i1; ++i) {
+        const double aki = arow[i];
+        if (aki == 0.0) continue;
+        double* orow = po + static_cast<size_t>(i) * n;
+        for (int j = 0; j < n; ++j) orow[j] += aki * brow[j];
+      }
     }
-  }
+  });
   return out;
 }
 

@@ -69,6 +69,12 @@ class Tensor {
 std::ostream& operator<<(std::ostream& os, const Tensor& t);
 
 // ---- Raw matrix ops (allocate their result; shape-checked). ----
+//
+// MatMul, Affine and MatMulTransposeA row-partition across
+// parallel::ThreadPool::Global() once the multiply-add count clears a
+// threshold (~2^18); the partitioning preserves each output element's
+// accumulation order, so results are bitwise identical for any thread
+// count. Everything else is single-threaded.
 
 Tensor MatMul(const Tensor& a, const Tensor& b);
 /// a·b + row-broadcast bias in one pass: output rows start as `bias`, so the

@@ -1,0 +1,118 @@
+// Fixed-size, work-stealing-free thread pool: one shared FIFO task queue
+// under a mutex, N persistent workers, and a chunked ParallelFor on top.
+//
+// Design points, all driven by the reproducibility contract of the parallel
+// layer (DESIGN.md "Parallel execution"):
+//   * A pool with thread_count() == 1 spawns no threads at all — Submit and
+//     ParallelFor run inline on the caller, which restores the exact serial
+//     behavior (same instruction stream, same FP associativity).
+//   * ParallelFor partitions [begin, end) into fixed contiguous chunks that
+//     workers claim from a shared atomic cursor. Which thread runs a chunk
+//     is scheduling-dependent, but the chunk boundaries — and therefore the
+//     per-chunk accumulation order — depend only on (range, grain,
+//     thread_count), so numeric results are bitwise identical run-to-run.
+//   * Nested ParallelFor calls from inside a worker run inline (no task
+//     re-submission), which makes the pool deadlock-free by construction.
+//
+// The pool size comes from HEAD_THREADS (default: hardware_concurrency) for
+// the process-global pool; tests and benches construct private pools and
+// swap them in scope-locally with GlobalPoolOverride.
+//
+// Everything is instrumented through src/obs: queue depth, tasks executed,
+// queue-wait and run latency histograms, and a busy-time-derived worker
+// utilization gauge.
+#ifndef HEAD_PARALLEL_THREAD_POOL_H_
+#define HEAD_PARALLEL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace head::parallel {
+
+/// std::thread::hardware_concurrency with a floor of 1.
+int HardwareThreads();
+
+/// Pool size for ThreadPool::Global(): $HEAD_THREADS when set to a positive
+/// integer, otherwise HardwareThreads(). Read once per process.
+int ConfiguredThreadCount();
+
+class ThreadPool {
+ public:
+  /// `threads` >= 1. A 1-thread pool runs everything inline on the caller.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const { return threads_; }
+
+  /// Enqueues `fn` and returns a future that becomes ready when it has run
+  /// (exceptions propagate through the future). On a 1-thread pool the task
+  /// runs inline before Submit returns.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Runs fn(lo, hi) over a partition of [begin, end) in chunks of at least
+  /// `grain` iterations, using the pool's workers plus the calling thread.
+  /// Blocks until every chunk has finished. fn must be safe to invoke
+  /// concurrently on disjoint ranges. Chunk boundaries are a pure function
+  /// of (range, grain, thread_count) — never of thread timing — so any
+  /// per-chunk accumulation is bitwise reproducible.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+  /// The process-wide pool, created on first use with
+  /// ConfiguredThreadCount() threads (unless overridden — see below).
+  static ThreadPool& Global();
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    double enqueue_seconds = 0.0;  ///< steady-clock time at Submit
+  };
+
+  void WorkerLoop();
+  void RunTask(Task task);
+  /// Pops until the queue is empty or the pool stops; returns on stop.
+  bool PopTask(Task* task);
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  bool stop_ = false;
+
+  // Utilization bookkeeping: busy nanoseconds across all workers vs. wall
+  // time since construction × thread count.
+  std::atomic<int64_t> busy_ns_{0};
+  double start_seconds_ = 0.0;
+};
+
+/// RAII override of ThreadPool::Global() — lets tests and benches pin the
+/// global pool (and with it the threaded tensor kernels) to an explicit
+/// thread count. Restores the previous pool on destruction. Not itself
+/// thread-safe: install overrides from a single controlling thread.
+class GlobalPoolOverride {
+ public:
+  explicit GlobalPoolOverride(ThreadPool* pool);
+  ~GlobalPoolOverride();
+
+  GlobalPoolOverride(const GlobalPoolOverride&) = delete;
+  GlobalPoolOverride& operator=(const GlobalPoolOverride&) = delete;
+
+ private:
+  ThreadPool* previous_;
+};
+
+}  // namespace head::parallel
+
+#endif  // HEAD_PARALLEL_THREAD_POOL_H_

@@ -1,7 +1,10 @@
 #include "perception/lst_gat.h"
 
+#include <cstdint>
+
 #include "common/check.h"
 #include "obs/span.h"
+#include "parallel/thread_pool.h"
 
 namespace head::perception {
 
@@ -112,19 +115,26 @@ nn::Var LstGat::ForwardScaledBatch(
   const int batch = static_cast<int>(graphs.size());
   const int rows_per_sample = kNumAreas * kNodesPerTarget;
   nn::LstmState state = lstm_.InitialState(batch * kNumAreas);
+  // Each sample packs into a disjoint block of `m`, so the stacking loop
+  // fans out across the pool (grain keeps small batches on one worker).
+  parallel::ThreadPool& pool = parallel::ThreadPool::Global();
+  const int64_t block = int64_t{rows_per_sample} * kFeatureDim;
   for (int k = 0; k < z; ++k) {
     nn::Tensor m(batch * rows_per_sample, kFeatureDim);
-    double* dst = m.data().data();
-    for (const StGraph* g : graphs) {
-      const StepNodes& nodes = g->steps[k];
-      for (int i = 0; i < kNumAreas; ++i) {
-        for (int n = 0; n < kNodesPerTarget; ++n) {
-          for (int f = 0; f < kFeatureDim; ++f) {
-            *dst++ = nodes.feat[i][n][f];
+    double* base = m.data().data();
+    pool.ParallelFor(0, batch, /*grain=*/16, [&](int64_t b0, int64_t b1) {
+      for (int64_t b = b0; b < b1; ++b) {
+        double* dst = base + b * block;
+        const StepNodes& nodes = graphs[b]->steps[k];
+        for (int i = 0; i < kNumAreas; ++i) {
+          for (int n = 0; n < kNodesPerTarget; ++n) {
+            for (int f = 0; f < kFeatureDim; ++f) {
+              *dst++ = nodes.feat[i][n][f];
+            }
           }
         }
       }
-    }
+    });
     const nn::Var h_updated = GatStepStacked(
         nn::Var::Constant(std::move(m)), batch * kNumAreas);
     state = lstm_.Forward(h_updated, state);  // Eq. (12), batched over B·6

@@ -20,6 +20,71 @@ const std::vector<double>& RewardBounds() {
   return obs::CachedLinearBounds(-4.0, 4.0, 0.1);
 }
 
+/// Training telemetry shared by the serial and parallel loops. Resolved once
+/// per process (references into the global registry stay valid forever).
+struct TrainTelemetry {
+  obs::Counter& episodes = obs::GetCounter("rl.episodes");
+  obs::Gauge& epsilon = obs::GetGauge("rl.epsilon");
+  obs::Histogram& reward = obs::GetHistogram("rl.episode_reward",
+                                             RewardBounds());
+  obs::Histogram& safety = obs::GetHistogram("rl.reward.safety",
+                                             RewardBounds());
+  obs::Histogram& efficiency = obs::GetHistogram("rl.reward.efficiency",
+                                                 RewardBounds());
+  obs::Histogram& comfort = obs::GetHistogram("rl.reward.comfort",
+                                              RewardBounds());
+  obs::Histogram& impact = obs::GetHistogram("rl.reward.impact",
+                                             RewardBounds());
+
+  static TrainTelemetry& Get() {
+    static TrainTelemetry t;
+    return t;
+  }
+};
+
+void ObserveEpisodeTelemetry(TrainTelemetry& t, double reward_sum,
+                             const RewardTerms& terms_sum, int steps) {
+  const double inv_steps = 1.0 / std::max(steps, 1);
+  t.reward.Observe(reward_sum * inv_steps);
+  t.safety.Observe(terms_sum.safety * inv_steps);
+  t.efficiency.Observe(terms_sum.efficiency * inv_steps);
+  t.comfort.Observe(terms_sum.comfort * inv_steps);
+  t.impact.Observe(terms_sum.impact * inv_steps);
+}
+
+/// ε for episode `ep` under the linear decay schedule.
+double EpsilonAt(const RlTrainConfig& config, int ep) {
+  const double decay_episodes =
+      std::max(1.0, config.epsilon_decay_fraction * config.episodes);
+  const double frac = std::min(1.0, ep / decay_episodes);
+  return config.epsilon_start +
+         frac * (config.epsilon_end - config.epsilon_start);
+}
+
+/// Convergence time: first time the trailing-window mean reaches 95% of
+/// the best trailing-window mean (rewards can be negative; normalize by
+/// the observed range).
+void ComputeConvergence(RlTrainResult& result, int episodes) {
+  const int window = std::min<int>(20, episodes);
+  std::vector<double> trailing;
+  for (size_t e = window - 1; e < result.episode_rewards.size(); ++e) {
+    double s = 0.0;
+    for (int k = 0; k < window; ++k) s += result.episode_rewards[e - k];
+    trailing.push_back(s / window);
+  }
+  const double best = *std::max_element(trailing.begin(), trailing.end());
+  const double worst = *std::min_element(trailing.begin(), trailing.end());
+  const double threshold = best - 0.05 * std::max(best - worst, 1e-9);
+  result.convergence_seconds = result.total_seconds;
+  for (size_t i = 0; i < trailing.size(); ++i) {
+    if (trailing[i] >= threshold) {
+      result.convergence_seconds =
+          result.episode_elapsed_seconds[i + window - 1];
+      break;
+    }
+  }
+}
+
 }  // namespace
 
 RlTrainResult TrainAgent(PamdpAgent& agent, DrivingEnv& env,
@@ -28,8 +93,6 @@ RlTrainResult TrainAgent(PamdpAgent& agent, DrivingEnv& env,
   Rng rng(config.seed);
   RlTrainResult result;
   const auto start = std::chrono::steady_clock::now();
-  const double decay_episodes =
-      std::max(1.0, config.epsilon_decay_fraction * config.episodes);
 
   size_t next_lr_decay = 0;
   for (int ep = 0; ep < config.episodes; ++ep) {
@@ -39,26 +102,12 @@ RlTrainResult TrainAgent(PamdpAgent& agent, DrivingEnv& env,
       agent.ScaleLearningRate(config.lr_decay_factor);
       ++next_lr_decay;
     }
-    const double frac = std::min(1.0, ep / decay_episodes);
-    const double epsilon =
-        config.epsilon_start +
-        frac * (config.epsilon_end - config.epsilon_start);
+    const double epsilon = EpsilonAt(config, ep);
 
-    static obs::Counter& episodes_counter = obs::GetCounter("rl.episodes");
-    static obs::Gauge& epsilon_gauge = obs::GetGauge("rl.epsilon");
-    static obs::Histogram& reward_hist =
-        obs::GetHistogram("rl.episode_reward", RewardBounds());
-    static obs::Histogram& safety_hist =
-        obs::GetHistogram("rl.reward.safety", RewardBounds());
-    static obs::Histogram& efficiency_hist =
-        obs::GetHistogram("rl.reward.efficiency", RewardBounds());
-    static obs::Histogram& comfort_hist =
-        obs::GetHistogram("rl.reward.comfort", RewardBounds());
-    static obs::Histogram& impact_hist =
-        obs::GetHistogram("rl.reward.impact", RewardBounds());
+    TrainTelemetry& telemetry = TrainTelemetry::Get();
     HEAD_SPAN("rl.train.episode");
-    episodes_counter.Add();
-    epsilon_gauge.Set(epsilon);
+    telemetry.episodes.Add();
+    telemetry.epsilon.Set(epsilon);
 
     AugmentedState state = env.Reset(config.seed * 7919 + ep);
     double ep_reward = 0.0;
@@ -79,12 +128,7 @@ RlTrainResult TrainAgent(PamdpAgent& agent, DrivingEnv& env,
       state = outcome.next_state;
       if (outcome.done) break;
     }
-    const double inv_steps = 1.0 / std::max(steps, 1);
-    reward_hist.Observe(ep_reward * inv_steps);
-    safety_hist.Observe(ep_terms.safety * inv_steps);
-    efficiency_hist.Observe(ep_terms.efficiency * inv_steps);
-    comfort_hist.Observe(ep_terms.comfort * inv_steps);
-    impact_hist.Observe(ep_terms.impact * inv_steps);
+    ObserveEpisodeTelemetry(telemetry, ep_reward, ep_terms, steps);
     result.episode_rewards.push_back(ep_reward / std::max(steps, 1));
     result.episode_elapsed_seconds.push_back(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -97,30 +141,108 @@ RlTrainResult TrainAgent(PamdpAgent& agent, DrivingEnv& env,
     }
   }
   result.total_seconds = result.episode_elapsed_seconds.back();
-
-  // Convergence time: first time the trailing-window mean reaches 95% of
-  // the best trailing-window mean (rewards can be negative; normalize by
-  // the observed range).
-  const int window = std::min<int>(20, config.episodes);
-  std::vector<double> trailing;
-  for (size_t e = window - 1; e < result.episode_rewards.size(); ++e) {
-    double s = 0.0;
-    for (int k = 0; k < window; ++k) s += result.episode_rewards[e - k];
-    trailing.push_back(s / window);
-  }
-  const double best = *std::max_element(trailing.begin(), trailing.end());
-  const double worst = *std::min_element(trailing.begin(), trailing.end());
-  const double threshold = best - 0.05 * std::max(best - worst, 1e-9);
-  result.convergence_seconds = result.total_seconds;
-  for (size_t i = 0; i < trailing.size(); ++i) {
-    if (trailing[i] >= threshold) {
-      result.convergence_seconds =
-          result.episode_elapsed_seconds[i + window - 1];
-      break;
-    }
-  }
+  ComputeConvergence(result, config.episodes);
   return result;
 }
+
+RlTrainResult TrainAgent(PamdpAgent& agent, parallel::EnvPool& envs,
+                         const RlTrainConfig& config) {
+  HEAD_CHECK_GT(config.episodes, 0);
+  const int k = envs.size();
+  // The learner consumes its own stream; rollout noise comes from the
+  // per-episode SplitMix streams inside the EnvPool, so learner and actors
+  // never contend for one generator.
+  Rng learner_rng(config.seed);
+  RlTrainResult result;
+  result.episode_rewards.reserve(config.episodes);
+  result.episode_elapsed_seconds.reserve(config.episodes);
+  const auto start = std::chrono::steady_clock::now();
+  parallel::StripedTransitionBuffer buffer(k);
+  TrainTelemetry& telemetry = TrainTelemetry::Get();
+
+  size_t next_lr_decay = 0;
+  for (int round_start = 0; round_start < config.episodes;
+       round_start += k) {
+    const int round = std::min(k, config.episodes - round_start);
+    // Schedules advance at round granularity: parameters are frozen within
+    // a round, so the decay that the serial loop would have applied mid-
+    // round lands at the round boundary instead. Deterministic for fixed K.
+    if (next_lr_decay < config.lr_decay_at_fractions.size() &&
+        round_start >= config.lr_decay_at_fractions[next_lr_decay] *
+                           config.episodes) {
+      agent.ScaleLearningRate(config.lr_decay_factor);
+      ++next_lr_decay;
+    }
+
+    HEAD_SPAN("rl.train.round");
+    parallel::EnvPool::RolloutOptions opts;
+    opts.seed_base = config.seed;
+    opts.max_steps_per_episode = config.max_steps_per_episode;
+    opts.epsilons.resize(round);
+    for (int j = 0; j < round; ++j) {
+      opts.epsilons[j] = EpsilonAt(config, round_start + j);
+    }
+    opts.transitions = &buffer;
+    const std::vector<parallel::EnvPool::EpisodeResult> episodes =
+        envs.RunEpisodes(agent, round_start, round, opts);
+
+    telemetry.episodes.Add(round);
+    telemetry.epsilon.Set(opts.epsilons.back());
+    for (const parallel::EnvPool::EpisodeResult& ep : episodes) {
+      ObserveEpisodeTelemetry(telemetry, ep.reward_sum, ep.terms, ep.steps);
+      result.episode_rewards.push_back(ep.reward_sum /
+                                       std::max(ep.steps, 1));
+    }
+
+    // Learning phase: drain in episode order and replay — one Remember +
+    // one Update per transition, exactly the serial loop's cadence.
+    for (auto& [index, steps] : buffer.DrainOrdered()) {
+      (void)index;
+      for (Transition& t : steps) {
+        AgentAction action;
+        action.behavior = t.behavior;
+        action.params = std::move(t.params);
+        action.maneuver.lane_change = BehaviorToLaneChange(t.behavior);
+        agent.Remember(t.state, action, t.reward, t.next_state, t.terminal);
+        agent.Update(learner_rng);
+      }
+    }
+
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    for (int j = 0; j < round; ++j) {
+      result.episode_elapsed_seconds.push_back(elapsed);
+    }
+    if (config.verbose) {
+      HEAD_LOG(Info) << agent.name() << " episodes " << round_start + round
+                     << "/" << config.episodes << " (rounds of " << k
+                     << ") mean step reward="
+                     << result.episode_rewards.back()
+                     << " eps=" << opts.epsilons.back();
+    }
+  }
+  result.total_seconds = result.episode_elapsed_seconds.back();
+  ComputeConvergence(result, config.episodes);
+  return result;
+}
+
+namespace {
+
+/// Folds one episode's summary into the running stats. Per-step rewards are
+/// summed within an episode first and episode sums are added in episode
+/// order, so the serial and pooled evaluators accumulate in the same order
+/// and produce bitwise-identical statistics.
+void FoldEpisode(RewardStats& stats, double& sum,
+                 const parallel::EnvPool::EpisodeResult& ep) {
+  stats.min_reward = std::min(stats.min_reward, ep.min_step_reward);
+  stats.max_reward = std::max(stats.max_reward, ep.max_step_reward);
+  sum += ep.reward_sum;
+  stats.steps += ep.steps;
+  if (ep.collision) ++stats.collisions;
+}
+
+}  // namespace
 
 RewardStats EvaluateAgent(PamdpAgent& agent, DrivingEnv& env, int episodes,
                           uint64_t seed_base, int max_steps_per_episode) {
@@ -128,29 +250,51 @@ RewardStats EvaluateAgent(PamdpAgent& agent, DrivingEnv& env, int episodes,
   // Evaluation is pure inference: no gradient graph should be recorded for
   // any forward pass below.
   const nn::NoGradGuard no_grad;
-  Rng rng(seed_base);
   RewardStats stats;
   stats.min_reward = std::numeric_limits<double>::infinity();
   stats.max_reward = -std::numeric_limits<double>::infinity();
   double sum = 0.0;
   for (int ep = 0; ep < episodes; ++ep) {
-    AugmentedState state = env.Reset(seed_base * 104729 + ep);
-    for (int step = 0; step < max_steps_per_episode; ++step) {
+    parallel::EnvPool::EpisodeResult result;
+    result.index = ep;
+    Rng rng(SplitMix(seed_base, 2 * static_cast<uint64_t>(ep) + 1));
+    AugmentedState state =
+        env.Reset(SplitMix(seed_base, 2 * static_cast<uint64_t>(ep)));
+    while (result.steps < max_steps_per_episode) {
       const AgentAction action = agent.Act(state, /*epsilon=*/0.0, rng);
       const DrivingEnv::StepOutcome outcome = env.Step(action.maneuver);
       const double r = outcome.reward.total;
-      stats.min_reward = std::min(stats.min_reward, r);
-      stats.max_reward = std::max(stats.max_reward, r);
-      sum += r;
-      ++stats.steps;
+      result.reward_sum += r;
+      result.min_step_reward = std::min(result.min_step_reward, r);
+      result.max_step_reward = std::max(result.max_step_reward, r);
+      ++result.steps;
       state = outcome.next_state;
       if (outcome.done) {
-        if (outcome.status == sim::EpisodeStatus::kCollision) {
-          ++stats.collisions;
-        }
+        result.collision = outcome.status == sim::EpisodeStatus::kCollision;
         break;
       }
     }
+    FoldEpisode(stats, sum, result);
+  }
+  stats.avg_reward = stats.steps > 0 ? sum / stats.steps : 0.0;
+  return stats;
+}
+
+RewardStats EvaluateAgent(PamdpAgent& agent, parallel::EnvPool& envs,
+                          int episodes, uint64_t seed_base,
+                          int max_steps_per_episode) {
+  HEAD_CHECK_GT(max_steps_per_episode, 0);
+  parallel::EnvPool::RolloutOptions opts;
+  opts.seed_base = seed_base;
+  opts.max_steps_per_episode = max_steps_per_episode;
+  const std::vector<parallel::EnvPool::EpisodeResult> results =
+      envs.RunEpisodes(agent, /*first_index=*/0, episodes, opts);
+  RewardStats stats;
+  stats.min_reward = std::numeric_limits<double>::infinity();
+  stats.max_reward = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (const parallel::EnvPool::EpisodeResult& ep : results) {
+    FoldEpisode(stats, sum, ep);
   }
   stats.avg_reward = stats.steps > 0 ? sum / stats.steps : 0.0;
   return stats;

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "parallel/env_pool.h"
 #include "rl/env.h"
 #include "rl/pamdp.h"
 
@@ -49,11 +50,33 @@ struct RewardStats {
 RlTrainResult TrainAgent(PamdpAgent& agent, DrivingEnv& env,
                          const RlTrainConfig& config);
 
+/// Parallel collection-round training over K = envs.size() environments:
+/// each round freezes the learner's parameters, collects K episodes
+/// concurrently across the pool (per-episode SplitMix seed streams), then
+/// drains the transitions in episode order and replays them through
+/// Remember/Update — one learning step per transition, exactly like the
+/// serial loop. Results depend on K (parameters advance once per round
+/// instead of once per episode) but NOT on the thread count: for a fixed K
+/// and seed, the episode-reward vector is bitwise identical whether the
+/// pool runs 1 thread or 16. `agent.Act` must be safe to call concurrently
+/// (pure forward pass — true of all agents in this repo).
+RlTrainResult TrainAgent(PamdpAgent& agent, parallel::EnvPool& envs,
+                         const RlTrainConfig& config);
+
 /// Runs `episodes` greedy episodes and aggregates per-step rewards. Episodes
 /// are truncated at `max_steps_per_episode` so a policy that never reaches a
-/// terminal state cannot hang evaluation or the benches.
+/// terminal state cannot hang evaluation or the benches. Episode e resets
+/// its env with SplitMix(seed_base, 2e) and draws action noise from
+/// SplitMix(seed_base, 2e+1), so its outcome does not depend on which
+/// worker or env instance runs it.
 RewardStats EvaluateAgent(PamdpAgent& agent, DrivingEnv& env, int episodes,
                           uint64_t seed_base,
+                          int max_steps_per_episode = 100000);
+
+/// Same statistics as the serial overload — bitwise identical for any pool
+/// size and thread count — with episodes fanned out across the env pool.
+RewardStats EvaluateAgent(PamdpAgent& agent, parallel::EnvPool& envs,
+                          int episodes, uint64_t seed_base,
                           int max_steps_per_episode = 100000);
 
 }  // namespace head::rl

@@ -1,0 +1,182 @@
+// Unit tests for the parallel layer: ThreadPool (Submit, ParallelFor, the
+// inline 1-thread mode, nested dispatch), StripedTransitionBuffer ordering,
+// and bitwise parity of the threaded matmul kernels against the serial path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+#include "parallel/env_pool.h"
+#include "parallel/thread_pool.h"
+
+namespace head {
+namespace {
+
+TEST(ThreadPoolTest, SubmitRunsTask) {
+  parallel::ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.Submit([&] { ran.fetch_add(1); }).wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, OneThreadPoolRunsInline) {
+  parallel::ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id task_thread;
+  pool.Submit([&] { task_thread = std::this_thread::get_id(); }).wait();
+  EXPECT_EQ(task_thread, caller);  // no workers: executes on the caller
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  for (int threads : {1, 2, 4}) {
+    parallel::ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(257);
+    pool.ParallelFor(0, 257, 10, [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
+  parallel::ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  parallel::ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(0, 4, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      // A nested dispatch from a worker must not block on the same queue.
+      pool.ParallelFor(0, 8, 1, [&](int64_t ib, int64_t ie) {
+        inner_total.fetch_add(static_cast<int>(ie - ib));
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 4 * 8);
+}
+
+TEST(ThreadPoolTest, GlobalOverrideSwapsAndRestores) {
+  parallel::ThreadPool& global = parallel::ThreadPool::Global();
+  parallel::ThreadPool local(3);
+  {
+    parallel::GlobalPoolOverride overridden(&local);
+    EXPECT_EQ(&parallel::ThreadPool::Global(), &local);
+  }
+  EXPECT_EQ(&parallel::ThreadPool::Global(), &global);
+}
+
+TEST(SplitMixTest, StreamsAreStableAndDistinct) {
+  // Fixed values: the per-episode seed contract must never drift, or every
+  // recorded episode result changes meaning.
+  EXPECT_EQ(SplitMix(1, 0), SplitMix(1, 0));
+  EXPECT_NE(SplitMix(1, 0), SplitMix(1, 1));
+  EXPECT_NE(SplitMix(1, 0), SplitMix(2, 0));
+  std::vector<uint64_t> seen;
+  for (uint64_t s = 0; s < 64; ++s) seen.push_back(SplitMix(7, s));
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(StripedTransitionBufferTest, DrainsInEpisodeOrder) {
+  parallel::StripedTransitionBuffer buffer(3);
+  // Push episodes out of order, steps in order within each episode.
+  for (int ep : {4, 1, 7, 0}) {
+    for (int s = 0; s < 3; ++s) {
+      rl::Transition t;
+      t.reward = ep * 10.0 + s;
+      buffer.Push(ep, std::move(t));
+    }
+  }
+  EXPECT_EQ(buffer.size(), 12u);
+  const auto drained = buffer.DrainOrdered();
+  ASSERT_EQ(drained.size(), 4u);
+  EXPECT_EQ(buffer.size(), 0u);
+  const int expected_eps[] = {0, 1, 4, 7};
+  for (size_t i = 0; i < drained.size(); ++i) {
+    EXPECT_EQ(drained[i].first, expected_eps[i]);
+    ASSERT_EQ(drained[i].second.size(), 3u);
+    for (int s = 0; s < 3; ++s) {
+      EXPECT_DOUBLE_EQ(drained[i].second[s].reward,
+                       drained[i].first * 10.0 + s);
+    }
+  }
+}
+
+TEST(StripedTransitionBufferTest, ConcurrentPushesAllArrive) {
+  parallel::StripedTransitionBuffer buffer(4);
+  parallel::ThreadPool pool(4);
+  pool.ParallelFor(0, 16, 1, [&](int64_t b, int64_t e) {
+    for (int64_t ep = b; ep < e; ++ep) {
+      for (int s = 0; s < 50; ++s) {
+        rl::Transition t;
+        t.reward = static_cast<double>(ep);
+        buffer.Push(static_cast<int>(ep), std::move(t));
+      }
+    }
+  });
+  EXPECT_EQ(buffer.size(), 16u * 50u);
+  const auto drained = buffer.DrainOrdered();
+  ASSERT_EQ(drained.size(), 16u);
+  for (int ep = 0; ep < 16; ++ep) {
+    EXPECT_EQ(drained[ep].first, ep);
+    EXPECT_EQ(drained[ep].second.size(), 50u);
+  }
+}
+
+/// Threaded kernels must be bitwise identical to the 1-thread path — the
+/// chunking preserves each output element's accumulation order.
+TEST(ThreadedKernelTest, MatMulFamilyBitwiseMatchesSerial) {
+  Rng rng(123);
+  // Big enough to clear kParallelFlops (2^18): 128·128·128 = 2^21.
+  const nn::Tensor a = nn::Tensor::Uniform(128, 128, -1.0, 1.0, rng);
+  const nn::Tensor b = nn::Tensor::Uniform(128, 128, -1.0, 1.0, rng);
+  const nn::Tensor bias = nn::Tensor::Uniform(1, 128, -1.0, 1.0, rng);
+  const nn::Tensor col = nn::Tensor::Uniform(128, 1, -1.0, 1.0, rng);
+
+  parallel::ThreadPool serial(1);
+  nn::Tensor mm, aff, mta, mm_col, mta_col;
+  {
+    parallel::GlobalPoolOverride overridden(&serial);
+    mm = nn::MatMul(a, b);
+    aff = nn::Affine(a, b, bias);
+    mta = nn::MatMulTransposeA(a, b);
+    mm_col = nn::MatMul(a, col);
+    mta_col = nn::MatMulTransposeA(a, col);
+  }
+  parallel::ThreadPool threaded(4);
+  {
+    parallel::GlobalPoolOverride overridden(&threaded);
+    EXPECT_EQ(nn::MatMul(a, b), mm);
+    EXPECT_EQ(nn::Affine(a, b, bias), aff);
+    EXPECT_EQ(nn::MatMulTransposeA(a, b), mta);
+    EXPECT_EQ(nn::MatMul(a, col), mm_col);
+    EXPECT_EQ(nn::MatMulTransposeA(a, col), mta_col);
+  }
+}
+
+TEST(ThreadedKernelTest, RepeatedThreadedRunsAreBitwiseStable) {
+  Rng rng(321);
+  const nn::Tensor a = nn::Tensor::Uniform(96, 160, -1.0, 1.0, rng);
+  const nn::Tensor b = nn::Tensor::Uniform(160, 96, -1.0, 1.0, rng);
+  parallel::ThreadPool threaded(4);
+  parallel::GlobalPoolOverride overridden(&threaded);
+  const nn::Tensor first = nn::MatMul(a, b);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(nn::MatMul(a, b), first) << "run " << i;
+  }
+}
+
+}  // namespace
+}  // namespace head

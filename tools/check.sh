@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
 # CI-style gates beyond plain ctest:
 #   1. Sanitizer stage: builds with ThreadSanitizer (HEAD_SANITIZE=thread) and
-#      runs the concurrent-observability + sim tests under it, plus the
-#      batched-ops test that exercises the thread-local grad-mode switch.
+#      runs the concurrent-observability + sim tests under it, the
+#      batched-ops test that exercises the thread-local grad-mode switch,
+#      and the parallel-layer tests (thread pool, threaded matmul kernels,
+#      EnvPool rollouts + trainer) pinned to HEAD_THREADS=4 so the pool
+#      actually races even on a 1-core CI box.
 #   2. Perf smoke stage: optimized build of bench/training_throughput (a few
 #      seconds at the fast profile), gated against the checked-in baseline —
-#      fails if batched training throughput regresses more than 30%.
+#      fails if batched training or pooled-rollout throughput regresses more
+#      than 30%. Emits BENCH_training_throughput.json next to the build.
 #
 # Usage:
 #   tools/check.sh                         # both stages
@@ -19,16 +23,16 @@ SANITIZER="${HEAD_SANITIZE:-thread}"
 BUILD_DIR="build-${SANITIZER}san"
 
 SAN_TESTS=(obs_test obs_trace_test sim_simulation_test sim_models_test
-           nn_batched_ops_test)
+           nn_batched_ops_test parallel_test parallel_determinism_test)
 
 cmake -B "${BUILD_DIR}" -S . -DHEAD_SANITIZE="${SANITIZER}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${BUILD_DIR}" -j --target "${SAN_TESTS[@]}"
 
-echo "== running obs + sim + nn tests under ${SANITIZER} sanitizer =="
+echo "== running obs + sim + nn + parallel tests under ${SANITIZER} sanitizer =="
 for t in "${SAN_TESTS[@]}"; do
-  echo "-- ${t}"
-  "${BUILD_DIR}/tests/${t}"
+  echo "-- ${t} (HEAD_THREADS=4)"
+  HEAD_THREADS=4 "${BUILD_DIR}/tests/${t}"
 done
 echo "== ${SANITIZER}-sanitized checks passed =="
 
@@ -39,10 +43,15 @@ if [[ "${HEAD_SKIP_PERF:-0}" != "1" ]]; then
   cmake -B "${PERF_BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build "${PERF_BUILD_DIR}" -j --target training_throughput
 
-  echo "== perf smoke: training throughput vs checked-in baseline =="
+  # HEAD_PERF_THREADS pins the measured thread count; the committed baseline
+  # was recorded at --threads=1 on a 1-core container, so 1 is the default.
+  PERF_THREADS="${HEAD_PERF_THREADS:-1}"
+  echo "== perf smoke: training throughput (--threads=${PERF_THREADS}) vs checked-in baseline =="
   "${PERF_BUILD_DIR}/bench/training_throughput" \
     --skip-per-sample \
+    --threads="${PERF_THREADS}" \
+    --json-out="${PERF_BUILD_DIR}/BENCH_training_throughput.json" \
     --baseline=bench/baselines/training_throughput.json \
     --max-regress=0.30
-  echo "== perf smoke passed =="
+  echo "== perf smoke passed (JSON: ${PERF_BUILD_DIR}/BENCH_training_throughput.json) =="
 fi
