@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "nn/arena.h"
+#include "obs/metrics.h"
 #include "parallel/env_pool.h"
 #include "parallel/thread_pool.h"
 #include "perception/lst_gat.h"
@@ -77,6 +79,40 @@ double MeasureRlThroughput(bool batched, int updates) {
   return static_cast<double>(config.batch_size) * updates / elapsed;
 }
 
+/// Tape/pool alloc events (new arena chunks + tensor-pool misses) per
+/// PdqnAgent::Update once the arena and pool are warm. The zero-allocation
+/// claim of the arena+pool design: after warmup this must be exactly 0.
+/// Caller-side index vectors (replay-sample pointers etc.) are plain heap and
+/// outside the tape — they are not counted here by design.
+double MeasureRlSteadyAllocs(int warmup_updates, int measured_updates) {
+  head::rl::PdqnConfig config;
+  config.batched_updates = true;
+  Rng init(11);
+  auto agent = head::rl::MakeBpDqnAgent(config, init);
+
+  Rng data(21);
+  for (int i = 0; i < config.warmup_transitions + config.batch_size; ++i) {
+    const head::rl::AugmentedState s = RandomState(data);
+    const head::rl::AugmentedState s2 = RandomState(data);
+    head::rl::AgentAction action;
+    action.behavior = data.UniformInt(0, head::rl::kNumBehaviors - 1);
+    action.params = head::nn::Tensor::Uniform(1, head::rl::kNumBehaviors,
+                                              -3.0, 3.0, data);
+    action.maneuver.lane_change =
+        head::rl::BehaviorToLaneChange(action.behavior);
+    action.maneuver.accel_mps2 = action.params[action.behavior];
+    agent->Remember(s, action, data.Uniform(-1.0, 1.0), s2,
+                    /*terminal=*/i % 23 == 0);
+  }
+
+  Rng rng(31);
+  for (int u = 0; u < warmup_updates; ++u) agent->Update(rng);
+  const uint64_t before = head::nn::AllocEvents();
+  for (int u = 0; u < measured_updates; ++u) agent->Update(rng);
+  return static_cast<double>(head::nn::AllocEvents() - before) /
+         measured_updates;
+}
+
 std::vector<head::perception::PredictionSample> MakeSamples(int count, int z,
                                                             Rng& rng) {
   std::vector<head::perception::PredictionSample> samples;
@@ -119,6 +155,27 @@ double MeasurePredictionThroughput(bool batched, int sample_count,
   head::perception::TrainPredictor(model, samples, config);
   const double elapsed = Now() - t0;
   return static_cast<double>(sample_count) * epochs / elapsed;
+}
+
+/// Tape/pool alloc events per TrainPredictor minibatch step once warm: one
+/// warmup epoch fills the arena and pool, then a measured epoch over the same
+/// data must not touch the heap through either.
+double MeasurePredSteadyAllocs(int sample_count) {
+  head::perception::LstGatConfig net_config;
+  Rng init(7);
+  head::perception::LstGat model(net_config, init);
+  Rng data(17);
+  const auto samples = MakeSamples(sample_count, /*z=*/4, data);
+
+  head::perception::PredictionTrainConfig config;
+  config.epochs = 1;
+  config.batched = true;
+  head::perception::TrainPredictor(model, samples, config);  // warmup epoch
+  const uint64_t before = head::nn::AllocEvents();
+  head::perception::TrainPredictor(model, samples, config);
+  const int steps =
+      (sample_count + config.batch_size - 1) / config.batch_size;
+  return static_cast<double>(head::nn::AllocEvents() - before) / steps;
 }
 
 /// Env steps/sec collecting greedy episodes through an EnvPool of K envs on
@@ -236,6 +293,14 @@ int main(int argc, char** argv) {
   std::cout << "rollout (K=" << rollout_envs << "): " << rollout
             << " env steps/sec\n";
 
+  // Steady-state allocation audit: tape/pool heap events per update after
+  // warmup. The arena + tensor-pool hot path is designed to make these 0.
+  const double rl_allocs = MeasureRlSteadyAllocs(/*warmup_updates=*/4,
+                                                 /*measured_updates=*/8);
+  const double pred_allocs = MeasurePredSteadyAllocs(/*sample_count=*/32);
+  std::cout << "rl steady allocs:   " << rl_allocs << " events/update\n";
+  std::cout << "pred steady allocs: " << pred_allocs << " events/step\n";
+
   double rl_per_sample = 0.0;
   double pred_per_sample = 0.0;
   if (!skip_per_sample) {
@@ -267,7 +332,9 @@ int main(int argc, char** argv) {
        << "\"pred_samples_per_sec_batched\":" << pred_batched << ","
        << "\"pred_samples_per_sec_per_sample\":" << pred_per_sample << ","
        << "\"pred_speedup\":"
-       << (pred_per_sample > 0 ? pred_batched / pred_per_sample : 0.0)
+       << (pred_per_sample > 0 ? pred_batched / pred_per_sample : 0.0) << ","
+       << "\"rl_allocs_per_step_steady\":" << rl_allocs << ","
+       << "\"pred_allocs_per_step_steady\":" << pred_allocs
        << "}";
 
   const std::string json_out = ArgString(argc, argv, "--json-out");
@@ -280,6 +347,29 @@ int main(int argc, char** argv) {
     }
   }
   std::cout << json.str() << "\n";
+
+  // --metrics-out: export the full obs registry (including the nn_alloc_*
+  // arena/pool gauges published here) as a metrics JSON snapshot.
+  const std::string metrics_out = ArgString(argc, argv, "--metrics-out");
+  if (!metrics_out.empty()) {
+    head::nn::PublishAllocMetrics();
+    if (!head::obs::WriteMetricsJsonFile(metrics_out)) {
+      std::cerr << "failed to write " << metrics_out << "\n";
+      return 1;
+    }
+    std::cout << "metrics written to " << metrics_out << "\n";
+  }
+
+  // --require-zero-allocs: hard gate on the zero-allocation steady state.
+  if (HasFlag(argc, argv, "--require-zero-allocs")) {
+    if (rl_allocs != 0.0 || pred_allocs != 0.0) {
+      std::cerr << "ALLOC REGRESSION: steady-state tape/pool alloc events "
+                << "per step must be 0 (rl=" << rl_allocs
+                << ", pred=" << pred_allocs << ")\n";
+      return 1;
+    }
+    std::cout << "alloc gate ok: 0 tape/pool alloc events per steady step\n";
+  }
 
   // Regression gate: current batched throughput must stay within
   // --max-regress of the checked-in baseline.

@@ -1,124 +1,136 @@
 #include "nn/autograd.h"
 
+#include <atomic>
 #include <cmath>
-#include <unordered_set>
+#include <initializer_list>
 #include <utility>
 
 #include "common/check.h"
+#include "nn/arena.h"
 
 namespace head::nn {
 
-namespace internal {
-
-struct VarImpl {
-  Tensor value;
-  Tensor grad;  // lazily allocated on first accumulation
-  bool requires_grad = false;
-  std::vector<std::shared_ptr<VarImpl>> parents;
-  std::function<void(VarImpl&)> backward;  // reads this.grad, feeds parents
-
-  void AccumGrad(const Tensor& g) {
-    if (grad.empty()) grad = Tensor::Zeros(value.rows(), value.cols());
-    grad.AddScaled(g, 1.0);
-  }
-
-  /// First accumulation adopts the temporary instead of allocating a zero
-  /// tensor and adding into it — closures feed freshly built tensors here,
-  /// so the common single-consumer case does no extra allocation or pass.
-  void AccumGrad(Tensor&& g) {
-    if (grad.empty()) {
-      grad = std::move(g);
-    } else {
-      grad.AddScaled(g, 1.0);
-    }
-  }
-};
-
-}  // namespace internal
-
 using internal::VarImpl;
 
+Var::Var(std::shared_ptr<VarImpl> owner)
+    : node_(owner.get()), owner_(std::move(owner)) {}
+
 Var Var::Param(Tensor value) {
-  auto impl = std::make_shared<VarImpl>();
-  impl->value = std::move(value);
-  impl->requires_grad = true;
-  return Var(std::move(impl));
+  auto owner = std::make_shared<VarImpl>();
+  owner->value = std::move(value);
+  owner->requires_grad = true;
+  return Var(std::move(owner));
 }
 
 Var Var::Constant(Tensor value) {
-  auto impl = std::make_shared<VarImpl>();
-  impl->value = std::move(value);
-  impl->requires_grad = false;
-  return Var(std::move(impl));
+  GraphArena& arena = GraphArena::ThreadLocal();
+  VarImpl* node = arena.New();
+  node->value = std::move(value);
+  return Var(node, arena.epoch());
+}
+
+bool Var::alive() const {
+  return node_ != nullptr && (owner_ != nullptr || node_->epoch == epoch_);
 }
 
 const Tensor& Var::value() const {
   HEAD_CHECK(defined());
-  return impl_->value;
+  HEAD_DCHECK(alive());
+  return node_->value;
 }
 
 Tensor& Var::mutable_value() {
   HEAD_CHECK(defined());
-  return impl_->value;
+  HEAD_DCHECK(alive());
+  return node_->value;
 }
 
 const Tensor& Var::grad() const {
   HEAD_CHECK(defined());
-  if (impl_->grad.empty()) {
-    impl_->grad = Tensor::Zeros(impl_->value.rows(), impl_->value.cols());
+  HEAD_DCHECK(alive());
+  if (node_->grad.empty()) {
+    node_->grad = Tensor::Zeros(node_->value.rows(), node_->value.cols());
   }
-  return impl_->grad;
+  return node_->grad;
 }
 
 Tensor& Var::mutable_grad() {
   HEAD_CHECK(defined());
-  if (impl_->grad.empty()) {
-    impl_->grad = Tensor::Zeros(impl_->value.rows(), impl_->value.cols());
+  HEAD_DCHECK(alive());
+  if (node_->grad.empty()) {
+    node_->grad = Tensor::Zeros(node_->value.rows(), node_->value.cols());
   }
-  return impl_->grad;
+  return node_->grad;
 }
 
 bool Var::requires_grad() const {
   HEAD_CHECK(defined());
-  return impl_->requires_grad;
+  HEAD_DCHECK(alive());
+  return node_->requires_grad;
 }
 
 void Var::ZeroGrad() {
   HEAD_CHECK(defined());
-  if (!impl_->grad.empty()) impl_->grad.SetZero();
+  HEAD_DCHECK(alive());
+  if (!node_->grad.empty()) node_->grad.SetZero();
 }
 
 namespace {
 
 thread_local bool g_grad_enabled = true;
 
-/// Creates a result node; records parents/backward only if needed.
-Var MakeResult(Tensor value, std::vector<Var> inputs,
-               std::function<void(VarImpl&)> backward) {
-  auto impl = std::make_shared<VarImpl>();
-  impl->value = std::move(value);
+/// Backward traversal stamps come from one process-wide counter so marks
+/// never collide even if graphs sharing persistent leaves are differentiated
+/// from different threads over the process lifetime.
+std::atomic<uint64_t> g_traversal_counter{0};
+
+uint64_t NextTraversalMark() {
+  return g_traversal_counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/// Creates a result node from the thread's arena; records parents/backward
+/// only if needed. `inputs` is a stack-backed pointer list — no per-op
+/// container allocation.
+Var MakeResult(Tensor value, std::initializer_list<const Var*> inputs,
+               void (*backward)(VarImpl&)) {
+  bool needs = false;
+  for (const Var* v : inputs) {
+    HEAD_CHECK(v->defined());
+    HEAD_DCHECK(v->alive());
+    if (v->node()->requires_grad) needs = true;
+  }
+  if (!g_grad_enabled) needs = false;
+  GraphArena& arena = GraphArena::ThreadLocal();
+  VarImpl* node = arena.New();
+  node->value = std::move(value);
+  node->requires_grad = needs;
+  if (needs) {
+    for (const Var* v : inputs) node->parents.push_back(v->node());
+    node->backward = backward;
+  }
+  return Var(node, arena.epoch());
+}
+
+/// Variadic-input overload (Concat ops).
+Var MakeResult(Tensor value, const std::vector<Var>& inputs,
+               void (*backward)(VarImpl&)) {
   bool needs = false;
   for (const Var& v : inputs) {
     HEAD_CHECK(v.defined());
-    if (v.requires_grad()) needs = true;
+    HEAD_DCHECK(v.alive());
+    if (v.node()->requires_grad) needs = true;
   }
   if (!g_grad_enabled) needs = false;
-  impl->requires_grad = needs;
+  GraphArena& arena = GraphArena::ThreadLocal();
+  VarImpl* node = arena.New();
+  node->value = std::move(value);
+  node->requires_grad = needs;
   if (needs) {
-    impl->parents.reserve(inputs.size());
-    for (const Var& v : inputs) impl->parents.push_back(v.impl());
-    impl->backward = std::move(backward);
+    node->parents.reserve(inputs.size());
+    for (const Var& v : inputs) node->parents.push_back(v.node());
+    node->backward = backward;
   }
-  return Var(std::move(impl));
-}
-
-void Topo(const std::shared_ptr<VarImpl>& node,
-          std::unordered_set<VarImpl*>& seen,
-          std::vector<std::shared_ptr<VarImpl>>& order) {
-  if (!node || seen.count(node.get()) > 0) return;
-  seen.insert(node.get());
-  for (const auto& p : node->parents) Topo(p, seen, order);
-  order.push_back(node);
+  return Var(node, arena.epoch());
 }
 
 }  // namespace
@@ -131,20 +143,46 @@ NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
 
 void Backward(const Var& loss) {
   HEAD_CHECK(loss.defined());
+  HEAD_DCHECK(loss.alive());
   HEAD_CHECK_EQ(loss.value().rows(), 1);
   HEAD_CHECK_EQ(loss.value().cols(), 1);
-  std::unordered_set<VarImpl*> seen;
-  std::vector<std::shared_ptr<VarImpl>> order;
-  Topo(loss.impl(), seen, order);
-  loss.impl()->AccumGrad(Tensor::Full(1, 1, 1.0));
+  VarImpl* root = loss.node();
+  GraphArena& arena = GraphArena::ThreadLocal();
+  std::vector<VarImpl*>& order = arena.order_scratch();
+  std::vector<std::pair<VarImpl*, size_t>>& stack = arena.stack_scratch();
+  order.clear();  // capacity retained: reserved to the last call's node count
+  stack.clear();
+
+  // Explicit-stack DFS producing exactly the recursive post-order: a node is
+  // marked when first reached (pushed), children are expanded left to right,
+  // and the node is emitted once its last child subtree completes.
+  const uint64_t mark = NextTraversalMark();
+  root->visit_mark = mark;
+  stack.emplace_back(root, 0);
+  while (!stack.empty()) {
+    std::pair<VarImpl*, size_t>& top = stack.back();
+    VarImpl* node = top.first;
+    if (top.second < node->parents.size()) {
+      VarImpl* parent = node->parents[top.second++];
+      if (parent->visit_mark != mark) {
+        parent->visit_mark = mark;
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  root->AccumGrad(Tensor::Full(1, 1, 1.0));
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     VarImpl& node = **it;
-    if (node.backward && !node.grad.empty()) node.backward(node);
+    if (node.backward != nullptr && !node.grad.empty()) node.backward(node);
   }
   // Release intermediate gradients/graph edges so only leaf grads persist
-  // and repeated Backward calls cannot double-apply closures.
-  for (auto& node : order) {
-    if (node->backward) {
+  // and repeated Backward calls cannot double-apply backward functions.
+  for (VarImpl* node : order) {
+    if (node->backward != nullptr) {
       node->backward = nullptr;
       node->parents.clear();
       node->grad = Tensor();
@@ -152,143 +190,181 @@ void Backward(const Var& loss) {
   }
 }
 
+namespace {
+
+void MatMulBackward(VarImpl& self) {
+  VarImpl* a = self.parents[0];
+  VarImpl* b = self.parents[1];
+  if (a->requires_grad) a->AccumGrad(MatMulTransposeB(self.grad, b->value));
+  if (b->requires_grad) b->AccumGrad(MatMulTransposeA(a->value, self.grad));
+}
+
+void AffineBackward(VarImpl& self) {
+  VarImpl* a = self.parents[0];
+  VarImpl* b = self.parents[1];
+  VarImpl* bias = self.parents[2];
+  if (a->requires_grad) a->AccumGrad(MatMulTransposeB(self.grad, b->value));
+  if (b->requires_grad) b->AccumGrad(MatMulTransposeA(a->value, self.grad));
+  if (bias->requires_grad) bias->AccumGrad(SumRows(self.grad));
+}
+
+void AddBackward(VarImpl& self) {
+  self.parents[0]->AccumGrad(self.grad);
+  self.parents[1]->AccumGrad(self.grad);
+}
+
+void SubBackward(VarImpl& self) {
+  self.parents[0]->AccumGrad(self.grad);
+  self.parents[1]->AccumGrad(Scale(self.grad, -1.0));
+}
+
+void MulBackward(VarImpl& self) {
+  VarImpl* a = self.parents[0];
+  VarImpl* b = self.parents[1];
+  a->AccumGrad(Mul(self.grad, b->value));
+  b->AccumGrad(Mul(self.grad, a->value));
+}
+
+void ScaleBackward(VarImpl& self) {
+  self.parents[0]->AccumGrad(Scale(self.grad, self.aux_d));
+}
+
+void PassThroughBackward(VarImpl& self) {
+  self.parents[0]->AccumGrad(self.grad);
+}
+
+void AddRowBroadcastBackward(VarImpl& self) {
+  self.parents[0]->AccumGrad(self.grad);
+  self.parents[1]->AccumGrad(SumRows(self.grad));
+}
+
+}  // namespace
+
 Var MatMul(const Var& a, const Var& b) {
   Tensor out = MatMul(a.value(), b.value());
-  auto ai = a.impl();
-  auto bi = b.impl();
-  return MakeResult(std::move(out), {a, b}, [ai, bi](VarImpl& self) {
-    if (ai->requires_grad || !ai->parents.empty()) {
-      ai->AccumGrad(MatMulTransposeB(self.grad, bi->value));
-    }
-    if (bi->requires_grad || !bi->parents.empty()) {
-      bi->AccumGrad(MatMulTransposeA(ai->value, self.grad));
-    }
-  });
+  return MakeResult(std::move(out), {&a, &b}, MatMulBackward);
 }
 
 Var Affine(const Var& a, const Var& b, const Var& bias) {
   Tensor out = Affine(a.value(), b.value(), bias.value());
-  auto ai = a.impl();
-  auto bi = b.impl();
-  auto ci = bias.impl();
-  return MakeResult(std::move(out), {a, b, bias},
-                    [ai, bi, ci](VarImpl& self) {
-                      if (ai->requires_grad || !ai->parents.empty()) {
-                        ai->AccumGrad(MatMulTransposeB(self.grad, bi->value));
-                      }
-                      if (bi->requires_grad || !bi->parents.empty()) {
-                        bi->AccumGrad(MatMulTransposeA(ai->value, self.grad));
-                      }
-                      if (ci->requires_grad || !ci->parents.empty()) {
-                        ci->AccumGrad(SumRows(self.grad));
-                      }
-                    });
+  return MakeResult(std::move(out), {&a, &b, &bias}, AffineBackward);
 }
 
 Var Add(const Var& a, const Var& b) {
   Tensor out = Add(a.value(), b.value());
-  auto ai = a.impl();
-  auto bi = b.impl();
-  return MakeResult(std::move(out), {a, b}, [ai, bi](VarImpl& self) {
-    ai->AccumGrad(self.grad);
-    bi->AccumGrad(self.grad);
-  });
+  return MakeResult(std::move(out), {&a, &b}, AddBackward);
 }
 
 Var Sub(const Var& a, const Var& b) {
   Tensor out = Sub(a.value(), b.value());
-  auto ai = a.impl();
-  auto bi = b.impl();
-  return MakeResult(std::move(out), {a, b}, [ai, bi](VarImpl& self) {
-    ai->AccumGrad(self.grad);
-    bi->AccumGrad(Scale(self.grad, -1.0));
-  });
+  return MakeResult(std::move(out), {&a, &b}, SubBackward);
 }
 
 Var Mul(const Var& a, const Var& b) {
   Tensor out = Mul(a.value(), b.value());
-  auto ai = a.impl();
-  auto bi = b.impl();
-  return MakeResult(std::move(out), {a, b}, [ai, bi](VarImpl& self) {
-    ai->AccumGrad(Mul(self.grad, bi->value));
-    bi->AccumGrad(Mul(self.grad, ai->value));
-  });
+  return MakeResult(std::move(out), {&a, &b}, MulBackward);
 }
 
 Var Scale(const Var& a, double s) {
   Tensor out = Scale(a.value(), s);
-  auto ai = a.impl();
-  return MakeResult(std::move(out), {a}, [ai, s](VarImpl& self) {
-    ai->AccumGrad(Scale(self.grad, s));
-  });
+  Var result = MakeResult(std::move(out), {&a}, ScaleBackward);
+  result.node()->aux_d = s;
+  return result;
 }
 
 Var AddScalar(const Var& a, double s) {
   Tensor out = a.value();
   for (int i = 0; i < out.size(); ++i) out[i] += s;
-  auto ai = a.impl();
-  return MakeResult(std::move(out), {a},
-                    [ai](VarImpl& self) { ai->AccumGrad(self.grad); });
+  return MakeResult(std::move(out), {&a}, PassThroughBackward);
 }
 
 Var AddRowBroadcast(const Var& a, const Var& row) {
   Tensor out = AddRowBroadcast(a.value(), row.value());
-  auto ai = a.impl();
-  auto ri = row.impl();
-  return MakeResult(std::move(out), {a, row}, [ai, ri](VarImpl& self) {
-    ai->AccumGrad(self.grad);
-    ri->AccumGrad(SumRows(self.grad));
-  });
+  return MakeResult(std::move(out), {&a, &row}, AddRowBroadcastBackward);
 }
 
 namespace {
 
-template <typename FwdFn, typename GradFn>
-Var UnaryElementwise(const Var& a, FwdFn fwd, GradFn grad_of_out) {
+/// Element-wise backward: g = dL/dout ⊙ DFn(x, y) with x the input value
+/// and y the op's output value. Instantiated per op with a plain function,
+/// so the recorded backward stays a capture-free function pointer.
+template <double (*DFn)(double x, double y)>
+void UnaryBackward(VarImpl& self) {
+  VarImpl* a = self.parents[0];
+  Tensor g(self.grad.rows(), self.grad.cols());
+  for (int i = 0; i < g.size(); ++i) {
+    g[i] = self.grad[i] * DFn(a->value[i], self.value[i]);
+  }
+  a->AccumGrad(std::move(g));
+}
+
+void LeakyReluBackward(VarImpl& self) {
+  VarImpl* a = self.parents[0];
+  const double negative_slope = self.aux_d;
+  Tensor g(self.grad.rows(), self.grad.cols());
+  for (int i = 0; i < g.size(); ++i) {
+    g[i] = self.grad[i] * (a->value[i] > 0.0 ? 1.0 : negative_slope);
+  }
+  a->AccumGrad(std::move(g));
+}
+
+template <typename FwdFn>
+Var UnaryElementwise(const Var& a, FwdFn fwd, void (*backward)(VarImpl&)) {
   Tensor out = a.value();
   for (int i = 0; i < out.size(); ++i) out[i] = fwd(out[i]);
-  auto ai = a.impl();
-  return MakeResult(std::move(out), {a},
-                    [ai, grad_of_out](VarImpl& self) {
-                      Tensor g(self.grad.rows(), self.grad.cols());
-                      for (int i = 0; i < g.size(); ++i) {
-                        g[i] = self.grad[i] *
-                               grad_of_out(ai->value[i], self.value[i]);
-                      }
-                      ai->AccumGrad(std::move(g));
-                    });
+  return MakeResult(std::move(out), {&a}, backward);
 }
+
+double ReluD(double x, double /*y*/) { return x > 0.0 ? 1.0 : 0.0; }
+double TanhD(double /*x*/, double y) { return 1.0 - y * y; }
+double SigmoidD(double /*x*/, double y) { return y * (1.0 - y); }
+double SquareD(double x, double /*y*/) { return 2.0 * x; }
 
 }  // namespace
 
 Var Relu(const Var& a) {
   return UnaryElementwise(
-      a, [](double x) { return x > 0.0 ? x : 0.0; },
-      [](double x, double /*y*/) { return x > 0.0 ? 1.0 : 0.0; });
+      a, [](double x) { return x > 0.0 ? x : 0.0; }, UnaryBackward<ReluD>);
 }
 
 Var LeakyRelu(const Var& a, double negative_slope) {
-  return UnaryElementwise(
+  Var result = UnaryElementwise(
       a,
-      [negative_slope](double x) {
-        return x > 0.0 ? x : negative_slope * x;
-      },
-      [negative_slope](double x, double /*y*/) {
-        return x > 0.0 ? 1.0 : negative_slope;
-      });
+      [negative_slope](double x) { return x > 0.0 ? x : negative_slope * x; },
+      LeakyReluBackward);
+  result.node()->aux_d = negative_slope;
+  return result;
 }
 
 Var Tanh(const Var& a) {
   return UnaryElementwise(
-      a, [](double x) { return std::tanh(x); },
-      [](double /*x*/, double y) { return 1.0 - y * y; });
+      a, [](double x) { return std::tanh(x); }, UnaryBackward<TanhD>);
 }
 
 Var Sigmoid(const Var& a) {
   return UnaryElementwise(
       a, [](double x) { return 1.0 / (1.0 + std::exp(-x)); },
-      [](double /*x*/, double y) { return y * (1.0 - y); });
+      UnaryBackward<SigmoidD>);
 }
+
+namespace {
+
+void SoftmaxRowsBackward(VarImpl& self) {
+  // dx = y ⊙ (dy − rowsum(dy ⊙ y))
+  Tensor g(self.grad.rows(), self.grad.cols());
+  for (int r = 0; r < g.rows(); ++r) {
+    double dot = 0.0;
+    for (int c = 0; c < g.cols(); ++c) {
+      dot += self.grad.At(r, c) * self.value.At(r, c);
+    }
+    for (int c = 0; c < g.cols(); ++c) {
+      g.At(r, c) = self.value.At(r, c) * (self.grad.At(r, c) - dot);
+    }
+  }
+  self.parents[0]->AccumGrad(std::move(g));
+}
+
+}  // namespace
 
 Var SoftmaxRows(const Var& a) {
   Tensor out = a.value();
@@ -302,22 +378,38 @@ Var SoftmaxRows(const Var& a) {
     }
     for (int c = 0; c < out.cols(); ++c) out.At(r, c) /= sum;
   }
-  auto ai = a.impl();
-  return MakeResult(std::move(out), {a}, [ai](VarImpl& self) {
-    // dx = y ⊙ (dy − rowsum(dy ⊙ y))
-    Tensor g(self.grad.rows(), self.grad.cols());
-    for (int r = 0; r < g.rows(); ++r) {
-      double dot = 0.0;
-      for (int c = 0; c < g.cols(); ++c) {
-        dot += self.grad.At(r, c) * self.value.At(r, c);
-      }
-      for (int c = 0; c < g.cols(); ++c) {
-        g.At(r, c) = self.value.At(r, c) * (self.grad.At(r, c) - dot);
-      }
-    }
-    ai->AccumGrad(std::move(g));
-  });
+  return MakeResult(std::move(out), {&a}, SoftmaxRowsBackward);
 }
+
+namespace {
+
+void ConcatColsBackward(VarImpl& self) {
+  int off = 0;
+  for (VarImpl* pi : self.parents) {
+    const int pc = pi->value.cols();
+    Tensor g(pi->value.rows(), pc);
+    for (int r = 0; r < g.rows(); ++r) {
+      for (int c = 0; c < pc; ++c) g.At(r, c) = self.grad.At(r, off + c);
+    }
+    pi->AccumGrad(std::move(g));
+    off += pc;
+  }
+}
+
+void ConcatRowsBackward(VarImpl& self) {
+  int off = 0;
+  for (VarImpl* pi : self.parents) {
+    const int pr = pi->value.rows();
+    Tensor g(pr, pi->value.cols());
+    for (int r = 0; r < pr; ++r) {
+      for (int c = 0; c < g.cols(); ++c) g.At(r, c) = self.grad.At(off + r, c);
+    }
+    pi->AccumGrad(std::move(g));
+    off += pr;
+  }
+}
+
+}  // namespace
 
 Var ConcatCols(const std::vector<Var>& parts) {
   HEAD_CHECK(!parts.empty());
@@ -337,20 +429,7 @@ Var ConcatCols(const std::vector<Var>& parts) {
     }
     off += p.value().cols();
   }
-  std::vector<std::shared_ptr<VarImpl>> impls;
-  for (const Var& p : parts) impls.push_back(p.impl());
-  return MakeResult(std::move(out), parts, [impls](VarImpl& self) {
-    int off = 0;
-    for (const auto& pi : impls) {
-      const int pc = pi->value.cols();
-      Tensor g(pi->value.rows(), pc);
-      for (int r = 0; r < g.rows(); ++r) {
-        for (int c = 0; c < pc; ++c) g.At(r, c) = self.grad.At(r, off + c);
-      }
-      pi->AccumGrad(std::move(g));
-      off += pc;
-    }
-  });
+  return MakeResult(std::move(out), parts, ConcatColsBackward);
 }
 
 Var ConcatRows(const std::vector<Var>& parts) {
@@ -369,21 +448,48 @@ Var ConcatRows(const std::vector<Var>& parts) {
     }
     off += p.value().rows();
   }
-  std::vector<std::shared_ptr<VarImpl>> impls;
-  for (const Var& p : parts) impls.push_back(p.impl());
-  return MakeResult(std::move(out), parts, [impls](VarImpl& self) {
-    int off = 0;
-    for (const auto& pi : impls) {
-      const int pr = pi->value.rows();
-      Tensor g(pr, pi->value.cols());
-      for (int r = 0; r < pr; ++r) {
-        for (int c = 0; c < g.cols(); ++c) g.At(r, c) = self.grad.At(off + r, c);
-      }
-      pi->AccumGrad(std::move(g));
-      off += pr;
-    }
-  });
+  return MakeResult(std::move(out), parts, ConcatRowsBackward);
 }
+
+namespace {
+
+void SliceColsBackward(VarImpl& self) {
+  VarImpl* a = self.parents[0];
+  const int c0 = self.aux_i;
+  Tensor g = Tensor::Zeros(a->value.rows(), a->value.cols());
+  for (int r = 0; r < self.grad.rows(); ++r) {
+    for (int c = 0; c < self.grad.cols(); ++c) {
+      g.At(r, c0 + c) = self.grad.At(r, c);
+    }
+  }
+  a->AccumGrad(std::move(g));
+}
+
+void SliceRowsBackward(VarImpl& self) {
+  VarImpl* a = self.parents[0];
+  const int r0 = self.aux_i;
+  Tensor g = Tensor::Zeros(a->value.rows(), a->value.cols());
+  for (int r = 0; r < self.grad.rows(); ++r) {
+    for (int c = 0; c < self.grad.cols(); ++c) {
+      g.At(r0 + r, c) = self.grad.At(r, c);
+    }
+  }
+  a->AccumGrad(std::move(g));
+}
+
+void ReshapeBackward(VarImpl& self) {
+  VarImpl* a = self.parents[0];
+  Tensor g(a->value.rows(), a->value.cols());
+  for (int i = 0; i < g.size(); ++i) g[i] = self.grad[i];
+  a->AccumGrad(std::move(g));
+}
+
+void SumBackward(VarImpl& self) {
+  VarImpl* a = self.parents[0];
+  a->AccumGrad(Tensor::Full(a->value.rows(), a->value.cols(), self.grad[0]));
+}
+
+}  // namespace
 
 Var SliceCols(const Var& a, int c0, int c1) {
   HEAD_CHECK(0 <= c0 && c0 < c1 && c1 <= a.value().cols());
@@ -391,16 +497,9 @@ Var SliceCols(const Var& a, int c0, int c1) {
   for (int r = 0; r < out.rows(); ++r) {
     for (int c = 0; c < out.cols(); ++c) out.At(r, c) = a.value().At(r, c0 + c);
   }
-  auto ai = a.impl();
-  return MakeResult(std::move(out), {a}, [ai, c0](VarImpl& self) {
-    Tensor g = Tensor::Zeros(ai->value.rows(), ai->value.cols());
-    for (int r = 0; r < self.grad.rows(); ++r) {
-      for (int c = 0; c < self.grad.cols(); ++c) {
-        g.At(r, c0 + c) = self.grad.At(r, c);
-      }
-    }
-    ai->AccumGrad(std::move(g));
-  });
+  Var result = MakeResult(std::move(out), {&a}, SliceColsBackward);
+  result.node()->aux_i = c0;
+  return result;
 }
 
 Var SliceRows(const Var& a, int r0, int r1) {
@@ -409,36 +508,25 @@ Var SliceRows(const Var& a, int r0, int r1) {
   for (int r = 0; r < out.rows(); ++r) {
     for (int c = 0; c < out.cols(); ++c) out.At(r, c) = a.value().At(r0 + r, c);
   }
-  auto ai = a.impl();
-  return MakeResult(std::move(out), {a}, [ai, r0](VarImpl& self) {
-    Tensor g = Tensor::Zeros(ai->value.rows(), ai->value.cols());
-    for (int r = 0; r < self.grad.rows(); ++r) {
-      for (int c = 0; c < self.grad.cols(); ++c) {
-        g.At(r0 + r, c) = self.grad.At(r, c);
-      }
-    }
-    ai->AccumGrad(std::move(g));
-  });
+  Var result = MakeResult(std::move(out), {&a}, SliceRowsBackward);
+  result.node()->aux_i = r0;
+  return result;
 }
 
 Var Reshape(const Var& a, int rows, int cols) {
   HEAD_CHECK_EQ(a.value().size(), rows * cols);
-  Tensor out(rows, cols, a.value().data());
-  auto ai = a.impl();
-  return MakeResult(std::move(out), {a}, [ai](VarImpl& self) {
-    ai->AccumGrad(Tensor(ai->value.rows(), ai->value.cols(),
-                         self.grad.data()));
-  });
+  // Element copy into a pooled buffer (constructing from a.value().data()
+  // would copy the vector outside the pool).
+  Tensor out(rows, cols);
+  const Tensor& av = a.value();
+  for (int i = 0; i < out.size(); ++i) out[i] = av[i];
+  return MakeResult(std::move(out), {&a}, ReshapeBackward);
 }
 
 Var Sum(const Var& a) {
   double s = 0.0;
   for (int i = 0; i < a.value().size(); ++i) s += a.value()[i];
-  auto ai = a.impl();
-  return MakeResult(Tensor::Full(1, 1, s), {a}, [ai](VarImpl& self) {
-    ai->AccumGrad(
-        Tensor::Full(ai->value.rows(), ai->value.cols(), self.grad[0]));
-  });
+  return MakeResult(Tensor::Full(1, 1, s), {&a}, SumBackward);
 }
 
 Var Mean(const Var& a) {
@@ -448,8 +536,7 @@ Var Mean(const Var& a) {
 
 Var Square(const Var& a) {
   return UnaryElementwise(
-      a, [](double x) { return x * x; },
-      [](double x, double /*y*/) { return 2.0 * x; });
+      a, [](double x) { return x * x; }, UnaryBackward<SquareD>);
 }
 
 Var MseLoss(const Var& pred, const Var& target) {
@@ -457,6 +544,92 @@ Var MseLoss(const Var& pred, const Var& target) {
   HEAD_CHECK_EQ(pred.value().cols(), target.value().cols());
   return Mean(Square(Sub(pred, target)));
 }
+
+namespace {
+
+void GatherRowsBackward(VarImpl& self) {
+  VarImpl* a = self.parents[0];
+  Tensor g = Tensor::Zeros(a->value.rows(), a->value.cols());
+  const int cols = g.cols();
+  const std::vector<int>& rows = self.indices;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const double* src = self.grad.data().data() + i * cols;
+    double* dst = g.data().data() + static_cast<size_t>(rows[i]) * cols;
+    for (int c = 0; c < cols; ++c) dst[c] += src[c];
+  }
+  a->AccumGrad(std::move(g));
+}
+
+void SelectColumnPerRowBackward(VarImpl& self) {
+  VarImpl* a = self.parents[0];
+  Tensor g = Tensor::Zeros(a->value.rows(), a->value.cols());
+  const std::vector<int>& cols = self.indices;
+  for (int r = 0; r < g.rows(); ++r) {
+    g.At(r, cols[r]) = self.grad[r];
+  }
+  a->AccumGrad(std::move(g));
+}
+
+void RowwiseMaxBackward(VarImpl& self) {
+  VarImpl* a = self.parents[0];
+  Tensor g = Tensor::Zeros(a->value.rows(), a->value.cols());
+  const std::vector<int>& argmax = self.indices;
+  for (int r = 0; r < g.rows(); ++r) {
+    g.At(r, argmax[r]) = self.grad[r];
+  }
+  a->AccumGrad(std::move(g));
+}
+
+void SumRowsBackward(VarImpl& self) {
+  VarImpl* a = self.parents[0];
+  Tensor g(a->value.rows(), a->value.cols());
+  const int cols = g.cols();
+  const double* src = self.grad.data().data();
+  for (int r = 0; r < g.rows(); ++r) {
+    double* dst = g.data().data() + static_cast<size_t>(r) * cols;
+    for (int c = 0; c < cols; ++c) dst[c] = src[c];
+  }
+  a->AccumGrad(std::move(g));
+}
+
+void ScaleRowsBackward(VarImpl& self) {
+  VarImpl* a = self.parents[0];
+  VarImpl* s = self.parents[1];
+  const int rows = a->value.rows();
+  const int cols = a->value.cols();
+  Tensor ga(rows, cols);
+  Tensor gs(rows, 1);
+  for (int r = 0; r < rows; ++r) {
+    const double sv = s->value[r];
+    const double* gout = self.grad.data().data() + static_cast<size_t>(r) * cols;
+    const double* arow = a->value.data().data() + static_cast<size_t>(r) * cols;
+    double* garow = ga.data().data() + static_cast<size_t>(r) * cols;
+    double dot = 0.0;
+    for (int c = 0; c < cols; ++c) {
+      garow[c] = gout[c] * sv;
+      dot += gout[c] * arow[c];
+    }
+    gs[r] = dot;
+  }
+  a->AccumGrad(std::move(ga));
+  s->AccumGrad(std::move(gs));
+}
+
+void SumRowGroupsBackward(VarImpl& self) {
+  VarImpl* a = self.parents[0];
+  const int group_size = self.aux_i;
+  const int cols = a->value.cols();
+  Tensor g(a->value.rows(), cols);
+  for (int r = 0; r < g.rows(); ++r) {
+    const double* src =
+        self.grad.data().data() + static_cast<size_t>(r / group_size) * cols;
+    double* dst = g.data().data() + static_cast<size_t>(r) * cols;
+    for (int c = 0; c < cols; ++c) dst[c] = src[c];
+  }
+  a->AccumGrad(std::move(g));
+}
+
+}  // namespace
 
 Var GatherRows(const Var& a, std::vector<int> rows) {
   const Tensor& av = a.value();
@@ -469,21 +642,9 @@ Var GatherRows(const Var& a, std::vector<int> rows) {
     double* dst = out.data().data() + i * cols;
     for (int c = 0; c < cols; ++c) dst[c] = src[c];
   }
-  auto ai = a.impl();
-  return MakeResult(std::move(out), {a},
-                    [ai, rows = std::move(rows)](VarImpl& self) {
-                      Tensor g =
-                          Tensor::Zeros(ai->value.rows(), ai->value.cols());
-                      const int cols = g.cols();
-                      for (size_t i = 0; i < rows.size(); ++i) {
-                        const double* src =
-                            self.grad.data().data() + i * cols;
-                        double* dst = g.data().data() +
-                                      static_cast<size_t>(rows[i]) * cols;
-                        for (int c = 0; c < cols; ++c) dst[c] += src[c];
-                      }
-                      ai->AccumGrad(std::move(g));
-                    });
+  Var result = MakeResult(std::move(out), {&a}, GatherRowsBackward);
+  result.node()->indices = std::move(rows);
+  return result;
 }
 
 Var SelectColumnPerRow(const Var& a, std::vector<int> cols) {
@@ -494,56 +655,34 @@ Var SelectColumnPerRow(const Var& a, std::vector<int> cols) {
     HEAD_CHECK(cols[r] >= 0 && cols[r] < av.cols());
     out[r] = av.At(r, cols[r]);
   }
-  auto ai = a.impl();
-  return MakeResult(std::move(out), {a},
-                    [ai, cols = std::move(cols)](VarImpl& self) {
-                      Tensor g =
-                          Tensor::Zeros(ai->value.rows(), ai->value.cols());
-                      for (int r = 0; r < g.rows(); ++r) {
-                        g.At(r, cols[r]) = self.grad[r];
-                      }
-                      ai->AccumGrad(std::move(g));
-                    });
+  Var result = MakeResult(std::move(out), {&a}, SelectColumnPerRowBackward);
+  result.node()->indices = std::move(cols);
+  return result;
 }
 
 Var RowwiseMax(const Var& a) {
   const Tensor& av = a.value();
   HEAD_CHECK_GT(av.cols(), 0);
-  Tensor out(av.rows(), 1);
-  std::vector<int> argmax(av.rows());
+  Var result = MakeResult(Tensor(av.rows(), 1), {&a}, RowwiseMaxBackward);
+  VarImpl* node = result.node();
+  // The argmax list reuses the node's index capacity across steps instead of
+  // allocating a fresh vector per call.
+  node->indices.assign(av.rows(), 0);
+  Tensor& out = node->value;
   for (int r = 0; r < av.rows(); ++r) {
     int best = 0;
     for (int c = 1; c < av.cols(); ++c) {
       if (av.At(r, c) > av.At(r, best)) best = c;
     }
-    argmax[r] = best;
+    node->indices[r] = best;
     out[r] = av.At(r, best);
   }
-  auto ai = a.impl();
-  return MakeResult(std::move(out), {a},
-                    [ai, argmax = std::move(argmax)](VarImpl& self) {
-                      Tensor g =
-                          Tensor::Zeros(ai->value.rows(), ai->value.cols());
-                      for (int r = 0; r < g.rows(); ++r) {
-                        g.At(r, argmax[r]) = self.grad[r];
-                      }
-                      ai->AccumGrad(std::move(g));
-                    });
+  return result;
 }
 
 Var SumRows(const Var& a) {
   Tensor out = SumRows(a.value());
-  auto ai = a.impl();
-  return MakeResult(std::move(out), {a}, [ai](VarImpl& self) {
-    Tensor g(ai->value.rows(), ai->value.cols());
-    const int cols = g.cols();
-    const double* src = self.grad.data().data();
-    for (int r = 0; r < g.rows(); ++r) {
-      double* dst = g.data().data() + static_cast<size_t>(r) * cols;
-      for (int c = 0; c < cols; ++c) dst[c] = src[c];
-    }
-    ai->AccumGrad(std::move(g));
-  });
+  return MakeResult(std::move(out), {&a}, SumRowsBackward);
 }
 
 Var ScaleRows(const Var& a, const Var& scale) {
@@ -559,30 +698,7 @@ Var ScaleRows(const Var& a, const Var& scale) {
     double* dst = out.data().data() + static_cast<size_t>(r) * cols;
     for (int c = 0; c < cols; ++c) dst[c] = src[c] * s;
   }
-  auto ai = a.impl();
-  auto si = scale.impl();
-  return MakeResult(std::move(out), {a, scale}, [ai, si](VarImpl& self) {
-    const int rows = ai->value.rows();
-    const int cols = ai->value.cols();
-    Tensor ga(rows, cols);
-    Tensor gs(rows, 1);
-    for (int r = 0; r < rows; ++r) {
-      const double s = si->value[r];
-      const double* gout =
-          self.grad.data().data() + static_cast<size_t>(r) * cols;
-      const double* arow =
-          ai->value.data().data() + static_cast<size_t>(r) * cols;
-      double* garow = ga.data().data() + static_cast<size_t>(r) * cols;
-      double dot = 0.0;
-      for (int c = 0; c < cols; ++c) {
-        garow[c] = gout[c] * s;
-        dot += gout[c] * arow[c];
-      }
-      gs[r] = dot;
-    }
-    ai->AccumGrad(std::move(ga));
-    si->AccumGrad(std::move(gs));
-  });
+  return MakeResult(std::move(out), {&a, &scale}, ScaleRowsBackward);
 }
 
 Var SumRowGroups(const Var& a, int group_size) {
@@ -596,23 +712,13 @@ Var SumRowGroups(const Var& a, int group_size) {
     double* dst = out.data().data() + static_cast<size_t>(g) * cols;
     for (int n = 0; n < group_size; ++n) {
       const double* src =
-          av.data().data() +
-          static_cast<size_t>(g * group_size + n) * cols;
+          av.data().data() + static_cast<size_t>(g * group_size + n) * cols;
       for (int c = 0; c < cols; ++c) dst[c] += src[c];
     }
   }
-  auto ai = a.impl();
-  return MakeResult(std::move(out), {a}, [ai, group_size](VarImpl& self) {
-    const int cols = ai->value.cols();
-    Tensor g(ai->value.rows(), cols);
-    for (int r = 0; r < g.rows(); ++r) {
-      const double* src =
-          self.grad.data().data() + static_cast<size_t>(r / group_size) * cols;
-      double* dst = g.data().data() + static_cast<size_t>(r) * cols;
-      for (int c = 0; c < cols; ++c) dst[c] = src[c];
-    }
-    ai->AccumGrad(std::move(g));
-  });
+  Var result = MakeResult(std::move(out), {&a}, SumRowGroupsBackward);
+  result.node()->aux_i = group_size;
+  return result;
 }
 
 }  // namespace head::nn

@@ -1,15 +1,21 @@
 // Reverse-mode automatic differentiation over 2-D tensors.
 //
-// A Var is a cheap handle (shared_ptr) to a node in a dynamically built
-// computation graph. Every op below allocates its result eagerly and, when
-// any input requires gradients, records a backward closure. Backward(loss)
-// runs the closures in reverse topological order, accumulating into each
-// parameter's .grad(). Graphs are per-expression: once the last Var handle
-// of an expression dies, its graph is freed, so inference loops do not leak.
+// A Var is a cheap handle to a node in a dynamically built computation
+// graph. Op nodes are recycled through the calling thread's GraphArena (see
+// arena.h): every op bump-allocates its node from the arena, and the whole
+// tape is reclaimed in O(1) by ResetTape() at the start of the next
+// graph-building region instead of being torn down node by node. Handles
+// carry the arena epoch at creation, so a Var used after its node was
+// recycled trips HEAD_DCHECK in debug builds. Params (and other persistent
+// leaves) are heap-allocated, owned by their handles, and survive resets.
+//
+// Every op allocates its result eagerly and, when any input requires
+// gradients, records a backward function. Backward(loss) runs them in
+// reverse topological order, accumulating into each parameter's .grad().
 #ifndef HEAD_NN_AUTOGRAD_H_
 #define HEAD_NN_AUTOGRAD_H_
 
-#include <functional>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -26,12 +32,17 @@ class Var {
   /// Undefined handle; must not be used in ops.
   Var() = default;
 
-  /// Trainable leaf: gradients accumulate here on Backward().
+  /// Trainable leaf: gradients accumulate here on Backward(). Persistent —
+  /// heap-allocated and owned by its handles, unaffected by ResetTape().
   static Var Param(Tensor value);
-  /// Non-trainable leaf (inputs, targets).
+  /// Non-trainable leaf (inputs, targets). Arena-allocated: valid only
+  /// until the calling thread's next ResetTape().
   static Var Constant(Tensor value);
 
-  bool defined() const { return impl_ != nullptr; }
+  bool defined() const { return node_ != nullptr; }
+  /// False once the node behind this handle has been recycled by a tape
+  /// reset (always true for persistent leaves). Accessors HEAD_DCHECK this.
+  bool alive() const;
   const Tensor& value() const;
   /// In-place access for optimizers / target-network updates. Mutating a
   /// value invalidates any graph previously built from this Var.
@@ -43,30 +54,39 @@ class Var {
   /// Clears the accumulated gradient (keeps allocation).
   void ZeroGrad();
 
-  std::shared_ptr<internal::VarImpl> impl() const { return impl_; }
-  explicit Var(std::shared_ptr<internal::VarImpl> impl)
-      : impl_(std::move(impl)) {}
+  // Internal constructors/accessors (used by the op implementations).
+  Var(internal::VarImpl* node, uint64_t epoch) : node_(node), epoch_(epoch) {}
+  explicit Var(std::shared_ptr<internal::VarImpl> owner);
+  internal::VarImpl* node() const { return node_; }
 
  private:
-  std::shared_ptr<internal::VarImpl> impl_;
+  internal::VarImpl* node_ = nullptr;
+  uint64_t epoch_ = 0;
+  std::shared_ptr<internal::VarImpl> owner_;  // set only for persistent leaves
 };
 
 /// Runs reverse-mode differentiation from `loss` (must be 1×1), accumulating
-/// into the .grad() of every reachable Param.
+/// into the .grad() of every reachable Param. The topological sort is an
+/// explicit-stack DFS over persistent arena scratch (no recursion, no
+/// per-call containers), so graph depth is bounded by memory, not the call
+/// stack.
 void Backward(const Var& loss);
+
+/// Recycles the calling thread's tape in O(1) (declared in arena.h too).
+/// Call at the start of each graph-building region.
+void ResetTape();
 
 // ---- Gradient mode ----
 //
-// Ops consult a thread-local flag before recording backward closures. With
+// Ops consult a thread-local flag before recording backward functions. With
 // gradients disabled every op still computes its value but produces a plain
-// constant node — no parents, no closure, no shared_ptr graph — which makes
-// inference and target-network evaluation allocation-lean and leak-proof by
-// construction.
+// constant node — no parents, no backward — which keeps inference and
+// target-network evaluation off the backward path entirely.
 
-/// True (the default) when ops record backward closures on this thread.
+/// True (the default) when ops record backward functions on this thread.
 bool GradEnabled();
 
-/// RAII guard that disables closure recording for its scope (nestable).
+/// RAII guard that disables backward recording for its scope (nestable).
 class NoGradGuard {
  public:
   NoGradGuard();

@@ -6,9 +6,31 @@
 #include <utility>
 
 #include "common/check.h"
+#include "nn/tensor_pool.h"
 #include "parallel/thread_pool.h"
 
 namespace head::nn {
+
+namespace {
+
+// ---- Pooled storage plumbing ----
+//
+// All tensor buffers route through the calling thread's TensorPool. When the
+// pool is already gone (thread teardown) both helpers degrade to plain
+// vector allocation/free, so destruction order between thread_locals that
+// hold Tensors (e.g. the graph arena) and the pool never matters.
+
+std::vector<double> PoolAcquire(size_t n) {
+  if (TensorPool* pool = TensorPool::Get()) return pool->Acquire(n);
+  return {};
+}
+
+void PoolRelease(std::vector<double>&& buf) {
+  if (buf.capacity() == 0) return;
+  if (TensorPool* pool = TensorPool::Get()) pool->Release(std::move(buf));
+}
+
+}  // namespace
 
 namespace {
 
@@ -50,15 +72,59 @@ void ForEachRowChunk(int64_t rows, int64_t flops, const Kernel& kernel) {
 }  // namespace
 
 Tensor::Tensor(int rows, int cols, double fill)
-    : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, fill) {
+    : rows_(rows),
+      cols_(cols),
+      data_(PoolAcquire(static_cast<size_t>(rows) * cols)) {
   HEAD_CHECK_GE(rows, 0);
   HEAD_CHECK_GE(cols, 0);
+  data_.assign(static_cast<size_t>(rows) * cols, fill);
 }
 
 Tensor::Tensor(int rows, int cols, std::vector<double> data)
     : rows_(rows), cols_(cols), data_(std::move(data)) {
   HEAD_CHECK_EQ(static_cast<size_t>(rows) * cols, data_.size());
 }
+
+Tensor::Tensor(const Tensor& other)
+    : rows_(other.rows_),
+      cols_(other.cols_),
+      data_(PoolAcquire(other.data_.size())) {
+  data_.assign(other.data_.begin(), other.data_.end());
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  if (data_.capacity() < other.data_.size()) {
+    // Growing in place would heap-reallocate behind the pool's back; swap
+    // the undersized buffer for a pooled one instead.
+    PoolRelease(std::move(data_));
+    data_ = PoolAcquire(other.data_.size());
+  }
+  data_.assign(other.data_.begin(), other.data_.end());
+  return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : rows_(other.rows_), cols_(other.cols_), data_(std::move(other.data_)) {
+  other.rows_ = 0;
+  other.cols_ = 0;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) return *this;
+  // vector move-assignment would free our buffer directly; pool it instead.
+  PoolRelease(std::move(data_));
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  data_ = std::move(other.data_);
+  other.rows_ = 0;
+  other.cols_ = 0;
+  return *this;
+}
+
+Tensor::~Tensor() { PoolRelease(std::move(data_)); }
 
 Tensor Tensor::Uniform(int rows, int cols, double lo, double hi, Rng& rng) {
   Tensor t(rows, cols);

@@ -13,6 +13,11 @@
 
 namespace head::nn {
 
+// Storage comes from the thread-local TensorPool (see tensor_pool.h): the
+// special members below acquire from / release to power-of-two free lists
+// instead of the heap, so tensor churn in the training hot path stops
+// allocating once the pool is warm. The API is unchanged — data() still
+// exposes the underlying std::vector.
 class Tensor {
  public:
   /// Empty 0×0 tensor.
@@ -22,7 +27,14 @@ class Tensor {
   Tensor(int rows, int cols, double fill = 0.0);
 
   /// rows×cols tensor taking ownership of `data` (size must be rows*cols).
+  /// The adopted buffer joins the pool's recycling on destruction.
   Tensor(int rows, int cols, std::vector<double> data);
+
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor();
 
   static Tensor Zeros(int rows, int cols) { return Tensor(rows, cols, 0.0); }
   static Tensor Full(int rows, int cols, double v) {

@@ -1,0 +1,73 @@
+#include "nn/tensor_pool.h"
+
+#include <bit>
+#include <utility>
+
+namespace head::nn {
+
+namespace {
+
+// POD thread-locals stay readable for the whole thread lifetime, including
+// during static/thread_local destruction, which is when the pool itself may
+// already be gone.
+thread_local TensorPool* tl_pool = nullptr;
+thread_local bool tl_pool_destroyed = false;
+
+/// Index of the smallest power of two ≥ n (n ≥ 1).
+int CeilBucket(size_t n) { return std::bit_width(n - 1); }
+
+/// Index of the largest power of two ≤ n (n ≥ 1).
+int FloorBucket(size_t n) { return std::bit_width(n) - 1; }
+
+}  // namespace
+
+TensorPool* TensorPool::Get() {
+  if (tl_pool != nullptr) return tl_pool;
+  if (tl_pool_destroyed) return nullptr;
+  thread_local TensorPool pool;
+  tl_pool = &pool;
+  return tl_pool;
+}
+
+TensorPool::~TensorPool() {
+  tl_pool = nullptr;
+  tl_pool_destroyed = true;
+}
+
+std::vector<double> TensorPool::Acquire(size_t n) {
+  if (n == 0) return {};
+  const int b = CeilBucket(n);
+  if (b < kNumBuckets && !buckets_[b].empty()) {
+    std::vector<double> buf = std::move(buckets_[b].back());
+    buckets_[b].pop_back();
+    ++stats_.hits;
+    stats_.bytes_pooled -= buf.capacity() * sizeof(double);
+    return buf;
+  }
+  ++stats_.misses;
+  std::vector<double> buf;
+  // Reserve the full bucket size so the buffer keeps landing in bucket `b`
+  // through release/acquire cycles instead of fragmenting across classes.
+  buf.reserve(b < kNumBuckets ? (size_t{1} << b) : n);
+  return buf;
+}
+
+void TensorPool::Release(std::vector<double>&& buf) {
+  const size_t cap = buf.capacity();
+  if (cap == 0) return;
+  const int b = FloorBucket(cap);
+  if (b >= kNumBuckets || buckets_[b].size() >= kMaxPerBucket) {
+    ++stats_.discarded;
+    return;  // not consumed — the caller's vector frees it normally
+  }
+  ++stats_.released;
+  stats_.bytes_pooled += cap * sizeof(double);
+  buckets_[b].push_back(std::move(buf));
+}
+
+void TensorPool::Clear() {
+  for (auto& bucket : buckets_) bucket.clear();
+  stats_.bytes_pooled = 0;
+}
+
+}  // namespace head::nn

@@ -1,0 +1,72 @@
+// Thread-local size-class pool backing Tensor storage. Buffers are recycled
+// through power-of-two buckets instead of going back to the heap, so once a
+// training loop has warmed up, every Tensor construction (values, gradients,
+// backward temporaries) is served from a free list and steady-state steps
+// perform no heap allocations for tensor data.
+//
+// Each thread owns an independent pool (no locks, no sharing); a buffer that
+// migrates across threads — rare, e.g. a Tensor moved through a queue — is
+// simply returned to the *destroying* thread's pool. During thread teardown,
+// after the pool itself has been destroyed, Release becomes a no-op and the
+// buffer is freed normally.
+#ifndef HEAD_NN_TENSOR_POOL_H_
+#define HEAD_NN_TENSOR_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace head::nn {
+
+/// Cumulative statistics of one thread's pool (plain fields — the pool is
+/// thread-local, so no atomics are needed; publish via PublishAllocMetrics).
+struct TensorPoolStats {
+  uint64_t hits = 0;          ///< Acquire served from a free list
+  uint64_t misses = 0;        ///< Acquire had to allocate from the heap
+  uint64_t released = 0;      ///< buffers parked back into a free list
+  uint64_t discarded = 0;     ///< buffers dropped because a bucket was full
+  uint64_t bytes_pooled = 0;  ///< bytes currently parked in free lists
+};
+
+class TensorPool {
+ public:
+  /// The calling thread's pool; nullptr only while the thread is tearing
+  /// down (after the pool's destructor ran). Callers must handle nullptr by
+  /// falling back to plain heap allocation/free.
+  static TensorPool* Get();
+
+  TensorPool() = default;
+  ~TensorPool();
+  TensorPool(const TensorPool&) = delete;
+  TensorPool& operator=(const TensorPool&) = delete;
+
+  /// A buffer with capacity ≥ n (size unspecified — callers assign). Served
+  /// from the bucket for the smallest power of two ≥ n when available.
+  std::vector<double> Acquire(size_t n);
+
+  /// Parks `buf` in the bucket for the largest power of two ≤ its capacity
+  /// (so any buffer Acquire hands out from that bucket is big enough), or
+  /// frees it when the bucket is full.
+  void Release(std::vector<double>&& buf);
+
+  const TensorPoolStats& stats() const { return stats_; }
+
+  /// Drops every free list (tests / memory pressure). Stats keep counting.
+  void Clear();
+
+ private:
+  static constexpr int kNumBuckets = 40;  // up to 2^39 doubles
+  // A full tape's worth of buffers floods back at every GraphArena::Reset,
+  // so the cap must exceed the peak number of same-class tensors alive in
+  // one region (hundreds for a deep graph) — a tight cap silently converts
+  // recycling into discard-then-miss churn. Inventory is still bounded by
+  // the workload's own peak concurrency; the cap only guards pathologies.
+  static constexpr size_t kMaxPerBucket = 1024;
+
+  std::vector<std::vector<double>> buckets_[kNumBuckets];
+  TensorPoolStats stats_;
+};
+
+}  // namespace head::nn
+
+#endif  // HEAD_NN_TENSOR_POOL_H_

@@ -156,6 +156,9 @@ nn::Var LstGat::ForwardScaled(const StGraph& graph) const {
 std::vector<double> LstGat::AttentionWeights(const StGraph& graph,
                                              int i) const {
   HEAD_CHECK(i >= 0 && i < kNumAreas);
+  // Introspection only — values, no recorded graph. Tape-neutral (no reset):
+  // callers may hold live Vars; these nodes recycle at the next region entry.
+  const nn::NoGradGuard no_grad;
   const StepNodes& nodes = graph.steps.back();
   const nn::Var m = PackStepNodes(nodes);
   const nn::Var h_embed = nn::MatMul(m, phi1_);

@@ -20,7 +20,9 @@ Prediction StatePredictor::Predict(const StGraph& graph) const {
   HEAD_SPAN("perception.predict");
   static obs::Histogram& latency = obs::LatencyHistogram("perception.predict");
   obs::ScopedTimer timer(latency);
-  // Inference only — don't record an autograd graph for this forward pass.
+  // Inference only — don't record an autograd graph for this forward pass,
+  // and recycle the previous prediction's tape nodes first.
+  nn::ResetTape();
   const nn::NoGradGuard no_grad;
   const nn::Var out = ForwardScaled(graph);
   HEAD_CHECK_EQ(out.value().rows(), kNumAreas);

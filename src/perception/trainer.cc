@@ -72,6 +72,7 @@ double PredictionLoss(const StatePredictor& model,
   const nn::NoGradGuard no_grad;  // evaluation — values only
   double total = 0.0;
   for (const PredictionSample& s : samples) {
+    nn::ResetTape();  // one recycled tape per sample
     total += SampleLoss(model, s).value()[0];
   }
   return total / samples.size();
@@ -104,6 +105,7 @@ PredictionTrainResult TrainPredictor(
     double epoch_loss = 0.0;
     for (size_t b = 0; b < order.size(); b += config.batch_size) {
       const size_t end = std::min(order.size(), b + config.batch_size);
+      nn::ResetTape();  // steady state: the whole batch reuses recycled nodes
       opt.ZeroGrad();
       nn::Var batch_loss;
       if (config.batched) {

@@ -106,6 +106,8 @@ bool DrlScAgent::IsSafe(const AugmentedState& s, const Maneuver& m) const {
 
 AgentAction DrlScAgent::Act(const AugmentedState& state, double epsilon,
                             Rng& rng) {
+  nn::ResetTape();  // recycle the previous action's graph nodes
+  const nn::NoGradGuard no_grad;  // action selection never backprops
   const nn::Tensor q =
       q_.Forward(nn::Var::Constant(FlattenState(state))).value();
   // Rank actions: explored actions draw a random preference, greedy uses Q.
@@ -160,6 +162,7 @@ void DrlScAgent::Update(Rng& rng) {
     return;
   }
   const auto batch = buffer_.Sample(config_.batch_size, rng);
+  nn::ResetTape();
   opt_.ZeroGrad();
   std::vector<nn::Var> losses;
   losses.reserve(batch.size());

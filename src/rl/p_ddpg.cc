@@ -51,6 +51,8 @@ nn::Var PddpgAgent::Critic(const nn::Mlp& net, const AugmentedState& s,
 
 AgentAction PddpgAgent::Act(const AugmentedState& state, double epsilon,
                             Rng& rng) {
+  nn::ResetTape();  // recycle the previous action's graph nodes
+  const nn::NoGradGuard no_grad;  // action selection never backprops
   nn::Tensor u = Actor(actor_, state).value();  // (1×6)
   int b = 0;
   for (int c = 1; c < kNumBehaviors; ++c) {
@@ -103,6 +105,7 @@ void PddpgAgent::Update(Rng& rng) {
   const auto batch = buffer_.Sample(config_.batch_size, rng);
 
   // Critic.
+  nn::ResetTape();
   critic_opt_.ZeroGrad();
   std::vector<nn::Var> c_losses;
   c_losses.reserve(batch.size());
@@ -127,6 +130,7 @@ void PddpgAgent::Update(Rng& rng) {
   critic_opt_.Step();
 
   // Actor.
+  nn::ResetTape();  // the critic pass's tape is spent at this point
   actor_opt_.ZeroGrad();
   critic_.ZeroGrad();
   std::vector<nn::Var> a_losses;

@@ -45,6 +45,7 @@ PdqnAgent::PdqnAgent(std::string name, const PdqnConfig& config,
 
 AgentAction PdqnAgent::Act(const AugmentedState& state, double epsilon,
                            Rng& rng) {
+  nn::ResetTape();  // recycle the previous action's graph nodes
   const nn::NoGradGuard no_grad;  // action selection never backprops
   nn::Tensor x = x_->Forward(state).value();  // (1×3)
   int b;
@@ -89,6 +90,7 @@ void PdqnAgent::Remember(const AugmentedState& state,
 }
 
 void PdqnAgent::UpdateCritic(const std::vector<const Transition*>& batch) {
+  nn::ResetTape();  // steady state: the whole update reuses recycled nodes
   if (config_.batched_updates) {
     UpdateCriticBatched(batch);
     return;
@@ -125,6 +127,7 @@ void PdqnAgent::UpdateCritic(const std::vector<const Transition*>& batch) {
 }
 
 void PdqnAgent::UpdateActor(const std::vector<const Transition*>& batch) {
+  nn::ResetTape();  // the critic pass's tape is spent at this point
   if (config_.batched_updates) {
     UpdateActorBatched(batch);
     return;
@@ -265,6 +268,9 @@ void PdqnAgent::SyncTargets() {
   q_target_->CopyParamsFrom(*q_);
 }
 
+// Diagnostic accessors stay tape-neutral: callers may hold live Vars from an
+// open region (e.g. parity tests comparing against a batched forward), so no
+// ResetTape here — these nodes recycle at the next region entry.
 nn::Tensor PdqnAgent::ActionParams(const AugmentedState& s) const {
   const nn::NoGradGuard no_grad;
   return x_->Forward(s).value();

@@ -1,44 +1,57 @@
 #!/usr/bin/env bash
 # CI-style gates beyond plain ctest:
-#   1. Sanitizer stage: builds with ThreadSanitizer (HEAD_SANITIZE=thread) and
-#      runs the concurrent-observability + sim tests under it, the
-#      batched-ops test that exercises the thread-local grad-mode switch,
-#      and the parallel-layer tests (thread pool, threaded matmul kernels,
-#      EnvPool rollouts + trainer) pinned to HEAD_THREADS=4 so the pool
-#      actually races even on a 1-core CI box.
+#   1. Sanitizer stage: builds and runs the concurrency-sensitive tests under
+#      ThreadSanitizer AND AddressSanitizer (+UBSan) — the obs + sim tests,
+#      the batched-ops test that exercises the thread-local grad-mode switch,
+#      the arena/tensor-pool test (cold-vs-warm tape parity, pooled-buffer
+#      recycling — the ASan pass is what proves recycled buffers are never
+#      used after free), and the parallel-layer tests, all pinned to
+#      HEAD_THREADS=4 so the pool actually races even on a 1-core CI box.
 #   2. Perf smoke stage: optimized build of bench/training_throughput (a few
 #      seconds at the fast profile), gated against the checked-in baseline —
 #      fails if batched training or pooled-rollout throughput regresses more
-#      than 30%. Emits BENCH_training_throughput.json next to the build.
+#      than 30% — and against the zero-allocation invariant: a warmed-up
+#      training step must perform 0 arena/pool heap events
+#      (--require-zero-allocs). Emits BENCH_training_throughput.json and an
+#      obs metrics snapshot (nn_alloc_* gauges) next to the build.
 #
 # Usage:
-#   tools/check.sh                         # both stages
-#   HEAD_SANITIZE=address tools/check.sh   # sanitizer stage under ASan+UBSan
-#   HEAD_SKIP_PERF=1 tools/check.sh        # sanitizer stage only
+#   tools/check.sh                         # all stages (tsan + asan + perf)
+#   HEAD_SANITIZE=address tools/check.sh   # only the ASan+UBSan stage
+#   HEAD_SANITIZE=thread tools/check.sh    # only the TSan stage
+#   HEAD_SKIP_PERF=1 tools/check.sh        # sanitizer stages only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-SANITIZER="${HEAD_SANITIZE:-thread}"
-BUILD_DIR="build-${SANITIZER}san"
+# Default: run both sanitizers back to back. HEAD_SANITIZE picks just one.
+SANITIZERS=(thread address)
+if [[ -n "${HEAD_SANITIZE:-}" ]]; then
+  SANITIZERS=("${HEAD_SANITIZE}")
+fi
 
 SAN_TESTS=(obs_test obs_trace_test sim_simulation_test sim_models_test
-           nn_batched_ops_test parallel_test parallel_determinism_test)
+           nn_batched_ops_test nn_arena_test parallel_test
+           parallel_determinism_test)
 
-cmake -B "${BUILD_DIR}" -S . -DHEAD_SANITIZE="${SANITIZER}" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "${BUILD_DIR}" -j --target "${SAN_TESTS[@]}"
+for SANITIZER in "${SANITIZERS[@]}"; do
+  BUILD_DIR="build-${SANITIZER}san"
 
-echo "== running obs + sim + nn + parallel tests under ${SANITIZER} sanitizer =="
-for t in "${SAN_TESTS[@]}"; do
-  echo "-- ${t} (HEAD_THREADS=4)"
-  HEAD_THREADS=4 "${BUILD_DIR}/tests/${t}"
+  cmake -B "${BUILD_DIR}" -S . -DHEAD_SANITIZE="${SANITIZER}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "${BUILD_DIR}" -j --target "${SAN_TESTS[@]}"
+
+  echo "== running obs + sim + nn + parallel tests under ${SANITIZER} sanitizer =="
+  for t in "${SAN_TESTS[@]}"; do
+    echo "-- ${t} (HEAD_THREADS=4)"
+    HEAD_THREADS=4 "${BUILD_DIR}/tests/${t}"
+  done
+  echo "== ${SANITIZER}-sanitized checks passed =="
 done
-echo "== ${SANITIZER}-sanitized checks passed =="
 
 if [[ "${HEAD_SKIP_PERF:-0}" != "1" ]]; then
   # Perf needs an optimized, unsanitized build — separate from the sanitizer
-  # tree so switching stages never rebuilds the world.
+  # trees so switching stages never rebuilds the world.
   PERF_BUILD_DIR="build-perf"
   cmake -B "${PERF_BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build "${PERF_BUILD_DIR}" -j --target training_throughput
@@ -51,7 +64,9 @@ if [[ "${HEAD_SKIP_PERF:-0}" != "1" ]]; then
     --skip-per-sample \
     --threads="${PERF_THREADS}" \
     --json-out="${PERF_BUILD_DIR}/BENCH_training_throughput.json" \
+    --metrics-out="${PERF_BUILD_DIR}/BENCH_metrics.json" \
     --baseline=bench/baselines/training_throughput.json \
-    --max-regress=0.30
+    --max-regress=0.30 \
+    --require-zero-allocs
   echo "== perf smoke passed (JSON: ${PERF_BUILD_DIR}/BENCH_training_throughput.json) =="
 fi
