@@ -4,10 +4,19 @@
 // HEAD_SPAN disabled path (a relaxed atomic load — low single-digit ns);
 // BM_SimStep_TracingOff vs BM_SimStep_TracingOn bounds the full-step cost
 // in both modes on a realistic fleet.
+//
+// The flight-recorder rows bound the black box the same way: the disabled
+// gate (BM_DisabledRecorderGate) must sit in the same low-single-digit-ns
+// noise band as BM_DisabledSpan, a full scratch-fill + ring commit
+// (BM_RecorderCommit) is a struct copy with no allocation, and
+// BM_SimStep_RecordingOff/_RecordingOn bound the end-to-end step cost. The
+// timeseries rows cost out the per-episode curve sink.
 #include <benchmark/benchmark.h>
 
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/span.h"
+#include "obs/timeseries.h"
 #include "sim/simulation.h"
 
 namespace {
@@ -61,6 +70,65 @@ void BM_HistogramObserve(benchmark::State& state) {
 }
 BENCHMARK(BM_HistogramObserve);
 
+void BM_DisabledRecorderGate(benchmark::State& state) {
+  obs::SetRecordingEnabled(false);
+  for (auto _ : state) {
+    // The exact hot-path pattern at every instrumentation site.
+    if (obs::RecordingEnabled()) {
+      obs::ScratchRecord().accel_mps2 = 1.0;
+    }
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_DisabledRecorderGate);
+
+void BM_RecorderCommit(benchmark::State& state) {
+  obs::RecorderConfig cfg;
+  cfg.dump_dir.clear();          // memory-only: triggers never touch disk
+  cfg.dump_on_collision = false;
+  obs::ConfigureRecorder(cfg);
+  obs::SetRecordingEnabled(true);
+  obs::BeginEpisode({});
+  int step = 0;
+  for (auto _ : state) {
+    obs::StepRecord& rec = obs::ScratchRecord();
+    rec.step = ++step;
+    rec.time_s = step * 0.5;
+    rec.ego_lane = 3;
+    rec.ego_lon_m = 7.0 * step;
+    rec.ego_v_mps = 20.0;
+    rec.accel_mps2 = -1.0;
+    rec.has_reward = 1;
+    rec.r_total = -0.25;
+    obs::CommitStepRecord();
+    benchmark::ClobberMemory();
+  }
+  obs::SetRecordingEnabled(false);
+}
+BENCHMARK(BM_RecorderCommit);
+
+void BM_TimeSeriesAppend(benchmark::State& state) {
+  obs::TimeSeries ts(4096);
+  double t = 0.0;
+  for (auto _ : state) {
+    ts.Append(t += 1.0, {{"reward", -0.2}, {"epsilon", 0.5}, {"loss", 0.01}});
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TimeSeriesAppend);
+
+void BM_TimeSeriesSampleRegistry(benchmark::State& state) {
+  obs::GetCounter("bench.ts.counter").Add(1);
+  obs::GetGauge("bench.ts.gauge").Set(1.0);
+  obs::TimeSeries ts(4096);
+  double t = 0.0;
+  for (auto _ : state) {
+    ts.SampleRegistry(t += 1.0, "bench.ts.");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TimeSeriesSampleRegistry);
+
 void StepLoop(benchmark::State& state) {
   sim::Simulation sim(BenchSimConfig(), /*seed=*/1);
   const Maneuver keep{LaneChange::kKeep, 0.0};
@@ -84,6 +152,26 @@ void BM_SimStep_TracingOn(benchmark::State& state) {
   obs::DrainTraceEvents();
 }
 BENCHMARK(BM_SimStep_TracingOn);
+
+void BM_SimStep_RecordingOff(benchmark::State& state) {
+  obs::SetTracingEnabled(false);
+  obs::SetRecordingEnabled(false);
+  StepLoop(state);
+}
+BENCHMARK(BM_SimStep_RecordingOff);
+
+void BM_SimStep_RecordingOn(benchmark::State& state) {
+  obs::SetTracingEnabled(false);
+  obs::RecorderConfig cfg;
+  cfg.dump_dir.clear();
+  cfg.dump_on_collision = false;  // stay on the commit path, not the dump path
+  obs::ConfigureRecorder(cfg);
+  obs::SetRecordingEnabled(true);
+  obs::BeginEpisode({});
+  StepLoop(state);
+  obs::SetRecordingEnabled(false);
+}
+BENCHMARK(BM_SimStep_RecordingOn);
 
 }  // namespace
 

@@ -21,28 +21,33 @@ uint64_t SplitMix(uint64_t seed_base, uint64_t stream) {
 
 double Rng::Uniform(double lo, double hi) {
   HEAD_DCHECK(lo <= hi);
+  ++draws_;
   std::uniform_real_distribution<double> dist(lo, hi);
   return dist(engine_);
 }
 
 int Rng::UniformInt(int lo, int hi) {
   HEAD_DCHECK(lo <= hi);
+  ++draws_;
   std::uniform_int_distribution<int> dist(lo, hi);
   return dist(engine_);
 }
 
 double Rng::Normal(double mean, double stddev) {
+  ++draws_;
   std::normal_distribution<double> dist(mean, stddev);
   return dist(engine_);
 }
 
 bool Rng::Bernoulli(double p) {
+  ++draws_;
   std::bernoulli_distribution dist(p);
   return dist(engine_);
 }
 
 Rng Rng::Fork() {
   // splitmix decorrelation of a fresh seed drawn from this engine.
+  ++draws_;
   return Rng(SplitMix64(engine_()));
 }
 

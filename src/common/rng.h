@@ -48,8 +48,16 @@ class Rng {
 
   std::mt19937_64& engine() { return engine_; }
 
+  /// API-level draws made so far (Uniform/UniformInt/Normal/Bernoulli/Fork
+  /// each count as one, regardless of how many engine words they consume).
+  /// Recorded per step by the flight recorder as the `rng_cursor` — equal
+  /// cursors at equal steps certify that a replay consumed randomness in
+  /// lockstep with the original run.
+  uint64_t draws() const { return draws_; }
+
  private:
   std::mt19937_64 engine_;
+  uint64_t draws_ = 0;
 };
 
 }  // namespace head

@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/span.h"
 
 namespace head::core {
@@ -62,6 +63,9 @@ Maneuver HeadAgent::Decide(const decision::EgoView& view) {
   {
     HEAD_SPAN("rl.act");
     action = agent_->Act(last_state_, /*epsilon=*/0.0, act_rng_);
+  }
+  if (obs::RecordingEnabled()) {
+    obs::ScratchRecord().rng_cursor = act_rng_.draws();
   }
   return action.maneuver;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "sim/idm.h"
 #include "sim/lane_change.h"
 
@@ -37,6 +38,9 @@ LaneChange DecideLaneChange(const EgoView& view, const RuleBasedConfig& config,
       sim::MobilDecide(road_view, ego, config.road);
   if (!change.has_value()) return LaneChange::kKeep;
   cooldown = config.lane_change_cooldown_steps;
+  static obs::Counter& lane_changes =
+      obs::GetCounter("decision.rule_based.lane_changes");
+  lane_changes.Add();
   return *change;
 }
 

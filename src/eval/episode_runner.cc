@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <unordered_map>
 
+#include "obs/recorder.h"
 #include "obs/span.h"
 #include "rl/reward.h"
 
@@ -20,7 +22,22 @@ struct FollowerStat {
 }  // namespace
 
 EpisodeRecord RunEpisode(decision::Policy& policy, const RunnerConfig& config,
-                         uint64_t seed) {
+                         uint64_t seed, int episode_index) {
+  // Flight recorder: install the episode context and (only while recording)
+  // a reward function so dumped records carry the Eq. 28 decomposition the
+  // training env would have seen. Baseline policies don't compute rewards
+  // themselves, so this is the eval path's only reward source.
+  std::optional<rl::RewardFunction> reward_fn;
+  if (obs::RecordingEnabled()) {
+    obs::EpisodeContext ctx;
+    ctx.scenario = config.scenario_name;
+    ctx.policy = policy.name();
+    ctx.seed = seed;
+    ctx.episode_index = episode_index;
+    obs::BeginEpisode(ctx);
+    reward_fn.emplace(rl::RewardConfig{}, config.sim.road);
+  }
+
   sim::Simulation sim(config.sim, seed);
   policy.OnEpisodeStart();
 
@@ -53,10 +70,40 @@ EpisodeRecord RunEpisode(decision::Policy& policy, const RunnerConfig& config,
     view.prev_accel_mps2 = prev_accel;
     const Maneuver maneuver = policy.Decide(view);
 
-    sim.Step(maneuver);
+    const sim::EpisodeStatus status = sim.Step(maneuver);
     ++steps;
 
     const VehicleState ego_after = sim.ego_state();
+
+    if (reward_fn.has_value()) {
+      // The scratch already holds perception + decision fills from
+      // policy.Decide and the ego outcome from sim.Step; Compute adds the
+      // reward decomposition, then the record is sealed.
+      rl::RewardObservation robs;
+      robs.collision = status == sim::EpisodeStatus::kCollision;
+      robs.ego_next = ego_after;
+      robs.accel_now_mps2 = maneuver.accel_mps2;
+      robs.accel_prev_mps2 = prev_accel;
+      if (config.sim.road.IsValidLane(ego_after.lane)) {
+        // The view must outlive the Leader() pointer into it.
+        const sim::RoadView after = sim.View();
+        const sim::VehicleSnapshot* front =
+            after.Leader(ego_after.lane, ego_after.lon_m, kEgoVehicleId);
+        if (front != nullptr) robs.front_next = front->state;
+      }
+      if (rear_id != kInvalidVehicleId) {
+        robs.rear_v_now_mps = rear_v;
+        for (const sim::Vehicle& v : sim.conventional_vehicles()) {
+          if (v.id == rear_id) {
+            robs.rear_v_next_mps = v.state.v_mps;
+            break;
+          }
+        }
+      }
+      reward_fn->Compute(robs);
+      obs::CommitStepRecord();
+    }
+
     sum_v += ego_after.v_mps;
     sum_jerk += std::fabs(maneuver.accel_mps2 - prev_accel);
     prev_accel = maneuver.accel_mps2;
@@ -99,6 +146,10 @@ EpisodeRecord RunEpisode(decision::Policy& policy, const RunnerConfig& config,
     }
   }
 
+  if (obs::RecordingEnabled()) {
+    obs::EndEpisode(sim::ToEpisodeEnd(sim.status()));
+  }
+
   rec.completed = sim.status() == sim::EpisodeStatus::kReachedDestination;
   rec.collided = sim.status() == sim::EpisodeStatus::kCollision;
   rec.driving_time_s = sim.time_s();
@@ -125,7 +176,7 @@ AggregateMetrics RunPolicy(decision::Policy& policy,
   std::vector<EpisodeRecord> records;
   records.reserve(config.episodes);
   for (int ep = 0; ep < config.episodes; ++ep) {
-    records.push_back(RunEpisode(policy, config, config.seed_base + ep));
+    records.push_back(RunEpisode(policy, config, config.seed_base + ep, ep));
   }
   return AggregateMetrics::FromRecords(records);
 }

@@ -21,11 +21,16 @@ struct RunnerConfig {
   double follower_window_m = 100.0;
   /// Followers need at least this many on-road steps for a stable DT-C.
   int min_follower_steps = 20;
+  /// Scenario name stamped into flight-recorder episode contexts so a dump
+  /// can be replayed (sim::ScenarioByName key; "" = custom config, not
+  /// replayable by name). Only used while obs::RecordingEnabled().
+  std::string scenario_name;
 };
 
-/// Runs one episode from `seed` and returns its record.
+/// Runs one episode from `seed` and returns its record. `episode_index` is
+/// recorded in flight-recorder dumps (display only; replay uses the seed).
 EpisodeRecord RunEpisode(decision::Policy& policy, const RunnerConfig& config,
-                         uint64_t seed);
+                         uint64_t seed, int episode_index = 0);
 
 /// Runs config.episodes episodes (seed_base + k) and aggregates.
 AggregateMetrics RunPolicy(decision::Policy& policy,

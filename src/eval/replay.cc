@@ -1,0 +1,236 @@
+#include "eval/replay.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "decision/acc_lc.h"
+#include "decision/idm_lc.h"
+#include "decision/tp_bts.h"
+#include "eval/episode_runner.h"
+#include "eval/workbench.h"
+#include "sim/scenario.h"
+
+namespace head::eval {
+
+namespace {
+
+/// Deterministic worst-case driver: full throttle, never changes lane. Rams
+/// whatever leads its lane, so a collision dump is guaranteed within a few
+/// hundred steps on any populated scenario.
+class CrashPolicy : public decision::Policy {
+ public:
+  explicit CrashPolicy(const RoadConfig& road) : road_(road) {}
+  std::string name() const override { return "crash"; }
+  Maneuver Decide(const decision::EgoView&) override {
+    return Maneuver{LaneChange::kKeep, road_.a_max_mps2};
+  }
+
+ private:
+  RoadConfig road_;
+};
+
+bool BitsEqual(double a, double b) {
+  uint64_t ua = 0;
+  uint64_t ub = 0;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+std::string Describe(const char* field, double recorded, double replayed) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s: recorded %.17g, replayed %.17g", field,
+                recorded, replayed);
+  return buf;
+}
+
+/// Compares the replay-parity contract fields of two records bitwise.
+/// Returns true on match; otherwise fills `*detail`.
+bool RecordsMatch(const obs::StepRecord& rec, const obs::StepRecord& rep,
+                  std::string* detail) {
+  if (rec.ego_lane != rep.ego_lane) {
+    *detail = Describe("ego_lane", rec.ego_lane, rep.ego_lane);
+    return false;
+  }
+  if (!BitsEqual(rec.ego_lon_m, rep.ego_lon_m)) {
+    *detail = Describe("ego_lon_m", rec.ego_lon_m, rep.ego_lon_m);
+    return false;
+  }
+  if (!BitsEqual(rec.ego_v_mps, rep.ego_v_mps)) {
+    *detail = Describe("ego_v_mps", rec.ego_v_mps, rep.ego_v_mps);
+    return false;
+  }
+  if (!BitsEqual(rec.time_s, rep.time_s)) {
+    *detail = Describe("time_s", rec.time_s, rep.time_s);
+    return false;
+  }
+  if (rec.lane_change != rep.lane_change) {
+    *detail = Describe("lane_change", rec.lane_change, rep.lane_change);
+    return false;
+  }
+  if (!BitsEqual(rec.accel_mps2, rep.accel_mps2)) {
+    *detail = Describe("accel_mps2", rec.accel_mps2, rep.accel_mps2);
+    return false;
+  }
+  if (rec.behavior != rep.behavior) {
+    *detail = Describe("behavior", rec.behavior, rep.behavior);
+    return false;
+  }
+  if (rec.rng_cursor != rep.rng_cursor) {
+    *detail = Describe("rng_cursor", static_cast<double>(rec.rng_cursor),
+                       static_cast<double>(rep.rng_cursor));
+    return false;
+  }
+  if (rec.has_reward && rep.has_reward &&
+      !BitsEqual(rec.r_total, rep.r_total)) {
+    *detail = Describe("r_total", rec.r_total, rep.r_total);
+    return false;
+  }
+  if (rec.end != rep.end) {
+    *detail = Describe("end", static_cast<double>(rec.end),
+                       static_cast<double>(rep.end));
+    return false;
+  }
+  return true;
+}
+
+/// Saves the global recorder switch + config and restores them on scope
+/// exit, so a replay never perturbs a caller's recording session.
+class RecorderStateGuard {
+ public:
+  RecorderStateGuard()
+      : was_enabled_(obs::RecordingEnabled()),
+        config_(obs::GetRecorderConfig()) {}
+  ~RecorderStateGuard() {
+    obs::ConfigureRecorder(config_);
+    obs::SetRecordingEnabled(was_enabled_);
+  }
+
+ private:
+  bool was_enabled_;
+  obs::RecorderConfig config_;
+};
+
+}  // namespace
+
+std::unique_ptr<decision::Policy> MakeNamedPolicy(const std::string& name,
+                                                  const RoadConfig& road) {
+  // Dumps record Policy::name() (the display name); accept those as
+  // aliases so a manifest replays without manual translation.
+  if (name == "idm" || name == "IDM-LC") {
+    return std::make_unique<decision::IdmLcPolicy>(
+        decision::RuleBasedConfig::ForRoad(road));
+  }
+  if (name == "acc" || name == "ACC-LC") {
+    return std::make_unique<decision::AccLcPolicy>(
+        decision::RuleBasedConfig::ForRoad(road));
+  }
+  if (name == "tpbts" || name == "TP-BTS") {
+    decision::TpBtsConfig config;
+    config.road = road;
+    return std::make_unique<decision::TpBtsPolicy>(config);
+  }
+  if (name == "crash") {
+    return std::make_unique<CrashPolicy>(road);
+  }
+  if (name == "head" || name == "HEAD") {
+    BenchProfile profile = BenchProfile::FromEnv();
+    profile.rl_sim.road = road;
+    auto predictor = TrainOrLoadLstGat(profile);
+    auto agent = TrainOrLoadHeadPolicy(profile, core::HeadVariant::Full(),
+                                       predictor);
+    return MakePolicy(profile, core::HeadVariant::Full(), predictor, agent);
+  }
+  return nullptr;
+}
+
+ReplayResult ReplayAndVerify(const obs::FlightDump& dump) {
+  ReplayResult result;
+  if (dump.records.empty()) {
+    result.error = "dump contains no records";
+    return result;
+  }
+
+  const std::vector<std::string> names = sim::ScenarioNames();
+  if (std::find(names.begin(), names.end(), dump.ctx.scenario) ==
+      names.end()) {
+    result.error = "unknown scenario \"" + dump.ctx.scenario +
+                   "\" (custom configs are not replayable by name)";
+    return result;
+  }
+  const sim::SimConfig scenario = sim::ScenarioByName(dump.ctx.scenario);
+
+  std::unique_ptr<decision::Policy> policy =
+      MakeNamedPolicy(dump.ctx.policy, scenario.road);
+  if (policy == nullptr) {
+    result.error = "unknown policy \"" + dump.ctx.policy + "\"";
+    return result;
+  }
+
+  // Re-record the whole episode into memory. The ring must hold every step
+  // up to the last recorded one — the dump may only be the tail of a long
+  // episode, and alignment is by step index.
+  int32_t max_step = 0;
+  for (const obs::StepRecord& r : dump.records) {
+    max_step = std::max(max_step, r.step);
+  }
+  RecorderStateGuard guard;
+  obs::RecorderConfig replay_cfg;
+  replay_cfg.capacity = max_step + 8;
+  replay_cfg.dump_dir.clear();  // in-memory only; never writes files
+  replay_cfg.dump_on_collision = false;
+  replay_cfg.dump_on_timeout = false;
+  obs::ConfigureRecorder(replay_cfg);
+  obs::SetRecordingEnabled(true);
+
+  RunnerConfig runner;
+  runner.sim = scenario;
+  runner.scenario_name = dump.ctx.scenario;
+  RunEpisode(*policy, runner, dump.ctx.seed, dump.ctx.episode_index);
+
+  const std::vector<obs::StepRecord> replayed = obs::SnapshotRecords();
+  result.steps_replayed = static_cast<int>(replayed.size());
+  if (!replayed.empty()) result.replay_end = replayed.back().end;
+
+  std::unordered_map<int32_t, const obs::StepRecord*> by_step;
+  by_step.reserve(replayed.size());
+  for (const obs::StepRecord& r : replayed) by_step[r.step] = &r;
+
+  for (const obs::StepRecord& rec : dump.records) {
+    auto it = by_step.find(rec.step);
+    if (it == by_step.end()) {
+      result.first_mismatch_step = rec.step;
+      result.error = "replay ended before recorded step " +
+                     std::to_string(rec.step) + " (replayed " +
+                     std::to_string(result.steps_replayed) + " steps)";
+      return result;
+    }
+    std::string detail;
+    if (!RecordsMatch(rec, *it->second, &detail)) {
+      result.first_mismatch_step = rec.step;
+      result.error = "step " + std::to_string(rec.step) + " " + detail;
+      return result;
+    }
+    ++result.records_compared;
+  }
+
+  result.ok = true;
+  return result;
+}
+
+ReplayResult ReplayFile(const std::string& manifest_path) {
+  obs::FlightDump dump;
+  std::string error;
+  if (!obs::LoadFlightDump(manifest_path, &dump, &error)) {
+    ReplayResult result;
+    result.error = error;
+    return result;
+  }
+  return ReplayAndVerify(dump);
+}
+
+}  // namespace head::eval

@@ -1,0 +1,55 @@
+// Deterministic replay of flight-recorder dumps: re-runs the recorded
+// episode from its manifest (scenario + policy + seed) through
+// eval::RunEpisode and verifies bitwise agreement with the recorded ego
+// trajectory and actions. Episodes are pure functions of (policy, scenario
+// config, seed) — greedy decisions draw no randomness and doubles
+// round-trip through the dump's %.17g serialization — so any divergence is
+// a real behavior change, which makes every dump double as a regression
+// test case (`head_cli replay <manifest>`).
+#ifndef HEAD_EVAL_REPLAY_H_
+#define HEAD_EVAL_REPLAY_H_
+
+#include <memory>
+#include <string>
+
+#include "decision/policy.h"
+#include "obs/recorder.h"
+
+namespace head::eval {
+
+/// Builds a named decision policy:
+///   idm | acc | tpbts  — the rule-based baselines
+///   crash              — deterministic full-throttle lane-keeper; rams the
+///                        leading vehicle, guaranteeing a collision dump
+///                        (recorder smoke tests / forced post-mortems)
+///   head               — the full HEAD agent; trains or loads cached
+///                        weights via the eval workbench (slow on a cold
+///                        cache)
+/// Returns nullptr for unknown names.
+std::unique_ptr<decision::Policy> MakeNamedPolicy(const std::string& name,
+                                                  const RoadConfig& road);
+
+struct ReplayResult {
+  bool ok = false;             ///< replay matched the dump bitwise
+  int steps_replayed = 0;      ///< steps of the re-run episode
+  int records_compared = 0;    ///< dump records checked against the re-run
+  int first_mismatch_step = -1;
+  obs::EpisodeEnd replay_end = obs::EpisodeEnd::kRunning;
+  std::string error;           ///< human-readable mismatch / failure detail
+};
+
+/// Re-runs `dump`'s episode and compares, record by record (aligned on step
+/// index — the dump may hold only the tail of a long episode), the ego
+/// trajectory (lane, position, velocity), the applied maneuver (lane change,
+/// acceleration), the reward decomposition, and the RNG cursor. All double
+/// comparisons are bitwise. The global recorder state (enabled flag +
+/// config) is saved and restored around the re-run; the replay records into
+/// memory only (no dump files are produced).
+ReplayResult ReplayAndVerify(const obs::FlightDump& dump);
+
+/// LoadFlightDump + ReplayAndVerify.
+ReplayResult ReplayFile(const std::string& manifest_path);
+
+}  // namespace head::eval
+
+#endif  // HEAD_EVAL_REPLAY_H_

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <functional>
 #include <limits>
@@ -44,7 +46,98 @@ std::string FormatNumber(double v) {
   return oss.str();
 }
 
+double NowUnixSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonUnescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    const char esc = s[++i];
+    switch (esc) {
+      case '"':
+        out += '"';
+        break;
+      case '\\':
+        out += '\\';
+        break;
+      case '/':
+        out += '/';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      case 'b':
+        out += '\b';
+        break;
+      case 'f':
+        out += '\f';
+        break;
+      case 'u':
+        if (i + 4 < s.size()) {
+          const unsigned code =
+              static_cast<unsigned>(std::stoul(s.substr(i + 1, 4), nullptr, 16));
+          i += 4;
+          // Only Latin-1 range is produced by JsonEscape; higher code points
+          // are emitted as a literal '?' rather than UTF-8 encoded.
+          out += code <= 0xff ? static_cast<char>(code) : '?';
+        }
+        break;
+      default:
+        out += '\\';
+        out += esc;
+    }
+  }
+  return out;
+}
 
 double HistogramSnapshot::Quantile(double q) const {
   if (count <= 0) return 0.0;
@@ -194,22 +287,24 @@ std::string MetricsSnapshot::ToText() const {
 
 std::string MetricsSnapshot::ToJson() const {
   std::ostringstream oss;
-  oss << "{\"counters\":{";
+  oss << "{\"captured_unix_s\":" << FormatNumber(captured_unix_s)
+      << ",\"counters\":{";
   bool first = true;
   for (const auto& [name, v] : counters) {
-    oss << (first ? "" : ",") << "\"" << name << "\":" << v;
+    oss << (first ? "" : ",") << "\"" << JsonEscape(name) << "\":" << v;
     first = false;
   }
   oss << "},\"gauges\":{";
   first = true;
   for (const auto& [name, v] : gauges) {
-    oss << (first ? "" : ",") << "\"" << name << "\":" << FormatNumber(v);
+    oss << (first ? "" : ",") << "\"" << JsonEscape(name)
+        << "\":" << FormatNumber(v);
     first = false;
   }
   oss << "},\"histograms\":{";
   first = true;
   for (const auto& [name, h] : histograms) {
-    oss << (first ? "" : ",") << "\"" << name << "\":{"
+    oss << (first ? "" : ",") << "\"" << JsonEscape(name) << "\":{"
         << "\"count\":" << h.count << ",\"sum\":" << FormatNumber(h.sum)
         << ",\"min\":" << FormatNumber(h.min)
         << ",\"max\":" << FormatNumber(h.max)
@@ -250,6 +345,7 @@ Histogram& Registry::GetHistogram(const std::string& name,
 MetricsSnapshot Registry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot s;
+  s.captured_unix_s = NowUnixSeconds();
   for (const auto& [name, c] : counters_) s.counters[name] = c.value();
   for (const auto& [name, g] : gauges_) s.gauges[name] = g.value();
   for (const auto& [name, h] : histograms_) s.histograms[name] = h.Snapshot();
@@ -259,6 +355,7 @@ MetricsSnapshot Registry::Snapshot() const {
 MetricsSnapshot Registry::SnapshotAndReset() {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot s;
+  s.captured_unix_s = NowUnixSeconds();
   for (auto& [name, c] : counters_) {
     s.counters[name] = c.value();
     c.Reset();

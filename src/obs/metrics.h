@@ -102,15 +102,27 @@ const std::vector<double>& CachedExponentialBounds(double start, double factor,
 const std::vector<double>& CachedLinearBounds(double lo, double hi,
                                               double step);
 
+/// Escapes a string for embedding inside a JSON string literal: quotes,
+/// backslashes, and control characters (the latter as \u00XX).
+std::string JsonEscape(const std::string& s);
+
+/// Inverse of JsonEscape (also accepts the standard short escapes \n \t \r
+/// \b \f \/ and \u00XX). Unrecognized escapes are passed through verbatim.
+std::string JsonUnescape(const std::string& s);
+
 struct MetricsSnapshot {
+  /// Wall-clock time the snapshot was captured, seconds since the Unix epoch
+  /// (fractional). Exported as "captured_unix_s" in ToJson.
+  double captured_unix_s = 0.0;
   std::map<std::string, int64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
 
   /// Human-readable table, one metric per line.
   std::string ToText() const;
-  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
-  ///  mean,p50,p95,p99}}}
+  /// {"captured_unix_s":...,"counters":{...},"gauges":{...},
+  ///  "histograms":{name:{count,sum,min,max,mean,p50,p95,p99}}}
+  /// Metric names are JsonEscape()d, so arbitrary names stay valid JSON.
   std::string ToJson() const;
 };
 

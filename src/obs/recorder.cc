@@ -1,0 +1,650 @@
+#include "obs/recorder.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace head::obs {
+
+namespace {
+
+std::mutex g_config_mu;
+RecorderConfig g_config;  // guarded by g_config_mu
+
+std::atomic<int64_t> g_overwritten{0};
+std::atomic<int64_t> g_committed{0};
+std::atomic<int64_t> g_dumps{0};
+std::atomic<uint64_t> g_dump_seq{0};
+
+/// Everything one recording thread owns. No cross-thread access: fills,
+/// commits, and dumps all happen on the owning thread, so the ring needs no
+/// locking (the exported totals above are the only shared state).
+struct ThreadRing {
+  RecorderConfig cfg;            // stable for the episode (cached at Begin)
+  std::vector<StepRecord> slots; // capacity cfg.capacity, preallocated
+  size_t head = 0;               // next write index
+  size_t count = 0;              // live records, ≤ slots.size()
+  StepRecord scratch;
+  EpisodeContext ctx;
+  EpisodeEnd last_end = EpisodeEnd::kRunning;
+  bool dumped_this_episode = false;
+  int pending_post = -1;         // −1 = no trigger armed
+  DumpTrigger pending_trigger = DumpTrigger::kManual;
+
+  ThreadRing() : cfg(GetRecorderConfig()) {
+    slots.resize(static_cast<size_t>(std::max(1, cfg.capacity)));
+  }
+};
+
+std::mutex g_rings_mu;
+std::vector<ThreadRing*>& RingRegistry() {
+  static std::vector<ThreadRing*>* rings = new std::vector<ThreadRing*>();
+  return *rings;
+}
+
+ThreadRing& Ring() {
+  // Heap-allocated and intentionally never freed: worker threads may outlive
+  // static destruction order, and a ring is ~0.6 MB at the default capacity.
+  // The registry retains every ring so leak checkers see them as reachable;
+  // entries are never removed (dead threads' rings just sit idle).
+  thread_local ThreadRing* ring = [] {
+    auto* r = new ThreadRing();
+    std::lock_guard<std::mutex> lock(g_rings_mu);
+    RingRegistry().push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+Counter& OverwrittenCounter() {
+  static Counter& c = GetCounter("obs.recorder.overwritten");
+  return c;
+}
+
+/// Oldest-first copy of the ring contents.
+std::vector<StepRecord> RingSnapshot(const ThreadRing& r) {
+  std::vector<StepRecord> out;
+  out.reserve(r.count);
+  const size_t cap = r.slots.size();
+  const size_t start = (r.head + cap - r.count) % cap;
+  for (size_t i = 0; i < r.count; ++i) {
+    out.push_back(r.slots[(start + i) % cap]);
+  }
+  return out;
+}
+
+/// Writes the frozen ring as JSONL + manifest into cfg.dump_dir. Never
+/// throws; returns false (and leaves a stderr note) on I/O failure.
+bool WriteDump(ThreadRing& r, DumpTrigger trigger,
+               std::string* manifest_path_out) {
+  if (r.cfg.dump_dir.empty()) return false;
+  FlightDump dump;
+  dump.ctx = r.ctx;
+  dump.trigger = trigger;
+  dump.end = r.last_end;
+  dump.records = RingSnapshot(r);
+  if (dump.records.empty()) return false;
+
+  std::error_code ec;
+  std::filesystem::create_directories(r.cfg.dump_dir, ec);
+  const uint64_t seq = g_dump_seq.fetch_add(1, std::memory_order_relaxed);
+  char stem[128];
+  std::snprintf(stem, sizeof(stem), "flight_%06llu_ep%d_%s",
+                static_cast<unsigned long long>(seq), r.ctx.episode_index,
+                ToString(trigger));
+  const std::string jsonl_name = std::string(stem) + ".jsonl";
+  const std::string jsonl_path = r.cfg.dump_dir + "/" + jsonl_name;
+  const std::string manifest_path =
+      r.cfg.dump_dir + "/" + stem + ".manifest.json";
+  {
+    std::ofstream os(jsonl_path);
+    if (!os.good()) return false;
+    WriteRecordsJsonl(dump.records, os);
+    if (!os.good()) return false;
+  }
+  {
+    std::ofstream os(manifest_path);
+    if (!os.good()) return false;
+    os << ManifestJson(dump, jsonl_name) << "\n";
+    if (!os.good()) return false;
+  }
+  g_dumps.fetch_add(1, std::memory_order_relaxed);
+  static Counter& dumps_counter = GetCounter("obs.recorder.dumps");
+  dumps_counter.Add();
+  if (manifest_path_out != nullptr) *manifest_path_out = manifest_path;
+  return true;
+}
+
+void FlushPendingDump(ThreadRing& r) {
+  if (r.pending_post < 0 || r.dumped_this_episode) {
+    r.pending_post = -1;
+    return;
+  }
+  WriteDump(r, r.pending_trigger, nullptr);
+  r.dumped_this_episode = true;
+  r.pending_post = -1;
+}
+
+void EvaluateTriggers(ThreadRing& r, const StepRecord& rec) {
+  if (r.dumped_this_episode) return;
+  const RecorderConfig& cfg = r.cfg;
+  auto arm = [&](DumpTrigger t) {
+    if (r.pending_post < 0) {
+      r.pending_post = cfg.post_trigger_steps;
+      r.pending_trigger = t;
+    }
+  };
+  if (cfg.ttc_trigger_s > 0.0 && rec.ttc_s >= 0.0 &&
+      rec.ttc_s <= cfg.ttc_trigger_s) {
+    arm(DumpTrigger::kImpactRisk);
+  }
+  if (cfg.hard_brake_mps2 > 0.0 && rec.accel_mps2 <= -cfg.hard_brake_mps2) {
+    arm(DumpTrigger::kHardBrake);
+  }
+  if (cfg.dump_on_collision && rec.end == EpisodeEnd::kCollision) {
+    arm(DumpTrigger::kCollision);
+    r.pending_post = 0;  // episode is over; no post-context will arrive
+  }
+  if (r.pending_post == 0) {
+    FlushPendingDump(r);
+  } else if (r.pending_post > 0) {
+    --r.pending_post;
+  }
+}
+
+// ---- Minimal scanners for the JSON we ourselves produce. ----
+
+/// Finds `"key":` and returns the index just past the colon, or npos.
+size_t AfterKey(const std::string& s, const char* key, size_t from = 0) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const size_t pos = s.find(needle, from);
+  return pos == std::string::npos ? std::string::npos : pos + needle.size();
+}
+
+bool ScanDouble(const std::string& s, const char* key, double* out) {
+  const size_t pos = AfterKey(s, key);
+  if (pos == std::string::npos) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s.c_str() + pos, &end);
+  if (end == s.c_str() + pos) return false;
+  *out = v;
+  return true;
+}
+
+bool ScanLong(const std::string& s, const char* key, long long* out) {
+  const size_t pos = AfterKey(s, key);
+  if (pos == std::string::npos) return false;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str() + pos, &end, 10);
+  if (end == s.c_str() + pos) return false;
+  *out = v;
+  return true;
+}
+
+/// Extracts every number inside the (possibly nested) array following
+/// `"key":[`, in order of appearance.
+bool ScanNumberArray(const std::string& s, const char* key,
+                     std::vector<double>* out) {
+  size_t pos = AfterKey(s, key);
+  if (pos == std::string::npos || pos >= s.size() || s[pos] != '[') {
+    return false;
+  }
+  int depth = 0;
+  out->clear();
+  while (pos < s.size()) {
+    const char c = s[pos];
+    if (c == '[') {
+      ++depth;
+      ++pos;
+    } else if (c == ']') {
+      if (--depth == 0) return true;
+      ++pos;
+    } else if (c == ',' || c == ' ') {
+      ++pos;
+    } else {
+      char* end = nullptr;
+      const double v = std::strtod(s.c_str() + pos, &end);
+      if (end == s.c_str() + pos) return false;
+      out->push_back(v);
+      pos = end - s.c_str();
+    }
+  }
+  return false;
+}
+
+/// Extracts the JSON string value following `"key":"` (un-escaping).
+bool ScanString(const std::string& s, const char* key, std::string* out) {
+  size_t pos = AfterKey(s, key);
+  if (pos == std::string::npos || pos >= s.size() || s[pos] != '"') {
+    return false;
+  }
+  ++pos;
+  std::string raw;
+  while (pos < s.size() && s[pos] != '"') {
+    if (s[pos] == '\\' && pos + 1 < s.size()) {
+      raw += s[pos];
+      raw += s[pos + 1];
+      pos += 2;
+    } else {
+      raw += s[pos++];
+    }
+  }
+  if (pos >= s.size()) return false;
+  *out = JsonUnescape(raw);
+  return true;
+}
+
+/// %.17g round-trips IEEE doubles exactly — required for bitwise replay.
+void AppendDouble(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+namespace internal {
+std::atomic<bool> g_recording_enabled{false};
+}
+
+const char* ToString(EpisodeEnd e) {
+  switch (e) {
+    case EpisodeEnd::kRunning:
+      return "running";
+    case EpisodeEnd::kArrived:
+      return "arrived";
+    case EpisodeEnd::kCollision:
+      return "collision";
+    case EpisodeEnd::kTimeout:
+      return "timeout";
+  }
+  return "?";
+}
+
+const char* ToString(DumpTrigger t) {
+  switch (t) {
+    case DumpTrigger::kManual:
+      return "manual";
+    case DumpTrigger::kCollision:
+      return "collision";
+    case DumpTrigger::kImpactRisk:
+      return "impact_risk";
+    case DumpTrigger::kHardBrake:
+      return "hard_brake";
+    case DumpTrigger::kEpisodeFailure:
+      return "episode_failure";
+  }
+  return "?";
+}
+
+namespace {
+
+EpisodeEnd EndFromString(const std::string& s) {
+  for (const EpisodeEnd e :
+       {EpisodeEnd::kRunning, EpisodeEnd::kArrived, EpisodeEnd::kCollision,
+        EpisodeEnd::kTimeout}) {
+    if (s == ToString(e)) return e;
+  }
+  return EpisodeEnd::kRunning;
+}
+
+DumpTrigger TriggerFromString(const std::string& s) {
+  for (const DumpTrigger t :
+       {DumpTrigger::kManual, DumpTrigger::kCollision,
+        DumpTrigger::kImpactRisk, DumpTrigger::kHardBrake,
+        DumpTrigger::kEpisodeFailure}) {
+    if (s == ToString(t)) return t;
+  }
+  return DumpTrigger::kManual;
+}
+
+}  // namespace
+
+void SetRecordingEnabled(bool enabled) {
+  internal::g_recording_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void ConfigureRecorder(const RecorderConfig& config) {
+  HEAD_CHECK_GT(config.capacity, 0);
+  HEAD_CHECK_GE(config.post_trigger_steps, 0);
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  g_config = config;
+}
+
+RecorderConfig GetRecorderConfig() {
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  return g_config;
+}
+
+StepRecord& ScratchRecord() { return Ring().scratch; }
+
+void CommitStepRecord() {
+  if (!RecordingEnabled()) return;
+  ThreadRing& r = Ring();
+  if (r.count == r.slots.size()) {
+    g_overwritten.fetch_add(1, std::memory_order_relaxed);
+    OverwrittenCounter().Add();
+  } else {
+    ++r.count;
+  }
+  r.slots[r.head] = r.scratch;
+  r.head = (r.head + 1) % r.slots.size();
+  g_committed.fetch_add(1, std::memory_order_relaxed);
+  static Counter& committed_counter = GetCounter("obs.recorder.committed");
+  committed_counter.Add();
+  r.last_end = r.scratch.end;
+  const StepRecord& committed = r.slots[(r.head + r.slots.size() - 1) %
+                                        r.slots.size()];
+  r.scratch = StepRecord{};
+  EvaluateTriggers(r, committed);
+}
+
+void BeginEpisode(const EpisodeContext& ctx) {
+  if (!RecordingEnabled()) return;
+  ThreadRing& r = Ring();
+  r.cfg = GetRecorderConfig();
+  const size_t cap = static_cast<size_t>(std::max(1, r.cfg.capacity));
+  if (r.slots.size() != cap) {
+    r.slots.assign(cap, StepRecord{});
+  }
+  r.head = 0;
+  r.count = 0;
+  r.scratch = StepRecord{};
+  r.ctx = ctx;
+  r.last_end = EpisodeEnd::kRunning;
+  r.dumped_this_episode = false;
+  r.pending_post = -1;
+}
+
+void EndEpisode(EpisodeEnd end) {
+  if (!RecordingEnabled()) return;
+  ThreadRing& r = Ring();
+  r.last_end = end;
+  if (r.pending_post >= 0) {
+    FlushPendingDump(r);
+    return;
+  }
+  if (r.dumped_this_episode) return;
+  if (end == EpisodeEnd::kCollision && r.cfg.dump_on_collision) {
+    WriteDump(r, DumpTrigger::kCollision, nullptr);
+    r.dumped_this_episode = true;
+  } else if (end == EpisodeEnd::kTimeout && r.cfg.dump_on_timeout) {
+    WriteDump(r, DumpTrigger::kEpisodeFailure, nullptr);
+    r.dumped_this_episode = true;
+  }
+}
+
+bool DumpNow(std::string* manifest_path) {
+  if (!RecordingEnabled()) return false;
+  ThreadRing& r = Ring();
+  return WriteDump(r, DumpTrigger::kManual, manifest_path);
+}
+
+std::vector<StepRecord> SnapshotRecords() { return RingSnapshot(Ring()); }
+
+int64_t OverwrittenRecords() {
+  return g_overwritten.load(std::memory_order_relaxed);
+}
+
+int64_t CommittedRecords() {
+  return g_committed.load(std::memory_order_relaxed);
+}
+
+int64_t DumpsWritten() { return g_dumps.load(std::memory_order_relaxed); }
+
+void WriteRecordsJsonl(const std::vector<StepRecord>& records,
+                       std::ostream& os) {
+  std::string line;
+  for (const StepRecord& rec : records) {
+    line.clear();
+    line += "{\"step\":";
+    line += std::to_string(rec.step);
+    line += ",\"t\":";
+    AppendDouble(line, rec.time_s);
+    line += ",\"ego_lane\":";
+    line += std::to_string(rec.ego_lane);
+    line += ",\"ego_lon\":";
+    AppendDouble(line, rec.ego_lon_m);
+    line += ",\"ego_v\":";
+    AppendDouble(line, rec.ego_v_mps);
+    line += ",\"b\":";
+    line += std::to_string(rec.behavior);
+    line += ",\"lc\":";
+    line += std::to_string(rec.lane_change);
+    line += ",\"a\":";
+    AppendDouble(line, rec.accel_mps2);
+    line += ",\"eps\":";
+    AppendDouble(line, rec.epsilon);
+    line += ",\"ttc\":";
+    AppendDouble(line, rec.ttc_s);
+    line += ",\"rng\":";
+    line += std::to_string(rec.rng_cursor);
+    line += ",\"end\":";
+    line += std::to_string(static_cast<int>(rec.end));
+    if (rec.has_reward) {
+      line += ",\"r\":[";
+      AppendDouble(line, rec.r_safety);
+      line += ",";
+      AppendDouble(line, rec.r_efficiency);
+      line += ",";
+      AppendDouble(line, rec.r_comfort);
+      line += ",";
+      AppendDouble(line, rec.r_impact);
+      line += ",";
+      AppendDouble(line, rec.r_total);
+      line += "]";
+    }
+    if (rec.has_neighbors) {
+      line += ",\"n\":[";
+      for (int i = 0; i < kRecordNeighbors; ++i) {
+        const NeighborRecord& n = rec.neighbors[i];
+        if (i > 0) line += ",";
+        line += "[";
+        line += std::to_string(n.id);
+        line += ",";
+        line += std::to_string(static_cast<int>(n.is_phantom));
+        line += ",";
+        AppendDouble(line, n.d_lat_m);
+        line += ",";
+        AppendDouble(line, n.d_lon_m);
+        line += ",";
+        AppendDouble(line, n.v_rel_mps);
+        line += "]";
+      }
+      line += "]";
+    }
+    if (rec.has_prediction) {
+      line += ",\"pred\":[";
+      for (int i = 0; i < kRecordNeighbors; ++i) {
+        const PredictionRecord& p = rec.prediction[i];
+        if (i > 0) line += ",";
+        line += "[";
+        AppendDouble(line, p.d_lat_m);
+        line += ",";
+        AppendDouble(line, p.d_lon_m);
+        line += ",";
+        AppendDouble(line, p.v_rel_mps);
+        line += "]";
+      }
+      line += "]";
+    }
+    if (rec.has_q) {
+      line += ",\"q\":[";
+      for (int i = 0; i < kRecordBehaviors; ++i) {
+        if (i > 0) line += ",";
+        AppendDouble(line, rec.q[i]);
+      }
+      line += "]";
+    }
+    if (rec.has_params) {
+      line += ",\"xp\":[";
+      for (int i = 0; i < kRecordBehaviors; ++i) {
+        if (i > 0) line += ",";
+        AppendDouble(line, rec.params[i]);
+      }
+      line += "]";
+    }
+    line += "}\n";
+    os << line;
+  }
+}
+
+bool ParseRecordLine(const std::string& line, StepRecord* out) {
+  StepRecord rec;
+  long long ll = 0;
+  double d = 0.0;
+  if (!ScanLong(line, "step", &ll)) return false;
+  rec.step = static_cast<int32_t>(ll);
+  if (!ScanDouble(line, "t", &d)) return false;
+  rec.time_s = d;
+  if (!ScanLong(line, "ego_lane", &ll)) return false;
+  rec.ego_lane = static_cast<int32_t>(ll);
+  if (!ScanDouble(line, "ego_lon", &d)) return false;
+  rec.ego_lon_m = d;
+  if (!ScanDouble(line, "ego_v", &d)) return false;
+  rec.ego_v_mps = d;
+  if (!ScanLong(line, "b", &ll)) return false;
+  rec.behavior = static_cast<int32_t>(ll);
+  if (!ScanLong(line, "lc", &ll)) return false;
+  rec.lane_change = static_cast<int8_t>(ll);
+  if (!ScanDouble(line, "a", &d)) return false;
+  rec.accel_mps2 = d;
+  if (!ScanDouble(line, "eps", &d)) return false;
+  rec.epsilon = d;
+  if (!ScanDouble(line, "ttc", &d)) return false;
+  rec.ttc_s = d;
+  if (!ScanLong(line, "rng", &ll)) return false;
+  rec.rng_cursor = static_cast<uint64_t>(ll);
+  if (!ScanLong(line, "end", &ll)) return false;
+  rec.end = static_cast<EpisodeEnd>(ll);
+
+  std::vector<double> nums;
+  if (ScanNumberArray(line, "r", &nums)) {
+    if (nums.size() != 5) return false;
+    rec.r_safety = nums[0];
+    rec.r_efficiency = nums[1];
+    rec.r_comfort = nums[2];
+    rec.r_impact = nums[3];
+    rec.r_total = nums[4];
+    rec.has_reward = 1;
+  }
+  if (ScanNumberArray(line, "n", &nums)) {
+    if (nums.size() != static_cast<size_t>(5 * kRecordNeighbors)) {
+      return false;
+    }
+    for (int i = 0; i < kRecordNeighbors; ++i) {
+      NeighborRecord& n = rec.neighbors[i];
+      n.id = static_cast<int32_t>(nums[5 * i]);
+      n.is_phantom = static_cast<uint8_t>(nums[5 * i + 1]);
+      n.d_lat_m = nums[5 * i + 2];
+      n.d_lon_m = nums[5 * i + 3];
+      n.v_rel_mps = nums[5 * i + 4];
+    }
+    rec.has_neighbors = 1;
+  }
+  if (ScanNumberArray(line, "pred", &nums)) {
+    if (nums.size() != static_cast<size_t>(3 * kRecordNeighbors)) {
+      return false;
+    }
+    for (int i = 0; i < kRecordNeighbors; ++i) {
+      rec.prediction[i].d_lat_m = nums[3 * i];
+      rec.prediction[i].d_lon_m = nums[3 * i + 1];
+      rec.prediction[i].v_rel_mps = nums[3 * i + 2];
+    }
+    rec.has_prediction = 1;
+  }
+  if (ScanNumberArray(line, "q", &nums)) {
+    if (nums.size() != static_cast<size_t>(kRecordBehaviors)) return false;
+    for (int i = 0; i < kRecordBehaviors; ++i) rec.q[i] = nums[i];
+    rec.has_q = 1;
+  }
+  if (ScanNumberArray(line, "xp", &nums)) {
+    if (nums.size() != static_cast<size_t>(kRecordBehaviors)) return false;
+    for (int i = 0; i < kRecordBehaviors; ++i) rec.params[i] = nums[i];
+    rec.has_params = 1;
+  }
+  *out = rec;
+  return true;
+}
+
+std::string ManifestJson(const FlightDump& dump,
+                         const std::string& jsonl_filename) {
+  std::ostringstream oss;
+  oss << "{\"scenario\":\"" << JsonEscape(dump.ctx.scenario) << "\""
+      << ",\"policy\":\"" << JsonEscape(dump.ctx.policy) << "\""
+      << ",\"seed\":" << dump.ctx.seed
+      << ",\"episode\":" << dump.ctx.episode_index << ",\"trigger\":\""
+      << ToString(dump.trigger) << "\",\"end\":\"" << ToString(dump.end)
+      << "\",\"records\":" << dump.records.size() << ",\"jsonl\":\""
+      << JsonEscape(jsonl_filename) << "\"}";
+  return oss.str();
+}
+
+bool LoadFlightDump(const std::string& manifest_path, FlightDump* out,
+                    std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  std::ifstream mf(manifest_path);
+  if (!mf.good()) return fail("cannot open manifest: " + manifest_path);
+  std::stringstream buf;
+  buf << mf.rdbuf();
+  const std::string manifest = buf.str();
+
+  FlightDump dump;
+  std::string str;
+  long long ll = 0;
+  if (!ScanString(manifest, "scenario", &dump.ctx.scenario)) {
+    return fail("manifest missing \"scenario\"");
+  }
+  if (!ScanString(manifest, "policy", &dump.ctx.policy)) {
+    return fail("manifest missing \"policy\"");
+  }
+  if (!ScanLong(manifest, "seed", &ll)) {
+    return fail("manifest missing \"seed\"");
+  }
+  dump.ctx.seed = static_cast<uint64_t>(ll);
+  if (!ScanLong(manifest, "episode", &ll)) {
+    return fail("manifest missing \"episode\"");
+  }
+  dump.ctx.episode_index = static_cast<int>(ll);
+  if (ScanString(manifest, "trigger", &str)) {
+    dump.trigger = TriggerFromString(str);
+  }
+  if (ScanString(manifest, "end", &str)) dump.end = EndFromString(str);
+  std::string jsonl_name;
+  if (!ScanString(manifest, "jsonl", &jsonl_name)) {
+    return fail("manifest missing \"jsonl\"");
+  }
+
+  const std::filesystem::path jsonl_path =
+      std::filesystem::path(manifest_path).parent_path() / jsonl_name;
+  std::ifstream rf(jsonl_path);
+  if (!rf.good()) {
+    return fail("cannot open records: " + jsonl_path.string());
+  }
+  std::string line;
+  while (std::getline(rf, line)) {
+    if (line.empty()) continue;
+    StepRecord rec;
+    if (!ParseRecordLine(line, &rec)) {
+      return fail("malformed record line: " + line);
+    }
+    dump.records.push_back(rec);
+  }
+  *out = dump;
+  return true;
+}
+
+}  // namespace head::obs

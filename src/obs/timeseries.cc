@@ -1,0 +1,188 @@
+#include "obs/timeseries.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace head::obs {
+
+namespace {
+
+constexpr double kAbsent = std::numeric_limits<double>::quiet_NaN();
+
+/// Shortest representation that still round-trips typical telemetry values.
+std::string FormatValue(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+}  // namespace
+
+TimeSeries::TimeSeries(int capacity) : capacity_(capacity) {
+  HEAD_CHECK_GT(capacity, 0);
+}
+
+void TimeSeries::Append(
+    double t, const std::vector<std::pair<std::string, double>>& values) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Row row;
+  row.t = t;
+  row.values.assign(columns_.size(), kAbsent);
+  for (const auto& [name, v] : values) {
+    auto it = column_idx_.find(name);
+    size_t idx;
+    if (it == column_idx_.end()) {
+      idx = columns_.size();
+      columns_.push_back(name);
+      column_idx_.emplace(name, idx);
+      row.values.push_back(kAbsent);
+    } else {
+      idx = it->second;
+    }
+    row.values[idx] = v;
+  }
+  if (static_cast<int>(ring_.size()) < capacity_) {
+    ring_.push_back(std::move(row));
+  } else {
+    ring_[head_] = std::move(row);
+    head_ = (head_ + 1) % ring_.size();
+    ++overwritten_;
+    static Counter& dropped = GetCounter("obs.timeseries.overwritten");
+    dropped.Add();
+  }
+  ++appended_;
+}
+
+void TimeSeries::SampleRegistry(double t, const std::string& prefix) {
+  const MetricsSnapshot snap = Registry::Global().Snapshot();
+  std::vector<std::pair<std::string, double>> values;
+  auto matches = [&prefix](const std::string& name) {
+    return prefix.empty() || name.rfind(prefix, 0) == 0;
+  };
+  for (const auto& [name, v] : snap.counters) {
+    if (matches(name)) values.emplace_back(name, static_cast<double>(v));
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    if (matches(name)) values.emplace_back(name, v);
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    if (!matches(name)) continue;
+    values.emplace_back(name + ".count", static_cast<double>(h.count));
+    values.emplace_back(name + ".mean", h.Mean());
+  }
+  Append(t, values);
+}
+
+std::vector<std::string> TimeSeries::columns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return columns_;
+}
+
+int64_t TimeSeries::rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(ring_.size());
+}
+
+int64_t TimeSeries::appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+int64_t TimeSeries::overwritten() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overwritten_;
+}
+
+std::string TimeSeries::ToCsv() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream oss;
+  oss << "t";
+  for (const std::string& c : columns_) oss << "," << c;
+  oss << "\n";
+  // head_ is the oldest row only once the ring has wrapped.
+  const size_t n = ring_.size();
+  const size_t start = n == static_cast<size_t>(capacity_) ? head_ : 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Row& row = ring_[(start + i) % n];
+    oss << FormatValue(row.t);
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      oss << ",";
+      const double v = c < row.values.size() ? row.values[c] : kAbsent;
+      if (!std::isnan(v)) oss << FormatValue(v);
+    }
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+std::string TimeSeries::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream oss;
+  oss << "{\"columns\":[\"t\"";
+  for (const std::string& c : columns_) {
+    oss << ",\"" << JsonEscape(c) << "\"";
+  }
+  oss << "],\"rows\":[";
+  const size_t n = ring_.size();
+  const size_t start = n == static_cast<size_t>(capacity_) ? head_ : 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Row& row = ring_[(start + i) % n];
+    oss << (i == 0 ? "" : ",") << "[" << FormatValue(row.t);
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      const double v = c < row.values.size() ? row.values[c] : kAbsent;
+      if (std::isnan(v)) {
+        oss << ",null";
+      } else {
+        oss << "," << FormatValue(v);
+      }
+    }
+    oss << "]";
+  }
+  oss << "]}";
+  return oss.str();
+}
+
+bool TimeSeries::WriteCsvFile(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os.good()) return false;
+  os << ToCsv();
+  return os.good();
+}
+
+bool TimeSeries::WriteJsonFile(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os.good()) return false;
+  os << ToJson() << "\n";
+  return os.good();
+}
+
+void TimeSeries::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+}
+
+RegistrySampler::RegistrySampler(TimeSeries* series, double interval_s,
+                                 std::string prefix)
+    : series_(series), interval_s_(interval_s), prefix_(std::move(prefix)) {
+  HEAD_CHECK(series != nullptr);
+}
+
+bool RegistrySampler::Tick(double t) {
+  if (has_sampled_ && interval_s_ > 0.0 && t < last_t_ + interval_s_) {
+    return false;
+  }
+  series_->SampleRegistry(t, prefix_);
+  last_t_ = t;
+  has_sampled_ = true;
+  ++samples_;
+  return true;
+}
+
+}  // namespace head::obs

@@ -1,0 +1,101 @@
+// Metrics time series: turns point-in-time registry snapshots (and ad-hoc
+// scalar rows from trainers) into first-class (t, values) curves with CSV /
+// JSON export — training loss, epsilon, reward-term decompositions, and
+// allocator gauges become plottable artifacts instead of ad-hoc prints.
+//
+// A TimeSeries is a fixed-capacity ring of rows over a dynamically growing
+// column set; when full, the oldest rows are overwritten (dropped rows are
+// counted and exported as `obs.timeseries.overwritten`). All methods are
+// mutex-protected — sampling happens at episode/epoch cadence, never on the
+// per-step hot path.
+//
+// RegistrySampler is the periodic bridge from the metrics registry: each
+// Tick(t) past the sampling interval snapshots counters, gauges, and
+// histogram summaries (count/mean) into one row.
+#ifndef HEAD_OBS_TIMESERIES_H_
+#define HEAD_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace head::obs {
+
+class TimeSeries {
+ public:
+  /// `capacity` rows are preallocated lazily as appended; once full, the
+  /// oldest row is overwritten per append.
+  explicit TimeSeries(int capacity = 4096);
+
+  /// Appends one row at time `t`. New column names extend the schema;
+  /// columns absent from a row hold NaN (empty cell in CSV, null in JSON).
+  void Append(double t,
+              const std::vector<std::pair<std::string, double>>& values);
+
+  /// Appends a row built from the global metrics registry: every counter
+  /// and gauge becomes a column (counters cast to double), every histogram
+  /// contributes `<name>.count` and `<name>.mean`. When `prefix` is
+  /// non-empty only metric names starting with it are included.
+  void SampleRegistry(double t, const std::string& prefix = "");
+
+  std::vector<std::string> columns() const;
+  int64_t rows() const;         ///< rows currently held (≤ capacity)
+  int64_t appended() const;     ///< rows ever appended
+  int64_t overwritten() const;  ///< rows lost to ring wrap
+
+  /// Header `t,<col>,...`; one line per row, oldest first; NaN cells empty.
+  std::string ToCsv() const;
+  /// {"columns":["t",...],"rows":[[t,v,...],...]} — NaN cells are null.
+  std::string ToJson() const;
+
+  bool WriteCsvFile(const std::string& path) const;
+  bool WriteJsonFile(const std::string& path) const;
+
+  /// Drops all rows (columns are kept).
+  void Clear();
+
+ private:
+  struct Row {
+    double t = 0.0;
+    std::vector<double> values;  // index-aligned with columns_; NaN = absent
+  };
+
+  mutable std::mutex mu_;
+  int capacity_;
+  std::vector<std::string> columns_;          // insertion order
+  std::map<std::string, size_t> column_idx_;  // name -> index in columns_
+  std::vector<Row> ring_;
+  size_t head_ = 0;  // next write slot once ring_ is at capacity
+  int64_t appended_ = 0;
+  int64_t overwritten_ = 0;
+};
+
+/// Samples the registry into a TimeSeries at a fixed period: call Tick(t)
+/// as often as convenient (per episode, per epoch); a row is captured when
+/// `t` has advanced at least `interval_s` past the previous sample.
+class RegistrySampler {
+ public:
+  /// `series` must outlive the sampler. `interval_s` ≤ 0 samples every Tick.
+  RegistrySampler(TimeSeries* series, double interval_s,
+                  std::string prefix = "");
+
+  /// Returns true when a sample was captured.
+  bool Tick(double t);
+
+  int64_t samples() const { return samples_; }
+
+ private:
+  TimeSeries* series_;
+  double interval_s_;
+  std::string prefix_;
+  double last_t_ = 0.0;
+  bool has_sampled_ = false;
+  int64_t samples_ = 0;
+};
+
+}  // namespace head::obs
+
+#endif  // HEAD_OBS_TIMESERIES_H_

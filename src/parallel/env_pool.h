@@ -36,6 +36,7 @@
 #include "common/rng.h"
 #include "nn/autograd.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "parallel/thread_pool.h"
 #include "rl/env.h"
 #include "rl/replay_buffer.h"
@@ -124,6 +125,9 @@ class EnvPool {
     /// When set, every transition is pushed here as (global episode index,
     /// transition) for ordered draining by the learner.
     StripedTransitionBuffer* transitions = nullptr;
+    /// Scenario name stamped into flight-recorder episode contexts. Only
+    /// used while obs::RecordingEnabled().
+    std::string scenario_name;
   };
 
   /// `pool` defaults to ThreadPool::Global().
@@ -189,11 +193,25 @@ class EnvPool {
     EpisodeResult result;
     result.index = global_index;
     const uint64_t gi = static_cast<uint64_t>(global_index);
+    // Flight recorder: rings are thread-local, so concurrent episodes never
+    // share a scratch; the manifest records the episode's own reset seed.
+    if (obs::RecordingEnabled()) {
+      obs::EpisodeContext ctx;
+      ctx.scenario = opts.scenario_name;
+      ctx.policy = agent.name();
+      ctx.seed = SplitMix(opts.seed_base, 2 * gi);
+      ctx.episode_index = global_index;
+      obs::BeginEpisode(ctx);
+    }
+    sim::EpisodeStatus status = sim::EpisodeStatus::kRunning;
     rl::AugmentedState state =
         env.Reset(SplitMix(opts.seed_base, 2 * gi));
     Rng rng(SplitMix(opts.seed_base, 2 * gi + 1));
     while (result.steps < opts.max_steps_per_episode) {
       const rl::AgentAction action = agent.Act(state, epsilon, rng);
+      if (obs::RecordingEnabled()) {
+        obs::ScratchRecord().rng_cursor = rng.draws();
+      }
       const rl::DrivingEnv::StepOutcome outcome = env.Step(action.maneuver);
       const double r = outcome.reward.total;
       result.reward_sum += r;
@@ -215,11 +233,13 @@ class EnvPool {
         opts.transitions->Push(global_index, std::move(t));
       }
       state = outcome.next_state;
+      status = outcome.status;
       if (outcome.done) {
         result.collision = outcome.status == sim::EpisodeStatus::kCollision;
         break;
       }
     }
+    if (obs::RecordingEnabled()) obs::EndEpisode(sim::ToEpisodeEnd(status));
     return result;
   }
 

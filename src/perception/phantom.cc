@@ -4,8 +4,44 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace head::perception {
+
+namespace {
+
+/// Per-kind phantom-construction telemetry (`perception.phantom.*`): how
+/// often perception has to conjure vehicles vs observe them — the dial that
+/// explains sudden decision changes in flight-recorder post-mortems.
+void CountPhantomKind(MissingKind k) {
+  switch (k) {
+    case MissingKind::kRange: {
+      static obs::Counter& c = obs::GetCounter("perception.phantom.range");
+      c.Add();
+      break;
+    }
+    case MissingKind::kInherent: {
+      static obs::Counter& c = obs::GetCounter("perception.phantom.inherent");
+      c.Add();
+      break;
+    }
+    case MissingKind::kOcclusion: {
+      static obs::Counter& c = obs::GetCounter("perception.phantom.occlusion");
+      c.Add();
+      break;
+    }
+    case MissingKind::kZeroPad: {
+      static obs::Counter& c = obs::GetCounter("perception.phantom.zero_pad");
+      c.Add();
+      break;
+    }
+    case MissingKind::kNone:
+    case MissingKind::kEgo:
+      break;
+  }
+}
+
+}  // namespace
 
 const char* ToString(MissingKind k) {
   switch (k) {
@@ -235,6 +271,13 @@ CompletedScene ConstructPhantoms(const HistoryBuffer& buffer,
       } else {
         scene.surroundings[i][j] = RangePhantom(target.states, j, range_m);
       }
+    }
+  }
+
+  for (int i = 0; i < kNumAreas; ++i) {
+    CountPhantomKind(scene.targets[i].kind);
+    for (int j = 0; j < kNumAreas; ++j) {
+      CountPhantomKind(scene.surroundings[i][j].kind);
     }
   }
   return scene;

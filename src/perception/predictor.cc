@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "nn/autograd.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/span.h"
 
 namespace head::perception {
@@ -35,6 +36,17 @@ Prediction StatePredictor::Predict(const StGraph& graph) const {
         graph.target_rel_current[i][1] + out.value().At(i, 1) / scale_.lon;
     pred[i].v_rel_mps =
         graph.target_rel_current[i][2] + out.value().At(i, 2) / scale_.v;
+  }
+
+  if (obs::RecordingEnabled()) {
+    static_assert(obs::kRecordNeighbors == kNumAreas);
+    obs::StepRecord& rec = obs::ScratchRecord();
+    for (int i = 0; i < kNumAreas; ++i) {
+      rec.prediction[i].d_lat_m = pred[i].d_lat_m;
+      rec.prediction[i].d_lon_m = pred[i].d_lon_m;
+      rec.prediction[i].v_rel_mps = pred[i].v_rel_mps;
+    }
+    rec.has_prediction = 1;
   }
   return pred;
 }

@@ -1,6 +1,7 @@
 #include "perception/st_graph.h"
 
 #include "common/check.h"
+#include "obs/recorder.h"
 
 namespace head::perception {
 
@@ -69,6 +70,22 @@ StGraph BuildStGraph(const CompletedScene& scene, const RoadConfig& road,
         }
       }
     }
+  }
+
+  if (obs::RecordingEnabled()) {
+    // Flight recorder: the six completed target slots, ego-relative, as the
+    // decision module will see them this step.
+    static_assert(obs::kRecordNeighbors == kNumAreas);
+    obs::StepRecord& rec = obs::ScratchRecord();
+    for (int i = 0; i < kNumAreas; ++i) {
+      obs::NeighborRecord& n = rec.neighbors[i];
+      n.id = graph.target_ids[i];
+      n.is_phantom = graph.target_is_phantom[i] ? 1 : 0;
+      n.d_lat_m = graph.target_rel_current[i][0];
+      n.d_lon_m = graph.target_rel_current[i][1];
+      n.v_rel_mps = graph.target_rel_current[i][2];
+    }
+    rec.has_neighbors = 1;
   }
   return graph;
 }

@@ -139,6 +139,12 @@ PredictionTrainResult TrainPredictor(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
     result.epoch_elapsed_seconds.push_back(elapsed);
+    if (config.timeseries != nullptr) {
+      config.timeseries->Append(
+          elapsed, {{"epoch", static_cast<double>(epoch)},
+                    {"loss", epoch_loss},
+                    {"rmse", std::sqrt(std::max(epoch_loss, 0.0))}});
+    }
     if (config.verbose) {
       HEAD_LOG(Info) << model.name() << " epoch " << epoch + 1 << "/"
                      << config.epochs << " loss=" << epoch_loss;

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "obs/timeseries.h"
 #include "perception/predictor.h"
 
 namespace head::perception {
@@ -20,6 +21,10 @@ struct PredictionTrainConfig {
   /// minibatch instead of one graph per sample. Same objective (gradient-
   /// parity tested); the per-sample path is kept as a reference.
   bool batched = true;
+  /// Optional training-curve sink (not owned; must outlive the call). When
+  /// set, every epoch appends one row: epoch index, mean masked scaled MSE,
+  /// and its RMSE.
+  obs::TimeSeries* timeseries = nullptr;
 };
 
 struct PredictionTrainResult {

@@ -1,6 +1,7 @@
 #include "rl/env.h"
 
 #include "common/check.h"
+#include "obs/recorder.h"
 #include "obs/span.h"
 
 namespace head::rl {
@@ -89,6 +90,13 @@ DrivingEnv::StepOutcome DrivingEnv::Step(const Maneuver& maneuver) {
     }
   }
   out.reward = reward_fn_.Compute(obs);
+
+  // Flight recorder: the scratch now holds this step's full story
+  // (perception from the pre-step Perceive, the agent's decision internals,
+  // the applied maneuver + ego outcome from sim_.Step, the reward
+  // decomposition above) — commit it before the trailing Perceive starts
+  // filling the next step's scratch.
+  if (obs::RecordingEnabled()) obs::CommitStepRecord();
 
   prev_accel_ = maneuver.accel_mps2;
   out.next_state = Perceive();

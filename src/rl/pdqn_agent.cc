@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/span.h"
 
 namespace head::rl {
@@ -49,7 +50,9 @@ AgentAction PdqnAgent::Act(const AugmentedState& state, double epsilon,
   const nn::NoGradGuard no_grad;  // action selection never backprops
   nn::Tensor x = x_->Forward(state).value();  // (1×3)
   int b;
+  bool explored = false;
   if (epsilon > 0.0 && rng.Uniform(0.0, 1.0) < epsilon) {
+    explored = true;
     if (rng.Uniform(0.0, 1.0) < config_.explore_keep_bias) {
       b = kBehaviorKeep;
     } else {
@@ -59,6 +62,24 @@ AgentAction PdqnAgent::Act(const AugmentedState& state, double epsilon,
     const nn::Tensor q =
         q_->Forward(state, nn::Var::Constant(x)).value();
     b = ArgMax(q);
+    if (obs::RecordingEnabled()) {
+      obs::StepRecord& rec = obs::ScratchRecord();
+      for (int c = 0; c < obs::kRecordBehaviors && c < q.cols(); ++c) {
+        rec.q[c] = q.At(0, c);
+      }
+      rec.has_q = 1;
+    }
+  }
+  if (obs::RecordingEnabled() && explored) {
+    // Exploration skipped the critic; run it for the audit trail only. A
+    // pure forward pass draws no randomness, so the recorded run and its
+    // replay stay in RNG lockstep whether or not recording was on.
+    const nn::Tensor q = q_->Forward(state, nn::Var::Constant(x)).value();
+    obs::StepRecord& rec = obs::ScratchRecord();
+    for (int c = 0; c < obs::kRecordBehaviors && c < q.cols(); ++c) {
+      rec.q[c] = q.At(0, c);
+    }
+    rec.has_q = 1;
   }
   double accel = x.At(0, b);
   if (epsilon > 0.0) {
@@ -72,6 +93,16 @@ AgentAction PdqnAgent::Act(const AugmentedState& state, double epsilon,
   action.behavior = b;
   action.maneuver = Maneuver{BehaviorToLaneChange(b), accel};
   action.params = std::move(x);
+  if (obs::RecordingEnabled()) {
+    obs::StepRecord& rec = obs::ScratchRecord();
+    for (int c = 0; c < obs::kRecordBehaviors && c < action.params.cols();
+         ++c) {
+      rec.params[c] = action.params.At(0, c);
+    }
+    rec.has_params = 1;
+    rec.behavior = b;
+    rec.epsilon = epsilon;
+  }
   return action;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/recorder.h"
+
 namespace head::rl {
 
 std::optional<double> TimeToCollision(const VehicleState& front,
@@ -52,6 +54,23 @@ RewardTerms RewardFunction::Compute(const RewardObservation& obs) const {
   r.total = w.safety * r.safety + w.efficiency * r.efficiency +
             w.comfort * r.comfort +
             (config_.use_impact ? w.impact * r.impact : 0.0);
+
+  if (obs::RecordingEnabled()) {
+    // Flight recorder: the reward decomposition + the TTC the safety term
+    // saw (the impact-risk trigger watches this field).
+    obs::StepRecord& rec = obs::ScratchRecord();
+    rec.r_safety = r.safety;
+    rec.r_efficiency = r.efficiency;
+    rec.r_comfort = r.comfort;
+    rec.r_impact = r.impact;
+    rec.r_total = r.total;
+    rec.has_reward = 1;
+    if (!obs.collision && obs.front_next.has_value()) {
+      const std::optional<double> ttc =
+          TimeToCollision(*obs.front_next, obs.ego_next);
+      rec.ttc_s = ttc.has_value() ? *ttc : -1.0;
+    }
+  }
   return r;
 }
 

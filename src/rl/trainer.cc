@@ -8,7 +8,9 @@
 #include "common/logging.h"
 #include "nn/autograd.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/span.h"
+#include "sim/simulation.h"
 
 namespace head::rl {
 
@@ -52,6 +54,75 @@ void ObserveEpisodeTelemetry(TrainTelemetry& t, double reward_sum,
   t.impact.Observe(terms_sum.impact * inv_steps);
 }
 
+/// Mean of a histogram's observations since the previous Sample() — delta-
+/// windowing over the cumulative (count, sum), so the registry histogram is
+/// left untouched for other consumers (no SnapshotAndReset).
+class HistogramDeltaMean {
+ public:
+  explicit HistogramDeltaMean(obs::Histogram& h) : h_(h) {
+    const obs::HistogramSnapshot s = h.Snapshot();
+    prev_count_ = s.count;
+    prev_sum_ = s.sum;
+  }
+
+  /// False when no new observations landed in the window.
+  bool Sample(double* mean) {
+    const obs::HistogramSnapshot s = h_.Snapshot();
+    const int64_t delta_count = s.count - prev_count_;
+    const double delta_sum = s.sum - prev_sum_;
+    prev_count_ = s.count;
+    prev_sum_ = s.sum;
+    if (delta_count <= 0) return false;
+    *mean = delta_sum / delta_count;
+    return true;
+  }
+
+ private:
+  obs::Histogram& h_;
+  int64_t prev_count_;
+  double prev_sum_;
+};
+
+/// The critic-loss histogram the agents publish to (bounds must match the
+/// agent-side registration — first creation wins, same bounds either way).
+obs::Histogram& CriticLossHistogram() {
+  return obs::GetHistogram("rl.critic_loss",
+                           obs::CachedExponentialBounds(1e-4, 2.0, 28));
+}
+
+/// One training-curve row: episode index, mean step reward, epsilon, the
+/// Eq. 28 reward-term means, and (when available) the critic-loss window.
+void AppendCurveRow(obs::TimeSeries* ts, double t, int episode,
+                    double mean_reward, double epsilon,
+                    const RewardTerms& terms_sum, int steps,
+                    const double* critic_loss) {
+  if (ts == nullptr) return;
+  const double inv_steps = 1.0 / std::max(steps, 1);
+  std::vector<std::pair<std::string, double>> row = {
+      {"episode", static_cast<double>(episode)},
+      {"reward", mean_reward},
+      {"epsilon", epsilon},
+      {"reward.safety", terms_sum.safety * inv_steps},
+      {"reward.efficiency", terms_sum.efficiency * inv_steps},
+      {"reward.comfort", terms_sum.comfort * inv_steps},
+      {"reward.impact", terms_sum.impact * inv_steps},
+  };
+  if (critic_loss != nullptr) row.emplace_back("critic_loss", *critic_loss);
+  ts->Append(t, row);
+}
+
+/// Installs the flight-recorder episode context for the upcoming episode.
+void RecorderBeginEpisode(const RlTrainConfig& config,
+                          const std::string& policy, uint64_t seed, int ep) {
+  if (!obs::RecordingEnabled()) return;
+  obs::EpisodeContext ctx;
+  ctx.scenario = config.scenario_name;
+  ctx.policy = policy;
+  ctx.seed = seed;
+  ctx.episode_index = ep;
+  obs::BeginEpisode(ctx);
+}
+
 /// ε for episode `ep` under the linear decay schedule.
 double EpsilonAt(const RlTrainConfig& config, int ep) {
   const double decay_episodes =
@@ -93,6 +164,7 @@ RlTrainResult TrainAgent(PamdpAgent& agent, DrivingEnv& env,
   Rng rng(config.seed);
   RlTrainResult result;
   const auto start = std::chrono::steady_clock::now();
+  HistogramDeltaMean critic_loss_window(CriticLossHistogram());
 
   size_t next_lr_decay = 0;
   for (int ep = 0; ep < config.episodes; ++ep) {
@@ -109,12 +181,18 @@ RlTrainResult TrainAgent(PamdpAgent& agent, DrivingEnv& env,
     telemetry.episodes.Add();
     telemetry.epsilon.Set(epsilon);
 
-    AugmentedState state = env.Reset(config.seed * 7919 + ep);
+    const uint64_t ep_seed = config.seed * 7919 + ep;
+    RecorderBeginEpisode(config, agent.name(), ep_seed, ep);
+    AugmentedState state = env.Reset(ep_seed);
     double ep_reward = 0.0;
     RewardTerms ep_terms;  // per-episode sums of the Eq. 28 decomposition
     int steps = 0;
+    sim::EpisodeStatus status = sim::EpisodeStatus::kRunning;
     while (steps < config.max_steps_per_episode) {
       const AgentAction action = agent.Act(state, epsilon, rng);
+      if (obs::RecordingEnabled()) {
+        obs::ScratchRecord().rng_cursor = rng.draws();
+      }
       const DrivingEnv::StepOutcome outcome = env.Step(action.maneuver);
       agent.Remember(state, action, outcome.reward.total, outcome.next_state,
                      outcome.done);
@@ -126,13 +204,20 @@ RlTrainResult TrainAgent(PamdpAgent& agent, DrivingEnv& env,
       ep_terms.impact += outcome.reward.impact;
       ++steps;
       state = outcome.next_state;
+      status = outcome.status;
       if (outcome.done) break;
     }
+    if (obs::RecordingEnabled()) obs::EndEpisode(sim::ToEpisodeEnd(status));
     ObserveEpisodeTelemetry(telemetry, ep_reward, ep_terms, steps);
     result.episode_rewards.push_back(ep_reward / std::max(steps, 1));
     result.episode_elapsed_seconds.push_back(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count());
+    double critic_loss = 0.0;
+    const bool have_loss = critic_loss_window.Sample(&critic_loss);
+    AppendCurveRow(config.timeseries, result.episode_elapsed_seconds.back(),
+                   ep, result.episode_rewards.back(), epsilon, ep_terms,
+                   steps, have_loss ? &critic_loss : nullptr);
     if (config.verbose && (ep + 1) % 10 == 0) {
       HEAD_LOG(Info) << agent.name() << " episode " << ep + 1 << "/"
                      << config.episodes
@@ -159,6 +244,7 @@ RlTrainResult TrainAgent(PamdpAgent& agent, parallel::EnvPool& envs,
   const auto start = std::chrono::steady_clock::now();
   parallel::StripedTransitionBuffer buffer(k);
   TrainTelemetry& telemetry = TrainTelemetry::Get();
+  HistogramDeltaMean critic_loss_window(CriticLossHistogram());
 
   size_t next_lr_decay = 0;
   for (int round_start = 0; round_start < config.episodes;
@@ -214,6 +300,17 @@ RlTrainResult TrainAgent(PamdpAgent& agent, parallel::EnvPool& envs,
     for (int j = 0; j < round; ++j) {
       result.episode_elapsed_seconds.push_back(elapsed);
     }
+    // Parameters advance once per round, so the round's critic-loss window
+    // is shared by every episode row of the round.
+    double critic_loss = 0.0;
+    const bool have_loss = critic_loss_window.Sample(&critic_loss);
+    for (int j = 0; j < round; ++j) {
+      const parallel::EnvPool::EpisodeResult& ep = episodes[j];
+      AppendCurveRow(config.timeseries, elapsed, round_start + j,
+                     ep.reward_sum / std::max(ep.steps, 1),
+                     opts.epsilons[j], ep.terms, ep.steps,
+                     have_loss ? &critic_loss : nullptr);
+    }
     if (config.verbose) {
       HEAD_LOG(Info) << agent.name() << " episodes " << round_start + round
                      << "/" << config.episodes << " (rounds of " << k
@@ -257,11 +354,22 @@ RewardStats EvaluateAgent(PamdpAgent& agent, DrivingEnv& env, int episodes,
   for (int ep = 0; ep < episodes; ++ep) {
     parallel::EnvPool::EpisodeResult result;
     result.index = ep;
+    if (obs::RecordingEnabled()) {
+      obs::EpisodeContext ctx;
+      ctx.policy = agent.name();
+      ctx.seed = SplitMix(seed_base, 2 * static_cast<uint64_t>(ep));
+      ctx.episode_index = ep;
+      obs::BeginEpisode(ctx);
+    }
+    sim::EpisodeStatus status = sim::EpisodeStatus::kRunning;
     Rng rng(SplitMix(seed_base, 2 * static_cast<uint64_t>(ep) + 1));
     AugmentedState state =
         env.Reset(SplitMix(seed_base, 2 * static_cast<uint64_t>(ep)));
     while (result.steps < max_steps_per_episode) {
       const AgentAction action = agent.Act(state, /*epsilon=*/0.0, rng);
+      if (obs::RecordingEnabled()) {
+        obs::ScratchRecord().rng_cursor = rng.draws();
+      }
       const DrivingEnv::StepOutcome outcome = env.Step(action.maneuver);
       const double r = outcome.reward.total;
       result.reward_sum += r;
@@ -269,11 +377,13 @@ RewardStats EvaluateAgent(PamdpAgent& agent, DrivingEnv& env, int episodes,
       result.max_step_reward = std::max(result.max_step_reward, r);
       ++result.steps;
       state = outcome.next_state;
+      status = outcome.status;
       if (outcome.done) {
         result.collision = outcome.status == sim::EpisodeStatus::kCollision;
         break;
       }
     }
+    if (obs::RecordingEnabled()) obs::EndEpisode(sim::ToEpisodeEnd(status));
     FoldEpisode(stats, sum, result);
   }
   stats.avg_reward = stats.steps > 0 ? sum / stats.steps : 0.0;

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "obs/timeseries.h"
 #include "parallel/env_pool.h"
 #include "rl/env.h"
 #include "rl/pamdp.h"
@@ -27,6 +28,14 @@ struct RlTrainConfig {
   bool verbose = false;
   /// Stop an episode after this many steps even if the sim allows more.
   int max_steps_per_episode = 100000;
+  /// Optional training-curve sink (not owned; must outlive the call). When
+  /// set, every episode appends one row: mean step reward, epsilon, the
+  /// Eq. 28 reward-term means, and the critic-loss mean over the episode's
+  /// updates — export with TimeSeries::WriteCsvFile / WriteJsonFile.
+  obs::TimeSeries* timeseries = nullptr;
+  /// Scenario name stamped into flight-recorder episode contexts ("" =
+  /// unnamed env). Only used while obs::RecordingEnabled().
+  std::string scenario_name;
 };
 
 struct RlTrainResult {

@@ -28,6 +28,20 @@ const char* ToString(EpisodeStatus s) {
   return "?";
 }
 
+obs::EpisodeEnd ToEpisodeEnd(EpisodeStatus s) {
+  switch (s) {
+    case EpisodeStatus::kRunning:
+      return obs::EpisodeEnd::kRunning;
+    case EpisodeStatus::kReachedDestination:
+      return obs::EpisodeEnd::kArrived;
+    case EpisodeStatus::kCollision:
+      return obs::EpisodeEnd::kCollision;
+    case EpisodeStatus::kTimeout:
+      return obs::EpisodeEnd::kTimeout;
+  }
+  return obs::EpisodeEnd::kRunning;
+}
+
 Simulation::Simulation(const SimConfig& config, uint64_t seed)
     : config_(config), rng_(seed) {
   HEAD_CHECK_GT(config_.road.num_lanes, 0);
@@ -221,6 +235,21 @@ EpisodeStatus Simulation::Step(const Maneuver& ego_maneuver) {
     status_ = EpisodeStatus::kReachedDestination;
   } else if (step_count_ >= config_.max_steps) {
     status_ = EpisodeStatus::kTimeout;
+  }
+
+  if (obs::RecordingEnabled()) {
+    // The flight recorder's view of the applied maneuver and its immediate
+    // outcome; perception/decision layers fill their slices upstream and the
+    // step loop commits downstream.
+    obs::StepRecord& rec = obs::ScratchRecord();
+    rec.step = step_count_;
+    rec.time_s = time_s();
+    rec.ego_lane = ego_.state.lane;
+    rec.ego_lon_m = ego_.state.lon_m;
+    rec.ego_v_mps = ego_.state.v_mps;
+    rec.lane_change = static_cast<int8_t>(LaneDelta(ego_maneuver.lane_change));
+    rec.accel_mps2 = ego_maneuver.accel_mps2;
+    rec.end = ToEpisodeEnd(status_);
   }
   return status_;
 }

@@ -11,6 +11,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "obs/recorder.h"
 #include "sim/road.h"
 #include "sim/spawner.h"
 #include "sim/vehicle.h"
@@ -41,6 +42,9 @@ enum class EpisodeStatus {
 };
 
 const char* ToString(EpisodeStatus s);
+
+/// Maps the sim status onto the flight recorder's layer-neutral outcome.
+obs::EpisodeEnd ToEpisodeEnd(EpisodeStatus s);
 
 class Simulation {
  public:

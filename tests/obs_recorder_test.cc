@@ -1,0 +1,383 @@
+// Flight recorder: ring accounting (overwrite/commit counters), bitwise
+// JSONL round-trips, dump trigger logic (TTC / hard-brake / collision /
+// post-trigger context), and manifest round-trips with escaping.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+
+namespace head::obs {
+namespace {
+
+uint64_t Bits(double v) {
+  uint64_t u = 0;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+/// Saves and restores the global recorder switch + config around each test,
+/// and gives each test a unique scratch directory for dump files.
+class RecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_enabled_ = RecordingEnabled();
+    saved_config_ = GetRecorderConfig();
+    dir_ = (std::filesystem::path(::testing::TempDir()) /
+            ("recorder_" +
+             std::string(
+                 ::testing::UnitTest::GetInstance()->current_test_info()
+                     ->name())))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+
+  void TearDown() override {
+    ConfigureRecorder(saved_config_);
+    SetRecordingEnabled(saved_enabled_);
+    std::filesystem::remove_all(dir_);
+  }
+
+  /// Enables recording with `config` and starts a fresh episode (which also
+  /// resets this thread's ring from any previous test).
+  void Begin(RecorderConfig config, EpisodeContext ctx = {}) {
+    ConfigureRecorder(config);
+    SetRecordingEnabled(true);
+    BeginEpisode(ctx);
+  }
+
+  std::vector<std::string> DumpManifests() const {
+    std::vector<std::string> out;
+    if (!std::filesystem::exists(dir_)) return out;
+    for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+      const std::string p = e.path().string();
+      if (p.size() >= 14 &&
+          p.compare(p.size() - 14, 14, ".manifest.json") == 0) {
+        out.push_back(p);
+      }
+    }
+    return out;
+  }
+
+  std::string dir_;
+  bool saved_enabled_ = false;
+  RecorderConfig saved_config_;
+};
+
+void CommitStep(int step, double ttc = -1.0, double accel = 0.0,
+                EpisodeEnd end = EpisodeEnd::kRunning) {
+  StepRecord& rec = ScratchRecord();
+  rec.step = step;
+  rec.time_s = step * 0.5;
+  rec.ego_lon_m = 7.0 * step;
+  rec.ttc_s = ttc;
+  rec.accel_mps2 = accel;
+  rec.end = end;
+  CommitStepRecord();
+}
+
+TEST_F(RecorderTest, RingKeepsNewestAndCountsOverwrites) {
+  RecorderConfig cfg;
+  cfg.capacity = 4;
+  Begin(cfg);
+
+  const int64_t overwritten_before = OverwrittenRecords();
+  const int64_t committed_before = CommittedRecords();
+  const int64_t counter_before =
+      GetCounter("obs.recorder.overwritten").value();
+
+  for (int s = 0; s < 10; ++s) CommitStep(s);
+
+  EXPECT_EQ(CommittedRecords() - committed_before, 10);
+  // 10 commits into 4 slots: the first 6 were overwritten, and the loss is
+  // visible both through the API and the exported drop counter.
+  EXPECT_EQ(OverwrittenRecords() - overwritten_before, 6);
+  EXPECT_EQ(GetCounter("obs.recorder.overwritten").value() - counter_before,
+            6);
+
+  const std::vector<StepRecord> records = SnapshotRecords();
+  ASSERT_EQ(records.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(records[i].step, 6 + i) << "oldest-first order";
+  }
+}
+
+TEST_F(RecorderTest, BeginEpisodeClearsRingAndAppliesCapacity) {
+  RecorderConfig cfg;
+  cfg.capacity = 4;
+  Begin(cfg);
+  for (int s = 0; s < 3; ++s) CommitStep(s);
+  ASSERT_EQ(SnapshotRecords().size(), 3u);
+
+  cfg.capacity = 8;
+  ConfigureRecorder(cfg);
+  BeginEpisode({});
+  EXPECT_TRUE(SnapshotRecords().empty());
+  for (int s = 0; s < 8; ++s) CommitStep(s);
+  EXPECT_EQ(SnapshotRecords().size(), 8u);  // new capacity took effect
+}
+
+TEST_F(RecorderTest, JsonlRoundTripIsBitwise) {
+  StepRecord rec;
+  rec.step = 41;
+  rec.time_s = 20.5;
+  rec.ego_lane = 3;
+  rec.ego_lon_m = 1234.567890123456789;  // not representable exactly
+  rec.ego_v_mps = 1.0 / 3.0;
+  rec.behavior = 2;
+  rec.lane_change = -1;
+  rec.accel_mps2 = -2.9999999999999996;
+  rec.epsilon = 0.1;
+  rec.ttc_s = 1e-300;  // subnormal-adjacent magnitude survives %.17g
+  rec.rng_cursor = 123456789;
+  rec.end = EpisodeEnd::kCollision;
+  rec.has_reward = 1;
+  rec.r_safety = -25.0;
+  rec.r_efficiency = 0.7071067811865476;
+  rec.r_comfort = -0.1;
+  rec.r_impact = -0.25;
+  rec.r_total = rec.r_safety + rec.r_efficiency + rec.r_comfort + rec.r_impact;
+  rec.has_neighbors = 1;
+  for (int i = 0; i < kRecordNeighbors; ++i) {
+    rec.neighbors[i] = {i % 2 == 0 ? -1 : 100 + i,
+                        static_cast<uint8_t>(i % 2 == 0), -3.2 * i,
+                        50.0 / (i + 1), -1.5 + 0.1 * i};
+  }
+  rec.has_prediction = 1;
+  for (int i = 0; i < kRecordNeighbors; ++i) {
+    rec.prediction[i] = {0.1 * i, 40.0 / (i + 1), 2.0 * i / 7.0};
+  }
+  rec.has_q = 1;
+  rec.has_params = 1;
+  for (int i = 0; i < kRecordBehaviors; ++i) {
+    rec.q[i] = -1.0 / (i + 3);
+    rec.params[i] = (i - 1) * 0.9999999999999999;
+  }
+
+  std::ostringstream os;
+  WriteRecordsJsonl({rec}, os);
+  std::string line = os.str();
+  ASSERT_FALSE(line.empty());
+  line.pop_back();  // trailing newline
+
+  StepRecord back;
+  ASSERT_TRUE(ParseRecordLine(line, &back));
+  EXPECT_EQ(back.step, rec.step);
+  EXPECT_EQ(Bits(back.time_s), Bits(rec.time_s));
+  EXPECT_EQ(back.ego_lane, rec.ego_lane);
+  EXPECT_EQ(Bits(back.ego_lon_m), Bits(rec.ego_lon_m));
+  EXPECT_EQ(Bits(back.ego_v_mps), Bits(rec.ego_v_mps));
+  EXPECT_EQ(back.behavior, rec.behavior);
+  EXPECT_EQ(back.lane_change, rec.lane_change);
+  EXPECT_EQ(Bits(back.accel_mps2), Bits(rec.accel_mps2));
+  EXPECT_EQ(Bits(back.epsilon), Bits(rec.epsilon));
+  EXPECT_EQ(Bits(back.ttc_s), Bits(rec.ttc_s));
+  EXPECT_EQ(back.rng_cursor, rec.rng_cursor);
+  EXPECT_EQ(back.end, rec.end);
+  ASSERT_EQ(back.has_reward, 1);
+  EXPECT_EQ(Bits(back.r_total), Bits(rec.r_total));
+  EXPECT_EQ(Bits(back.r_safety), Bits(rec.r_safety));
+  ASSERT_EQ(back.has_neighbors, 1);
+  for (int i = 0; i < kRecordNeighbors; ++i) {
+    EXPECT_EQ(back.neighbors[i].id, rec.neighbors[i].id);
+    EXPECT_EQ(back.neighbors[i].is_phantom, rec.neighbors[i].is_phantom);
+    EXPECT_EQ(Bits(back.neighbors[i].d_lat_m), Bits(rec.neighbors[i].d_lat_m));
+    EXPECT_EQ(Bits(back.neighbors[i].d_lon_m), Bits(rec.neighbors[i].d_lon_m));
+    EXPECT_EQ(Bits(back.neighbors[i].v_rel_mps),
+              Bits(rec.neighbors[i].v_rel_mps));
+  }
+  ASSERT_EQ(back.has_prediction, 1);
+  for (int i = 0; i < kRecordNeighbors; ++i) {
+    EXPECT_EQ(Bits(back.prediction[i].v_rel_mps),
+              Bits(rec.prediction[i].v_rel_mps));
+  }
+  ASSERT_EQ(back.has_q, 1);
+  ASSERT_EQ(back.has_params, 1);
+  for (int i = 0; i < kRecordBehaviors; ++i) {
+    EXPECT_EQ(Bits(back.q[i]), Bits(rec.q[i]));
+    EXPECT_EQ(Bits(back.params[i]), Bits(rec.params[i]));
+  }
+}
+
+TEST_F(RecorderTest, ParseRejectsMalformedLines) {
+  StepRecord rec;
+  EXPECT_FALSE(ParseRecordLine("", &rec));
+  EXPECT_FALSE(ParseRecordLine("{}", &rec));
+  EXPECT_FALSE(ParseRecordLine("{\"step\":1}", &rec));          // missing keys
+  EXPECT_FALSE(ParseRecordLine("{\"step\":oops,\"t\":1}", &rec));
+}
+
+TEST_F(RecorderTest, OptionalSectionsDefaultToAbsent) {
+  std::ostringstream os;
+  WriteRecordsJsonl({StepRecord{}}, os);
+  std::string line = os.str();
+  line.pop_back();
+  // A default record serializes without the optional reward/perception/Q
+  // sections, and parses back with all has_* flags clear.
+  EXPECT_EQ(line.find("\"r\":"), std::string::npos);
+  EXPECT_EQ(line.find("\"n\":"), std::string::npos);
+  StepRecord back;
+  ASSERT_TRUE(ParseRecordLine(line, &back));
+  EXPECT_EQ(back.has_reward, 0);
+  EXPECT_EQ(back.has_neighbors, 0);
+  EXPECT_EQ(back.has_prediction, 0);
+  EXPECT_EQ(back.has_q, 0);
+  EXPECT_EQ(back.has_params, 0);
+}
+
+TEST_F(RecorderTest, TtcTriggerDumpsAfterPostContext) {
+  RecorderConfig cfg;
+  cfg.capacity = 64;
+  cfg.dump_dir = dir_;
+  cfg.ttc_trigger_s = 2.0;
+  cfg.post_trigger_steps = 3;
+  cfg.dump_on_collision = false;
+  Begin(cfg);
+
+  CommitStep(0, /*ttc=*/10.0);
+  CommitStep(1, /*ttc=*/1.5);  // arms the impact-risk trigger
+  EXPECT_TRUE(DumpManifests().empty()) << "post-context not yet collected";
+  CommitStep(2, /*ttc=*/5.0);
+  CommitStep(3, /*ttc=*/5.0);
+  CommitStep(4, /*ttc=*/5.0);  // 3rd post-trigger step → dump
+
+  const std::vector<std::string> manifests = DumpManifests();
+  ASSERT_EQ(manifests.size(), 1u);
+  FlightDump dump;
+  std::string error;
+  ASSERT_TRUE(LoadFlightDump(manifests[0], &dump, &error)) << error;
+  EXPECT_EQ(dump.trigger, DumpTrigger::kImpactRisk);
+  ASSERT_EQ(dump.records.size(), 5u);
+  EXPECT_EQ(dump.records.back().step, 4) << "includes post-trigger context";
+
+  // Further triggers in the same episode do not produce a second dump.
+  CommitStep(5, /*ttc=*/0.5);
+  for (int s = 6; s < 12; ++s) CommitStep(s, 5.0);
+  EXPECT_EQ(DumpManifests().size(), 1u);
+}
+
+TEST_F(RecorderTest, HardBrakeTriggerFires) {
+  RecorderConfig cfg;
+  cfg.capacity = 64;
+  cfg.dump_dir = dir_;
+  cfg.hard_brake_mps2 = 4.0;
+  cfg.dump_on_collision = false;
+  Begin(cfg);
+
+  CommitStep(0, -1.0, /*accel=*/-3.9);
+  EXPECT_TRUE(DumpManifests().empty());
+  CommitStep(1, -1.0, /*accel=*/-4.5);  // at/over the threshold
+  const std::vector<std::string> manifests = DumpManifests();
+  ASSERT_EQ(manifests.size(), 1u);
+  FlightDump dump;
+  ASSERT_TRUE(LoadFlightDump(manifests[0], &dump));
+  EXPECT_EQ(dump.trigger, DumpTrigger::kHardBrake);
+}
+
+TEST_F(RecorderTest, CollisionAtEndEpisodeDumpsPendingContextEarly) {
+  RecorderConfig cfg;
+  cfg.capacity = 64;
+  cfg.dump_dir = dir_;
+  cfg.ttc_trigger_s = 2.0;
+  cfg.post_trigger_steps = 100;  // episode will end long before this
+  Begin(cfg);
+
+  CommitStep(0, /*ttc=*/1.0);  // arms with 100 post steps
+  CommitStep(1, /*ttc=*/0.5, 0.0, EpisodeEnd::kCollision);
+  // The commit marked end=collision, which forces the pending dump out
+  // immediately (no post-context will ever arrive).
+  const std::vector<std::string> manifests = DumpManifests();
+  ASSERT_EQ(manifests.size(), 1u);
+  EndEpisode(EpisodeEnd::kCollision);
+  EXPECT_EQ(DumpManifests().size(), 1u) << "no duplicate dump at episode end";
+}
+
+TEST_F(RecorderTest, TimeoutDumpsOnlyWhenConfigured) {
+  RecorderConfig cfg;
+  cfg.capacity = 16;
+  cfg.dump_dir = dir_;
+  Begin(cfg);
+  CommitStep(0);
+  EndEpisode(EpisodeEnd::kTimeout);
+  EXPECT_TRUE(DumpManifests().empty()) << "dump_on_timeout defaults off";
+
+  cfg.dump_on_timeout = true;
+  Begin(cfg);
+  CommitStep(0);
+  EndEpisode(EpisodeEnd::kTimeout);
+  const std::vector<std::string> manifests = DumpManifests();
+  ASSERT_EQ(manifests.size(), 1u);
+  FlightDump dump;
+  ASSERT_TRUE(LoadFlightDump(manifests[0], &dump));
+  EXPECT_EQ(dump.trigger, DumpTrigger::kEpisodeFailure);
+  EXPECT_EQ(dump.end, EpisodeEnd::kTimeout);
+}
+
+TEST_F(RecorderTest, DumpNowWritesManifestWithContext) {
+  RecorderConfig cfg;
+  cfg.capacity = 16;
+  cfg.dump_dir = dir_;
+  EpisodeContext ctx;
+  ctx.scenario = "dense";
+  ctx.policy = "idm";
+  ctx.seed = 424242;
+  ctx.episode_index = 7;
+  Begin(cfg, ctx);
+  EXPECT_FALSE(DumpNow()) << "empty ring has nothing to dump";
+  CommitStep(0);
+  CommitStep(1);
+
+  std::string manifest_path;
+  ASSERT_TRUE(DumpNow(&manifest_path));
+  FlightDump dump;
+  std::string error;
+  ASSERT_TRUE(LoadFlightDump(manifest_path, &dump, &error)) << error;
+  EXPECT_EQ(dump.ctx.scenario, "dense");
+  EXPECT_EQ(dump.ctx.policy, "idm");
+  EXPECT_EQ(dump.ctx.seed, 424242u);
+  EXPECT_EQ(dump.ctx.episode_index, 7);
+  EXPECT_EQ(dump.trigger, DumpTrigger::kManual);
+  EXPECT_EQ(dump.records.size(), 2u);
+}
+
+TEST_F(RecorderTest, ManifestRoundTripsEscapedStrings) {
+  RecorderConfig cfg;
+  cfg.capacity = 16;
+  cfg.dump_dir = dir_;
+  EpisodeContext ctx;
+  ctx.scenario = "dense";  // must stay a valid name for replay
+  ctx.policy = "weird \"policy\"\\with\nescapes";
+  Begin(cfg, ctx);
+  CommitStep(0);
+  std::string manifest_path;
+  ASSERT_TRUE(DumpNow(&manifest_path));
+  FlightDump dump;
+  std::string error;
+  ASSERT_TRUE(LoadFlightDump(manifest_path, &dump, &error)) << error;
+  EXPECT_EQ(dump.ctx.policy, ctx.policy);
+}
+
+TEST_F(RecorderTest, DisabledRecorderCommitsNothing) {
+  RecorderConfig cfg;
+  cfg.capacity = 16;
+  Begin(cfg);
+  CommitStep(0);
+  ASSERT_EQ(SnapshotRecords().size(), 1u);
+
+  SetRecordingEnabled(false);
+  const int64_t committed_before = CommittedRecords();
+  CommitStepRecord();
+  EndEpisode(EpisodeEnd::kCollision);
+  EXPECT_EQ(CommittedRecords(), committed_before);
+  EXPECT_FALSE(DumpNow());
+}
+
+}  // namespace
+}  // namespace head::obs

@@ -51,6 +51,31 @@ TEST(HistogramTest, QuantilesInterpolateWithinBuckets) {
 TEST(HistogramTest, QuantileOfEmptyIsZero) {
   Histogram h({1.0});
   EXPECT_DOUBLE_EQ(h.Snapshot().Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Snapshot().Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Snapshot().Quantile(1.0), 0.0);
+}
+
+TEST(HistogramTest, QuantileOfSingleSampleIsThatSample) {
+  Histogram h({1.0, 2.0});
+  h.Observe(1.5);
+  const HistogramSnapshot s = h.Snapshot();
+  // Every quantile of a one-sample distribution collapses to the sample
+  // (min == max clamps the within-bucket interpolation).
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 1.5);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 1.5);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 1.5);
+}
+
+TEST(HistogramTest, AllSamplesInOverflowBucket) {
+  Histogram h({1.0, 2.0});
+  for (int i = 0; i < 10; ++i) h.Observe(1000.0);
+  const HistogramSnapshot s = h.Snapshot();
+  ASSERT_EQ(s.buckets.back(), 10);
+  // Identical samples: observed min == max, so every quantile is exact even
+  // though the overflow bucket has no finite upper bound.
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 1000.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.99), 1000.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 1000.0);
 }
 
 TEST(HistogramTest, OverflowBucketInterpolatesBetweenObservedMinAndMax) {
@@ -141,6 +166,37 @@ TEST(RegistryTest, JsonExportContainsAllKinds) {
   EXPECT_NE(json.find("\"p99\""), std::string::npos);
 }
 
+TEST(RegistryTest, JsonEscapeRoundTripsAwkwardStrings) {
+  const std::string awkward =
+      "quote\" back\\slash\nnew\ttab\rret\x01"
+      "ctl";
+  const std::string escaped = JsonEscape(awkward);
+  // The escaped form is clean JSON string content: no raw quotes/controls.
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  EXPECT_NE(escaped.find("\\\""), std::string::npos);
+  EXPECT_NE(escaped.find("\\\\"), std::string::npos);
+  EXPECT_NE(escaped.find("\\u0001"), std::string::npos);
+  EXPECT_EQ(JsonUnescape(escaped), awkward);
+}
+
+TEST(RegistryTest, JsonExportEscapesMetricNames) {
+  GetCounter("obs_test.escaped\"name\\with\njunk").Add(1);
+  const std::string json = Registry::Global().Snapshot().ToJson();
+  // The raw name must not appear; its escaped form must.
+  EXPECT_EQ(json.find("escaped\"name"), std::string::npos);
+  EXPECT_NE(json.find("escaped\\\"name\\\\with\\njunk"), std::string::npos);
+}
+
+TEST(RegistryTest, SnapshotCarriesWallClockTimestamp) {
+  const MetricsSnapshot s = Registry::Global().Snapshot();
+  // Wall clock is seconds since the Unix epoch: sanity-bound it between
+  // 2020 and 2100 rather than pinning a flaky exact value.
+  EXPECT_GT(s.captured_unix_s, 1.577e9);
+  EXPECT_LT(s.captured_unix_s, 4.1e9);
+  const std::string json = s.ToJson();
+  EXPECT_EQ(json.rfind("{\"captured_unix_s\":", 0), 0u) << json;
+}
+
 TEST(SpanTest, DisabledSpansRecordNothing) {
   SetTracingEnabled(false);
   DrainTraceEvents();
@@ -187,6 +243,24 @@ TEST(SpanTest, ChromeTraceJsonShape) {
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(json.find("\"ts\":"), std::string::npos);
   EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+}
+
+TEST(SpanTest, DroppedEventsCountedAtBufferCap) {
+  SetTracingEnabled(false);
+  DrainTraceEvents();
+  SetTracingEnabled(true);
+  const int64_t dropped_before = DroppedTraceEvents();
+  // Fill the buffer past its cap (2^21 events); the overflow must be
+  // counted, not silently discarded, and the buffer must stop growing.
+  constexpr size_t kCap = size_t{1} << 21;
+  constexpr size_t kExtra = 10;
+  for (size_t i = 0; i < kCap + kExtra; ++i) {
+    HEAD_SPAN("drop");
+  }
+  SetTracingEnabled(false);
+  EXPECT_EQ(DroppedTraceEvents() - dropped_before,
+            static_cast<int64_t>(kExtra));
+  EXPECT_EQ(DrainTraceEvents().size(), kCap);
 }
 
 TEST(LoggingTest, LogEveryNFiresOnFirstAndEveryNth) {

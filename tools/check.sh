@@ -14,12 +14,16 @@
 #      training step must perform 0 arena/pool heap events
 #      (--require-zero-allocs). Emits BENCH_training_throughput.json and an
 #      obs metrics snapshot (nn_alloc_* gauges) next to the build.
+#   3. Flight-recorder smoke stage: drives head_cli end-to-end — records a
+#      forced-collision episode (crash policy) into a scratch dump dir, then
+#      replays the dump and requires bitwise parity with the recording.
 #
 # Usage:
 #   tools/check.sh                         # all stages (tsan + asan + perf)
 #   HEAD_SANITIZE=address tools/check.sh   # only the ASan+UBSan stage
 #   HEAD_SANITIZE=thread tools/check.sh    # only the TSan stage
-#   HEAD_SKIP_PERF=1 tools/check.sh        # sanitizer stages only
+#   HEAD_SKIP_PERF=1 tools/check.sh        # skip the perf gate
+#   HEAD_SKIP_SMOKE=1 tools/check.sh       # skip the flight-recorder smoke
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,7 +34,8 @@ if [[ -n "${HEAD_SANITIZE:-}" ]]; then
   SANITIZERS=("${HEAD_SANITIZE}")
 fi
 
-SAN_TESTS=(obs_test obs_trace_test sim_simulation_test sim_models_test
+SAN_TESTS=(obs_test obs_trace_test obs_recorder_test obs_timeseries_test
+           flight_replay_test sim_simulation_test sim_models_test
            nn_batched_ops_test nn_arena_test parallel_test
            parallel_determinism_test)
 
@@ -69,4 +74,22 @@ if [[ "${HEAD_SKIP_PERF:-0}" != "1" ]]; then
     --max-regress=0.30 \
     --require-zero-allocs
   echo "== perf smoke passed (JSON: ${PERF_BUILD_DIR}/BENCH_training_throughput.json) =="
+fi
+
+if [[ "${HEAD_SKIP_SMOKE:-0}" != "1" ]]; then
+  # Shares the optimized tree with the perf stage (creates it when perf was
+  # skipped); only head_cli needs to build.
+  SMOKE_BUILD_DIR="build-perf"
+  cmake -B "${SMOKE_BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${SMOKE_BUILD_DIR}" -j --target head_cli
+
+  DUMP_DIR="${SMOKE_BUILD_DIR}/flight_smoke"
+  rm -rf "${DUMP_DIR}"
+  echo "== flight-recorder smoke: record a forced collision, then replay =="
+  "${SMOKE_BUILD_DIR}/tools/head_cli" --record-dir="${DUMP_DIR}" \
+    run dense crash 1 1234
+  MANIFEST="$(ls "${DUMP_DIR}"/*.manifest.json | head -1)"
+  [[ -n "${MANIFEST}" ]] || { echo "no flight dump produced" >&2; exit 1; }
+  "${SMOKE_BUILD_DIR}/tools/head_cli" replay "${MANIFEST}"
+  echo "== flight-recorder smoke passed (${MANIFEST}) =="
 fi

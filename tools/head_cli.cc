@@ -10,11 +10,16 @@
 //       Record one episode and write the per-step CSV.
 //   head_cli render <scenario> [seed]
 //       Print a short ASCII replay of an IDM-LC episode.
+//   head_cli replay <manifest.json>
+//       Re-run a flight-recorder dump and verify bitwise agreement with the
+//       recorded trajectory (exit 0 = parity, 1 = divergence).
 //
 // Global flags (any position):
 //   --metrics-out=<path>   Write a JSON metrics snapshot on exit.
 //   --trace-out=<path>     Enable span tracing; write Chrome trace-event
 //                          JSON on exit (open in chrome://tracing/Perfetto).
+//   --record-dir=<path>    Enable the flight recorder; collisions (and other
+//                          configured triggers) dump JSONL + manifest there.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -23,14 +28,13 @@
 #include <string>
 #include <vector>
 
-#include "decision/acc_lc.h"
 #include "decision/idm_lc.h"
-#include "decision/tp_bts.h"
 #include "eval/episode_runner.h"
+#include "eval/replay.h"
 #include "eval/table.h"
 #include "eval/trace.h"
-#include "eval/workbench.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/span.h"
 #include "sim/scenario.h"
 
@@ -46,8 +50,10 @@ int Usage() {
                "  head_cli [flags] trace <scenario> <policy> <out.csv> "
                "[seed]\n"
                "  head_cli [flags] render <scenario> [seed]\n"
-               "flags: --metrics-out=<path> | --trace-out=<path>\n"
-               "policies: idm | acc | tpbts | head\n"
+               "  head_cli [flags] replay <manifest.json>\n"
+               "flags: --metrics-out=<path> | --trace-out=<path> | "
+               "--record-dir=<path>\n"
+               "policies: idm | acc | tpbts | crash | head\n"
                "scenarios:");
   for (const std::string& name : sim::ScenarioNames()) {
     std::fprintf(stderr, " %s", name.c_str());
@@ -56,42 +62,15 @@ int Usage() {
   return 2;
 }
 
-std::unique_ptr<decision::Policy> MakeNamedPolicy(const std::string& name,
-                                                  const RoadConfig& road) {
-  if (name == "idm") {
-    return std::make_unique<decision::IdmLcPolicy>(
-        decision::RuleBasedConfig::ForRoad(road));
-  }
-  if (name == "acc") {
-    return std::make_unique<decision::AccLcPolicy>(
-        decision::RuleBasedConfig::ForRoad(road));
-  }
-  if (name == "tpbts") {
-    decision::TpBtsConfig config;
-    config.road = road;
-    return std::make_unique<decision::TpBtsPolicy>(config);
-  }
-  if (name == "head") {
-    eval::BenchProfile profile = eval::BenchProfile::FromEnv();
-    profile.rl_sim.road = road;
-    auto predictor = eval::TrainOrLoadLstGat(profile);
-    auto agent = eval::TrainOrLoadHeadPolicy(profile,
-                                             core::HeadVariant::Full(),
-                                             predictor);
-    return eval::MakePolicy(profile, core::HeadVariant::Full(), predictor,
-                            agent);
-  }
-  return nullptr;
-}
-
 int CmdRun(int argc, char** argv) {
   if (argc < 4) return Usage();
   const sim::SimConfig scenario = sim::ScenarioByName(argv[2]);
-  auto policy = MakeNamedPolicy(argv[3], scenario.road);
+  auto policy = eval::MakeNamedPolicy(argv[3], scenario.road);
   if (policy == nullptr) return Usage();
 
   eval::RunnerConfig runner;
   runner.sim = scenario;
+  runner.scenario_name = argv[2];
   runner.episodes = argc > 4 ? std::atoi(argv[4]) : 10;
   runner.seed_base = argc > 5 ? std::atoll(argv[5]) : 1000;
   const eval::AggregateMetrics m = eval::RunPolicy(*policy, runner);
@@ -117,7 +96,7 @@ int CmdTrace(int argc, char** argv) {
   if (argc < 5) return Usage();
   eval::TraceConfig config;
   config.sim = sim::ScenarioByName(argv[2]);
-  auto policy = MakeNamedPolicy(argv[3], config.sim.road);
+  auto policy = eval::MakeNamedPolicy(argv[3], config.sim.road);
   if (policy == nullptr) return Usage();
   const uint64_t seed = argc > 5 ? std::atoll(argv[5]) : 7;
   const eval::EpisodeTrace trace =
@@ -149,12 +128,31 @@ int CmdRender(int argc, char** argv) {
   return 0;
 }
 
+int CmdReplay(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const eval::ReplayResult r = eval::ReplayFile(argv[2]);
+  if (r.ok) {
+    std::printf(
+        "replay OK: %d recorded steps matched bitwise "
+        "(%d steps replayed, end=%s)\n",
+        r.records_compared, r.steps_replayed, obs::ToString(r.replay_end));
+    return 0;
+  }
+  std::fprintf(stderr, "replay FAILED: %s\n", r.error.c_str());
+  if (r.first_mismatch_step >= 0) {
+    std::fprintf(stderr, "first divergence at step %d (%d records matched)\n",
+                 r.first_mismatch_step, r.records_compared);
+  }
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // Strip the observability flags before command dispatch.
   std::string metrics_out;
   std::string trace_out;
+  std::string record_dir;
   std::vector<char*> args;
   args.reserve(argc);
   for (int i = 0; i < argc; ++i) {
@@ -163,11 +161,19 @@ int main(int argc, char** argv) {
       metrics_out = arg.substr(std::string("--metrics-out=").size());
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = arg.substr(std::string("--trace-out=").size());
+    } else if (arg.rfind("--record-dir=", 0) == 0) {
+      record_dir = arg.substr(std::string("--record-dir=").size());
     } else {
       args.push_back(argv[i]);
     }
   }
   if (!trace_out.empty()) head::obs::SetTracingEnabled(true);
+  if (!record_dir.empty()) {
+    head::obs::RecorderConfig rc;
+    rc.dump_dir = record_dir;
+    head::obs::ConfigureRecorder(rc);
+    head::obs::SetRecordingEnabled(true);
+  }
 
   int rc = 2;
   const int n = static_cast<int>(args.size());
@@ -183,6 +189,8 @@ int main(int argc, char** argv) {
     rc = CmdTrace(n, args.data());
   } else if (cmd == "render") {
     rc = CmdRender(n, args.data());
+  } else if (cmd == "replay") {
+    rc = CmdReplay(n, args.data());
   } else {
     rc = Usage();
   }
@@ -194,6 +202,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write trace to %s\n", trace_out.c_str());
       rc = rc == 0 ? 1 : rc;
     }
+  }
+  if (!record_dir.empty()) {
+    std::fprintf(stderr, "%lld flight dump(s) written to %s\n",
+                 static_cast<long long>(head::obs::DumpsWritten()),
+                 record_dir.c_str());
   }
   if (!metrics_out.empty()) {
     if (head::obs::WriteMetricsJsonFile(metrics_out)) {
