@@ -7,10 +7,17 @@
 // Usage:
 //   training_throughput [--json-out=path] [--baseline=path]
 //                       [--max-regress=0.30] [--skip-per-sample] [--trials=N]
+//                       [--kernel=scalar|avx2] [--skip-gemm]
+//
+// --kernel pins the SIMD backend for the end-to-end measurements (default:
+// the best the CPU supports). The gemm_gflops axis below always measures
+// both backends so one run reports the AVX2-vs-scalar speedup per shape.
 //
 // HEAD_BENCH_PROFILE=paper scales up the measured work; the default (fast)
 // sizes fit a CI smoke stage.
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
@@ -22,6 +29,7 @@
 
 #include "common/rng.h"
 #include "nn/arena.h"
+#include "nn/kernels/simd.h"
 #include "obs/metrics.h"
 #include "parallel/env_pool.h"
 #include "parallel/thread_pool.h"
@@ -209,6 +217,82 @@ double MeasureRolloutThroughput(int num_envs, int episodes) {
   return static_cast<double>(steps) / elapsed;
 }
 
+// ---- gemm_gflops axis ----
+//
+// Microkernel throughput on the exact GEMM shapes the training hot path
+// runs (paper-scale widths: hidden 64, batch 64, LSTM 4·64 gates over the
+// 6-area × 7-node graph). Measured per backend through the kernel entry
+// points, so the numbers isolate the SIMD layer from autograd overhead.
+
+namespace kernels = head::nn::kernels;
+
+enum class GemmOp { kNN, kTN, kNT };
+
+struct GemmShape {
+  const char* name;  // json-key fragment
+  GemmOp op;
+  int m, n, k;
+};
+
+// m×n×k per op; A is (k×m) for TN, B is (n×k) for NT — all row-major.
+const GemmShape kGemmShapes[] = {
+    // LSTM gate pre-activation x·W_ih for a 6-area × 64-sample batch.
+    {"lstm_gate_fwd", GemmOp::kNN, 384, 256, 64},
+    // LSTM weight gradient dW = xᵀ·dgates.
+    {"lstm_gate_dw", GemmOp::kTN, 64, 256, 384},
+    // LSTM input gradient dx = dgates·W_hhᵀ.
+    {"lstm_gate_dx", GemmOp::kNT, 384, 64, 256},
+    // GAT φ₁ node embedding over all nodes of a minibatch.
+    {"phi_embed", GemmOp::kNN, 2688, 64, 4},
+    // BranchEncoder layer 1 over a 64-transition critic batch (7 rows each).
+    {"branch_l1", GemmOp::kNN, 448, 64, 4},
+    // Q-net fusion layer on the merged features.
+    {"q_fuse", GemmOp::kNN, 64, 64, 16},
+    // Attention score row — the n==1 dot-kernel path.
+    {"attn_score", GemmOp::kNN, 42, 1, 64},
+};
+
+double MeasureGemmGflops(const GemmShape& s, Rng& rng) {
+  const int a_rows = s.op == GemmOp::kTN ? s.k : s.m;
+  const int a_cols = s.op == GemmOp::kTN ? s.m : s.k;
+  const int b_rows = s.op == GemmOp::kNT ? s.n : s.k;
+  const int b_cols = s.op == GemmOp::kNT ? s.k : s.n;
+  const head::nn::Tensor a =
+      head::nn::Tensor::Uniform(a_rows, a_cols, -1.0, 1.0, rng);
+  const head::nn::Tensor b =
+      head::nn::Tensor::Uniform(b_rows, b_cols, -1.0, 1.0, rng);
+  head::nn::Tensor c(s.m, s.n);
+  const auto run = [&] {
+    switch (s.op) {
+      case GemmOp::kNN:
+        kernels::GemmNN(s.m, s.n, s.k, a.data().data(), b.data().data(),
+                        nullptr, kernels::GemmInit::kZero, c.data().data());
+        break;
+      case GemmOp::kTN:
+        kernels::GemmTN(s.m, s.n, s.k, a.data().data(), b.data().data(),
+                        kernels::GemmInit::kZero, c.data().data());
+        break;
+      case GemmOp::kNT:
+        kernels::GemmNT(s.m, s.n, s.k, a.data().data(), b.data().data(),
+                        c.data().data());
+        break;
+    }
+  };
+  const double flops = 2.0 * s.m * s.n * s.k;
+  run();  // warm caches + thread-local panel scratch
+  // Calibrate the repeat count for a ~20ms timed region.
+  int reps = 4;
+  for (;;) {
+    const double t0 = Now();
+    for (int r = 0; r < reps; ++r) run();
+    const double elapsed = Now() - t0;
+    if (elapsed >= 0.02 || reps >= (1 << 20)) {
+      return flops * reps / elapsed / 1e9;
+    }
+    reps *= 4;
+  }
+}
+
 double ArgValue(int argc, char** argv, const std::string& flag,
                 double fallback) {
   const std::string prefix = flag + "=";
@@ -276,8 +360,70 @@ int main(int argc, char** argv) {
   head::parallel::ThreadPool bench_pool(threads);
   head::parallel::GlobalPoolOverride pool_override(&bench_pool);
 
+  // --kernel pins the SIMD backend for everything measured below.
+  const std::string kernel_flag = ArgString(argc, argv, "--kernel");
+  if (kernel_flag == "scalar") {
+    kernels::SetActiveIsa(kernels::Isa::kScalar);
+  } else if (kernel_flag == "avx2") {
+    if (!kernels::SetActiveIsa(kernels::Isa::kAvx2)) {
+      std::cerr << "--kernel=avx2 requested but this machine/binary has no "
+                << "AVX2+FMA backend (cpu: " << kernels::CpuCapabilityString()
+                << ")\n";
+      return 1;
+    }
+  } else if (!kernel_flag.empty()) {
+    std::cerr << "unknown --kernel=" << kernel_flag
+              << " (expected scalar|avx2)\n";
+    return 1;
+  }
+  const kernels::Isa bench_isa = kernels::ActiveIsa();
+
   std::cout << "profile: " << (paper ? "paper" : "fast") << " (best of "
-            << trials << " trials, " << threads << " threads)\n";
+            << trials << " trials, " << threads << " threads, kernel "
+            << kernels::IsaName(bench_isa) << ", cpu "
+            << kernels::CpuCapabilityString() << ")\n";
+
+  // GEMM microkernel axis: both backends on the training-hot-path shapes.
+  std::ostringstream gemm_json;
+  gemm_json.precision(6);
+  double speedup_log_sum = 0.0;
+  int speedup_count = 0;
+  double avx2_best = 0.0;
+  if (!HasFlag(argc, argv, "--skip-gemm")) {
+    const bool has_avx2 = kernels::CpuSupportsAvx2Fma();
+    Rng gemm_rng(53);
+    for (const GemmShape& s : kGemmShapes) {
+      kernels::SetActiveIsa(kernels::Isa::kScalar);
+      const double scalar_gflops =
+          BestOf(trials, [&] { return MeasureGemmGflops(s, gemm_rng); });
+      double avx2_gflops = 0.0;
+      if (has_avx2) {
+        kernels::SetActiveIsa(kernels::Isa::kAvx2);
+        avx2_gflops =
+            BestOf(trials, [&] { return MeasureGemmGflops(s, gemm_rng); });
+        avx2_best = std::max(avx2_best, avx2_gflops);
+        speedup_log_sum += std::log(avx2_gflops / scalar_gflops);
+        ++speedup_count;
+      }
+      std::cout << "gemm " << s.name << " (" << s.m << "x" << s.n << "x"
+                << s.k << "): scalar " << scalar_gflops << " gflops";
+      if (has_avx2) {
+        std::cout << ", avx2 " << avx2_gflops << " gflops (speedup "
+                  << avx2_gflops / scalar_gflops << "x)";
+      }
+      std::cout << "\n";
+      gemm_json << "\"gemm_" << s.name << "_scalar_gflops\":" << scalar_gflops
+                << ",\"gemm_" << s.name << "_avx2_gflops\":" << avx2_gflops
+                << ",";
+    }
+    kernels::SetActiveIsa(bench_isa);  // restore the --kernel selection
+  }
+  const double gemm_speedup_geomean =
+      speedup_count > 0 ? std::exp(speedup_log_sum / speedup_count) : 0.0;
+  if (speedup_count > 0) {
+    std::cout << "gemm avx2 speedup geomean: " << gemm_speedup_geomean
+              << "x\n";
+  }
 
   const double rl_batched = BestOf(
       trials, [&] { return MeasureRlThroughput(/*batched=*/true, rl_updates); });
@@ -323,6 +469,11 @@ int main(int argc, char** argv) {
   json.precision(6);
   json << "{\"profile\":\"" << (paper ? "paper" : "fast") << "\","
        << "\"threads\":" << threads << ","
+       << "\"kernel\":\"" << kernels::IsaName(bench_isa) << "\","
+       << "\"cpu_capability\":\"" << kernels::CpuCapabilityString() << "\","
+       << "\"fast_math\":" << (kernels::FastMathEnabled() ? "true" : "false")
+       << "," << gemm_json.str()
+       << "\"gemm_avx2_speedup_geomean\":" << gemm_speedup_geomean << ","
        << "\"rollout_envs\":" << rollout_envs << ","
        << "\"rollout_env_steps_per_sec\":" << rollout << ","
        << "\"rl_transitions_per_sec_batched\":" << rl_batched << ","
@@ -353,6 +504,18 @@ int main(int argc, char** argv) {
   const std::string metrics_out = ArgString(argc, argv, "--metrics-out");
   if (!metrics_out.empty()) {
     head::nn::PublishAllocMetrics();
+    // SIMD capability stamp + kernel-axis gauges for the snapshot.
+    head::obs::GetGauge("nn.simd.kernel_avx2")
+        .Set(bench_isa == kernels::Isa::kAvx2 ? 1.0 : 0.0);
+    head::obs::GetGauge("nn.simd.cpu_avx2_fma")
+        .Set(kernels::CpuSupportsAvx2Fma() ? 1.0 : 0.0);
+    head::obs::GetGauge("nn.simd.fast_math")
+        .Set(kernels::FastMathEnabled() ? 1.0 : 0.0);
+    if (speedup_count > 0) {
+      head::obs::GetGauge("nn.simd.gemm_gflops_avx2_best").Set(avx2_best);
+      head::obs::GetGauge("nn.simd.gemm_avx2_speedup_geomean")
+          .Set(gemm_speedup_geomean);
+    }
     if (!head::obs::WriteMetricsJsonFile(metrics_out)) {
       std::cerr << "failed to write " << metrics_out << "\n";
       return 1;

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "nn/arena.h"
+#include "nn/kernels/simd.h"
 
 namespace head::nn {
 
@@ -208,6 +209,48 @@ void AffineBackward(VarImpl& self) {
   if (bias->requires_grad) bias->AccumGrad(SumRows(self.grad));
 }
 
+kernels::ActKind ToActKind(FusedAct act) {
+  switch (act) {
+    case FusedAct::kNone: return kernels::ActKind::kNone;
+    case FusedAct::kRelu: return kernels::ActKind::kRelu;
+    case FusedAct::kLeakyRelu: return kernels::ActKind::kLeakyRelu;
+    case FusedAct::kTanh: return kernels::ActKind::kTanh;
+    case FusedAct::kSigmoid: return kernels::ActKind::kSigmoid;
+  }
+  return kernels::ActKind::kNone;
+}
+
+void AffineActBackward(VarImpl& self) {
+  VarImpl* a = self.parents[0];
+  VarImpl* b = self.parents[1];
+  VarImpl* bias = self.parents[2];
+  // Fold act'(y) into the upstream gradient once, then reuse the premul'd
+  // gradient for all three affine grads. The derivative comes from the
+  // node's *output* (y > 0 ⟺ pre > 0 for relu/leaky; tanh/sigmoid
+  // derivatives are functions of y), so the pre-activation is never stored.
+  const auto kind = static_cast<kernels::ActKind>(self.aux_i);
+  Tensor dpre(self.grad.rows(), self.grad.cols());
+  kernels::ActBackward(kind, self.aux_d, dpre.size(),
+                       self.value.data().data(), self.grad.data().data(),
+                       dpre.data().data());
+  if (a->requires_grad) a->AccumGrad(MatMulTransposeB(dpre, b->value));
+  if (b->requires_grad) b->AccumGrad(MatMulTransposeA(a->value, dpre));
+  if (bias->requires_grad) bias->AccumGrad(SumRows(dpre));
+}
+
+void DualAffineBackward(VarImpl& self) {
+  VarImpl* a1 = self.parents[0];
+  VarImpl* b1 = self.parents[1];
+  VarImpl* a2 = self.parents[2];
+  VarImpl* b2 = self.parents[3];
+  VarImpl* bias = self.parents[4];
+  if (a1->requires_grad) a1->AccumGrad(MatMulTransposeB(self.grad, b1->value));
+  if (b1->requires_grad) b1->AccumGrad(MatMulTransposeA(a1->value, self.grad));
+  if (a2->requires_grad) a2->AccumGrad(MatMulTransposeB(self.grad, b2->value));
+  if (b2->requires_grad) b2->AccumGrad(MatMulTransposeA(a2->value, self.grad));
+  if (bias->requires_grad) bias->AccumGrad(SumRows(self.grad));
+}
+
 void AddBackward(VarImpl& self) {
   self.parents[0]->AccumGrad(self.grad);
   self.parents[1]->AccumGrad(self.grad);
@@ -248,6 +291,38 @@ Var MatMul(const Var& a, const Var& b) {
 Var Affine(const Var& a, const Var& b, const Var& bias) {
   Tensor out = Affine(a.value(), b.value(), bias.value());
   return MakeResult(std::move(out), {&a, &b, &bias}, AffineBackward);
+}
+
+Var AffineAct(const Var& a, const Var& b, const Var& bias, FusedAct act,
+              double leaky_slope) {
+  if (act == FusedAct::kNone) return Affine(a, b, bias);
+  Tensor out = Affine(a.value(), b.value(), bias.value());
+  const kernels::ActKind kind = ToActKind(act);
+  kernels::ActForward(kind, leaky_slope, out.size(), out.data().data());
+  Var result = MakeResult(std::move(out), {&a, &b, &bias}, AffineActBackward);
+  result.node()->aux_i = static_cast<int>(kind);
+  result.node()->aux_d = leaky_slope;
+  return result;
+}
+
+Var DualAffine(const Var& a1, const Var& b1, const Var& a2, const Var& b2,
+               const Var& bias) {
+  HEAD_CHECK_EQ(a1.value().cols(), b1.value().rows());
+  HEAD_CHECK_EQ(a2.value().cols(), b2.value().rows());
+  HEAD_CHECK_EQ(a1.value().rows(), a2.value().rows());
+  HEAD_CHECK_EQ(b1.value().cols(), b2.value().cols());
+  HEAD_CHECK_EQ(bias.value().rows(), 1);
+  HEAD_CHECK_EQ(bias.value().cols(), b1.value().cols());
+  const int m = a1.value().rows(), n = b1.value().cols();
+  Tensor out(m, n);
+  kernels::GemmNN(m, n, a1.value().cols(), a1.value().data().data(),
+                  b1.value().data().data(), bias.value().data().data(),
+                  kernels::GemmInit::kBias, out.data().data());
+  kernels::GemmNN(m, n, a2.value().cols(), a2.value().data().data(),
+                  b2.value().data().data(), /*bias=*/nullptr,
+                  kernels::GemmInit::kAccumulate, out.data().data());
+  return MakeResult(std::move(out), {&a1, &b1, &a2, &b2, &bias},
+                    DualAffineBackward);
 }
 
 Var Add(const Var& a, const Var& b) {

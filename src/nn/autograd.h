@@ -104,6 +104,22 @@ Var MatMul(const Var& a, const Var& b);
 /// Fused a·b + row-broadcast bias — one graph node and one output traversal
 /// instead of the MatMul + AddRowBroadcast pair (see nn::Affine on Tensor).
 Var Affine(const Var& a, const Var& b, const Var& bias);
+
+/// Activation fused into AffineAct (kernels apply it in place on the GEMM
+/// output; backward recovers act'(y) from the output alone).
+enum class FusedAct : int { kNone = 0, kRelu, kLeakyRelu, kTanh, kSigmoid };
+
+/// act(a·b + bias) as one graph node: no activation tensor, no extra tape
+/// node, one output traversal. kNone degrades to Affine. `leaky_slope` is
+/// read only for kLeakyRelu.
+Var AffineAct(const Var& a, const Var& b, const Var& bias, FusedAct act,
+              double leaky_slope = 0.01);
+
+/// bias + a1·b1 + a2·b2 as one graph node — the LSTM gate pre-activation
+/// shape. The second product accumulates directly into the first's output,
+/// saving the Add node and a full gate-width temporary per step.
+Var DualAffine(const Var& a1, const Var& b1, const Var& a2, const Var& b2,
+               const Var& bias);
 Var Add(const Var& a, const Var& b);
 Var Sub(const Var& a, const Var& b);
 Var Mul(const Var& a, const Var& b);  // elementwise

@@ -1,0 +1,282 @@
+// Dispatch layer: ISA selection, the fast_math gate, row-partitioning
+// across the thread pool, and shared panel packing for the AVX2 path.
+//
+// Threading model for the packed path: the *calling* thread packs B (and
+// bias) into its thread_local scratch once, then row-chunks the output
+// across the pool. Workers only read the packed panels; the pool's task
+// dispatch gives pack → chunk execution a happens-before edge, so the
+// sharing is race-free (exercised under TSan by nn_simd_test). Scratch
+// grows monotonically per thread — zero steady-state allocation.
+#include "nn/kernels/simd.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "nn/kernels/kernel_table.h"
+#include "parallel/thread_pool.h"
+
+namespace head::nn::kernels {
+
+namespace {
+
+using internal::KernelTable;
+using internal::kPanelWidth;
+using internal::PackedBiasSize;
+using internal::PackedBSize;
+
+// Same break-even as the tensor layer used before the kernel split: chunk
+// only above ~260k multiply-adds (see bench/parallel_overhead), keep every
+// chunk at least half a threshold of work.
+constexpr int64_t kParallelFlops = int64_t{1} << 18;
+
+/// Minimum output rows before the packed path beats the unpacked row-vector
+/// kernel (below this, packing B costs more traffic than it saves). Both
+/// paths run the identical per-element fma fold, so the cutover is purely a
+/// performance choice — never a numerics one.
+constexpr int kPackMinRows = 8;
+
+template <typename Kernel>
+void ForEachRowChunk(int64_t rows, int64_t flops, const Kernel& kernel) {
+  parallel::ThreadPool& pool = parallel::ThreadPool::Global();
+  if (flops < kParallelFlops || pool.thread_count() == 1 || rows < 2) {
+    kernel(int64_t{0}, rows);
+    return;
+  }
+  const int64_t flops_per_row = std::max<int64_t>(1, flops / rows);
+  const int64_t grain =
+      std::max<int64_t>(1, (kParallelFlops / 2) / flops_per_row);
+  pool.ParallelFor(0, rows, grain, kernel);
+}
+
+const KernelTable* TableFor(Isa isa) {
+#if defined(HEAD_HAVE_AVX2_TU)
+  if (isa == Isa::kAvx2) return &internal::kAvx2Table;
+#else
+  (void)isa;
+#endif
+  return &internal::kScalarTable;
+}
+
+bool EnvFlagOff(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return false;
+  return std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+         std::strcmp(v, "false") == 0;
+}
+
+std::atomic<Isa>& ActiveIsaRef() {
+  static std::atomic<Isa> isa{DetectIsa()};
+  return isa;
+}
+
+bool InitFastMath() { return !EnvFlagOff("HEAD_FAST_MATH"); }
+
+std::atomic<bool>& FastMathRef() {
+  static std::atomic<bool> on{InitFastMath()};
+  return on;
+}
+
+/// Backend for GEMM-family ops: scalar whenever fast_math is off (bitwise
+/// contract), otherwise whatever ISA is active.
+const KernelTable* GemmTable() {
+  if (!FastMathRef().load(std::memory_order_relaxed)) {
+    return &internal::kScalarTable;
+  }
+  return TableFor(ActiveIsaRef().load(std::memory_order_relaxed));
+}
+
+/// Backend for elementwise ops: always the active ISA — every backend's
+/// elementwise kernels are bitwise-equal, so no fast_math gate applies.
+const KernelTable* ElementwiseTable() {
+  return TableFor(ActiveIsaRef().load(std::memory_order_relaxed));
+}
+
+double* ScratchB(size_t need) {
+  thread_local std::vector<double> buf;
+  if (buf.size() < need) buf.resize(need);
+  return buf.data();
+}
+
+double* ScratchBias(size_t need) {
+  thread_local std::vector<double> buf;
+  if (buf.size() < need) buf.resize(need);
+  return buf.data();
+}
+
+}  // namespace
+
+bool BuiltWithAvx2() {
+#if defined(HEAD_HAVE_AVX2_TU)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool CpuSupportsAvx2Fma() {
+#if defined(HEAD_HAVE_AVX2_TU) && (defined(__x86_64__) || defined(__i386__))
+  static const bool supported =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+Isa DetectIsa() {
+  static const Isa detected = [] {
+    const char* env = std::getenv("HEAD_SIMD");
+    if (env != nullptr && *env != '\0') {
+      if (std::strcmp(env, "scalar") == 0) return Isa::kScalar;
+      // "avx2" (or anything else) falls through to capability detection:
+      // an unsatisfiable request degrades to the best available backend.
+    }
+    return CpuSupportsAvx2Fma() ? Isa::kAvx2 : Isa::kScalar;
+  }();
+  return detected;
+}
+
+Isa ActiveIsa() { return ActiveIsaRef().load(std::memory_order_relaxed); }
+
+bool SetActiveIsa(Isa isa) {
+  if (isa == Isa::kAvx2 && !CpuSupportsAvx2Fma()) return false;
+  ActiveIsaRef().store(isa, std::memory_order_relaxed);
+  return true;
+}
+
+const char* IsaName(Isa isa) {
+  return isa == Isa::kAvx2 ? "avx2" : "scalar";
+}
+
+const char* CpuCapabilityString() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return "avx2+fma";
+  }
+  if (__builtin_cpu_supports("avx2")) return "avx2";
+  if (__builtin_cpu_supports("avx")) return "avx";
+  return "sse2";
+#else
+  return "non-x86";
+#endif
+}
+
+bool FastMathEnabled() {
+  return FastMathRef().load(std::memory_order_relaxed);
+}
+
+void SetFastMath(bool enabled) {
+  FastMathRef().store(enabled, std::memory_order_relaxed);
+}
+
+void GemmNN(int m, int n, int k, const double* a, const double* b,
+            const double* bias, GemmInit init, double* c) {
+  const KernelTable* t = GemmTable();
+  const int64_t flops = int64_t{m} * n * k;
+  if (t->gemm_packed != nullptr && n > 1 && m >= kPackMinRows) {
+    double* bp = ScratchB(PackedBSize(n, k));
+    t->pack_b(n, k, b, /*transposed=*/false, bp);
+    const double* bias_p = nullptr;
+    if (init == GemmInit::kBias) {
+      double* bb = ScratchBias(PackedBiasSize(n));
+      t->pack_bias(n, bias, bb);
+      bias_p = bb;
+    }
+    ForEachRowChunk(m, flops, [=](int64_t i0, int64_t i1) {
+      t->gemm_packed(static_cast<int>(i1 - i0), n, k,
+                     a + static_cast<size_t>(i0) * k, /*a_row_stride=*/k,
+                     /*a_k_stride=*/1, bp, bias_p, init,
+                     c + static_cast<size_t>(i0) * n);
+    });
+    return;
+  }
+  ForEachRowChunk(m, flops, [=](int64_t i0, int64_t i1) {
+    t->gemm_nn(static_cast<int>(i1 - i0), n, k,
+               a + static_cast<size_t>(i0) * k, b, bias, init,
+               c + static_cast<size_t>(i0) * n);
+  });
+}
+
+void GemmTN(int m, int n, int k, const double* a, const double* b,
+            GemmInit init, double* c) {
+  const KernelTable* t = GemmTable();
+  const int64_t flops = int64_t{m} * n * k;
+  if (t->gemm_packed != nullptr && n > 1) {
+    double* bp = ScratchB(PackedBSize(n, k));
+    t->pack_b(n, k, b, /*transposed=*/false, bp);
+    ForEachRowChunk(m, flops, [=](int64_t i0, int64_t i1) {
+      // Output rows are A columns: walk rows with stride 1, k with stride m.
+      t->gemm_packed(static_cast<int>(i1 - i0), n, k, a + i0,
+                     /*a_row_stride=*/1, /*a_k_stride=*/m, bp,
+                     /*bias_p=*/nullptr, init,
+                     c + static_cast<size_t>(i0) * n);
+    });
+    return;
+  }
+  ForEachRowChunk(m, flops, [=](int64_t i0, int64_t i1) {
+    t->gemm_tn(static_cast<int>(i1 - i0), n, k, a + i0, /*lda=*/m, b, init,
+               c + static_cast<size_t>(i0) * n);
+  });
+}
+
+void GemmNT(int m, int n, int k, const double* a, const double* b,
+            double* c) {
+  const KernelTable* t = GemmTable();
+  const int64_t flops = int64_t{m} * n * k;
+  if (n == 1) {
+    // B is one contiguous row: identical to the NN column-output dot.
+    ForEachRowChunk(m, flops, [=](int64_t i0, int64_t i1) {
+      t->gemm_nn(static_cast<int>(i1 - i0), 1, k,
+                 a + static_cast<size_t>(i0) * k, b, /*bias=*/nullptr,
+                 GemmInit::kZero, c + i0);
+    });
+    return;
+  }
+  if (t->gemm_packed != nullptr) {
+    double* bp = ScratchB(PackedBSize(n, k));
+    t->pack_b(n, k, b, /*transposed=*/true, bp);
+    ForEachRowChunk(m, flops, [=](int64_t i0, int64_t i1) {
+      t->gemm_packed(static_cast<int>(i1 - i0), n, k,
+                     a + static_cast<size_t>(i0) * k, /*a_row_stride=*/k,
+                     /*a_k_stride=*/1, bp, /*bias_p=*/nullptr,
+                     GemmInit::kZero, c + static_cast<size_t>(i0) * n);
+    });
+    return;
+  }
+  ForEachRowChunk(m, flops, [=](int64_t i0, int64_t i1) {
+    t->gemm_nt(static_cast<int>(i1 - i0), n, k,
+               a + static_cast<size_t>(i0) * k, b,
+               c + static_cast<size_t>(i0) * n);
+  });
+}
+
+void Axpy(int n, double alpha, const double* x, double* y) {
+  ElementwiseTable()->axpy(n, alpha, x, y);
+}
+
+void ActForward(ActKind kind, double leaky_slope, int n, double* x) {
+  ElementwiseTable()->act_forward(kind, leaky_slope, n, x);
+}
+
+void ActBackward(ActKind kind, double leaky_slope, int n, const double* y,
+                 const double* gout, double* gin) {
+  ElementwiseTable()->act_backward(kind, leaky_slope, n, y, gout, gin);
+}
+
+void RowwiseMax(int rows, int cols, const double* a, double* out,
+                int* argmax) {
+  ElementwiseTable()->rowwise_max(rows, cols, a, out, argmax);
+}
+
+void AdamStep(int n, double lr, double beta1, double beta2, double eps,
+              double bc1, double bc2, const double* g, double* m, double* v,
+              double* value) {
+  ElementwiseTable()->adam_step(n, lr, beta1, beta2, eps, bc1, bc2, g, m, v,
+                                value);
+}
+
+}  // namespace head::nn::kernels

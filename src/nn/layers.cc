@@ -51,6 +51,11 @@ Var Linear::Forward(const Var& x) const {
   return Affine(x, w_, b_);
 }
 
+Var Linear::Forward(const Var& x, FusedAct act, double leaky_slope) const {
+  HEAD_CHECK_EQ(x.value().cols(), w_.value().rows());
+  return AffineAct(x, w_, b_, act, leaky_slope);
+}
+
 Mlp::Mlp(const std::vector<int>& dims, Activation act, Rng& rng) : act_(act) {
   HEAD_CHECK_GE(dims.size(), 2u);
   for (size_t i = 0; i + 1 < dims.size(); ++i) {
@@ -59,22 +64,18 @@ Mlp::Mlp(const std::vector<int>& dims, Activation act, Rng& rng) : act_(act) {
 }
 
 Var Mlp::Forward(const Var& x) const {
+  FusedAct fused = FusedAct::kNone;
+  switch (act_) {
+    case Activation::kRelu: fused = FusedAct::kRelu; break;
+    case Activation::kTanh: fused = FusedAct::kTanh; break;
+    case Activation::kLeakyRelu: fused = FusedAct::kLeakyRelu; break;
+  }
   Var h = x;
   for (size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i].Forward(h);
-    if (i + 1 < layers_.size()) {
-      switch (act_) {
-        case Activation::kRelu:
-          h = Relu(h);
-          break;
-        case Activation::kTanh:
-          h = Tanh(h);
-          break;
-        case Activation::kLeakyRelu:
-          h = LeakyRelu(h);
-          break;
-      }
-    }
+    // Hidden layers fuse the activation into the affine node; the last
+    // layer stays linear.
+    h = layers_[i].Forward(h,
+                           i + 1 < layers_.size() ? fused : FusedAct::kNone);
   }
   return h;
 }

@@ -37,6 +37,9 @@ class Linear : public Module {
   Linear(int in_features, int out_features, Rng& rng);
 
   Var Forward(const Var& x) const;
+  /// Fused act(x·W + b) — one graph node instead of Affine + activation
+  /// (see AffineAct). kNone is exactly Forward(x).
+  Var Forward(const Var& x, FusedAct act, double leaky_slope = 0.01) const;
   std::vector<Var> Params() const override { return {w_, b_}; }
 
   int in_features() const { return w_.value().rows(); }

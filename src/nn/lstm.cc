@@ -26,7 +26,10 @@ LstmState LstmCell::InitialState(int batch) const {
 LstmState LstmCell::Forward(const Var& x, const LstmState& state) const {
   HEAD_CHECK_EQ(x.value().cols(), w_ih_.value().rows());
   HEAD_CHECK_EQ(x.value().rows(), state.h.value().rows());
-  const Var gates = Add(Affine(x, w_ih_, b_), MatMul(state.h, w_hh_));
+  // One fused node for the gate pre-activation b + x·W_ih + h·W_hh: the
+  // recurrent product accumulates into the input product's output, saving
+  // an Add node and a (batch × 4h) temporary per step.
+  const Var gates = DualAffine(x, w_ih_, state.h, w_hh_, b_);
   const int h = hidden_size_;
   const Var i = Sigmoid(SliceCols(gates, 0, h));
   const Var f = Sigmoid(SliceCols(gates, h, 2 * h));

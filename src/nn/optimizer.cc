@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "nn/kernels/simd.h"
 
 namespace head::nn {
 
@@ -63,15 +64,11 @@ void Adam::Step() {
   for (size_t i = 0; i < params_.size(); ++i) {
     Tensor& value = params_[i].mutable_value();
     const Tensor& g = params_[i].grad();
-    Tensor& m = m_[i];
-    Tensor& v = v_[i];
-    for (int j = 0; j < value.size(); ++j) {
-      m[j] = beta1_ * m[j] + (1.0 - beta1_) * g[j];
-      v[j] = beta2_ * v[j] + (1.0 - beta2_) * g[j] * g[j];
-      const double m_hat = m[j] / bc1;
-      const double v_hat = v[j] / bc2;
-      value[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
-    }
+    // Vectorized fused moment + parameter update; bitwise-equal to the
+    // scalar loop on every backend (no FMA, correctly rounded lane ops).
+    kernels::AdamStep(value.size(), lr_, beta1_, beta2_, eps_, bc1, bc2,
+                      g.data().data(), m_[i].data().data(),
+                      v_[i].data().data(), value.data().data());
   }
 }
 

@@ -6,8 +6,8 @@
 #include <utility>
 
 #include "common/check.h"
+#include "nn/kernels/simd.h"
 #include "nn/tensor_pool.h"
-#include "parallel/thread_pool.h"
 
 namespace head::nn {
 
@@ -28,45 +28,6 @@ std::vector<double> PoolAcquire(size_t n) {
 void PoolRelease(std::vector<double>&& buf) {
   if (buf.capacity() == 0) return;
   if (TensorPool* pool = TensorPool::Get()) pool->Release(std::move(buf));
-}
-
-}  // namespace
-
-namespace {
-
-// ---- Multi-thread dispatch for the matmul family ----
-//
-// The three hot kernels (MatMul, Affine, MatMulTransposeA) partition their
-// output rows across the global pool when the total multiply-add count
-// clears kParallelFlops. Each thread owns a disjoint row range and keeps
-// the serial kernel's inner-loop order within it, so results are bitwise
-// identical to the single-thread path for every thread count.
-//
-// kParallelFlops = 2^18 ≈ 260k multiply-adds (~60–100 µs of serial work at
-// a few GFLOP/s) against a ParallelFor dispatch cost of single-digit
-// microseconds per helper (measured by bench/parallel_overhead) keeps
-// dispatch below ~5% of kernel time at the break-even point. The paper-
-// scale minibatch shapes (B=64, hidden=64) sit right at the threshold:
-// batched training forwards parallelize, tiny inference matmuls (B=1)
-// never do.
-constexpr int64_t kParallelFlops = int64_t{1} << 18;
-
-/// Row-partitions `kernel` over [0, rows) when the kernel's total work
-/// (`flops` multiply-adds) is worth the dispatch; otherwise runs inline.
-/// Grain keeps every chunk above ~half the threshold of work. Templated so
-/// the below-threshold path calls the lambda directly — type-erasing into a
-/// std::function would put an allocation on every small-matmul call.
-template <typename Kernel>
-void ForEachRowChunk(int64_t rows, int64_t flops, const Kernel& kernel) {
-  parallel::ThreadPool& pool = parallel::ThreadPool::Global();
-  if (flops < kParallelFlops || pool.thread_count() == 1 || rows < 2) {
-    kernel(int64_t{0}, rows);
-    return;
-  }
-  const int64_t flops_per_row = std::max<int64_t>(1, flops / rows);
-  const int64_t grain =
-      std::max<int64_t>(1, (kParallelFlops / 2) / flops_per_row);
-  pool.ParallelFor(0, rows, grain, kernel);
 }
 
 }  // namespace
@@ -154,7 +115,8 @@ void Tensor::SetZero() {
 void Tensor::AddScaled(const Tensor& other, double alpha) {
   HEAD_CHECK_EQ(rows_, other.rows_);
   HEAD_CHECK_EQ(cols_, other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+  kernels::Axpy(static_cast<int>(data_.size()), alpha, other.data_.data(),
+                data_.data());
 }
 
 double Tensor::Norm() const {
@@ -181,49 +143,20 @@ std::ostream& operator<<(std::ostream& os, const Tensor& t) {
   return os << "]";
 }
 
-// The matmul family runs in the training hot path (every Linear forward and
-// both backward closures), so all three variants use raw-pointer inner loops
-// over the row-major storage: the compiler can vectorize them, and nothing
-// re-derives r*cols+c per element. Loop order is chosen per variant so the
-// innermost loop is always a contiguous streaming access of both operands.
-// Above kParallelFlops of work the output rows are partitioned across the
-// global thread pool (see ForEachRowChunk); each thread runs the same
-// serial schedule on its disjoint row range.
+// The matmul family routes through the kernel dispatch layer
+// (nn/kernels/simd.h): runtime ISA selection between the portable scalar
+// schedules (byte-identical to the loops that used to live here) and the
+// AVX2 packed microkernel, with row-partitioning across the global thread
+// pool handled inside the dispatcher. See DESIGN.md "SIMD kernel dispatch"
+// for the determinism contract.
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   HEAD_CHECK_EQ(a.cols(), b.rows());
   const int m = a.rows(), kk = a.cols(), n = b.cols();
   Tensor out(m, n);
-  const double* pa = a.data().data();
-  const double* pb = b.data().data();
-  double* po = out.data().data();
-  const int64_t flops = int64_t{m} * kk * n;
-  if (n == 1) {
-    // Column output: ikj would run a length-1 inner loop per k. A dot
-    // product per row streams both operands instead (b is contiguous).
-    ForEachRowChunk(m, flops, [=](int64_t i0, int64_t i1) {
-      for (int64_t i = i0; i < i1; ++i) {
-        const double* arow = pa + static_cast<size_t>(i) * kk;
-        double s = 0.0;
-        for (int k = 0; k < kk; ++k) s += arow[k] * pb[k];
-        po[i] = s;
-      }
-    });
-    return out;
-  }
-  // ikj: out row i accumulates a[i,k] · b row k — contiguous in b and out.
-  ForEachRowChunk(m, flops, [=](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) {
-      const double* arow = pa + static_cast<size_t>(i) * kk;
-      double* orow = po + static_cast<size_t>(i) * n;
-      for (int k = 0; k < kk; ++k) {
-        const double aik = arow[k];
-        if (aik == 0.0) continue;  // one-hot / masked rows are common
-        const double* brow = pb + static_cast<size_t>(k) * n;
-        for (int j = 0; j < n; ++j) orow[j] += aik * brow[j];
-      }
-    }
-  });
+  kernels::GemmNN(m, n, kk, a.data().data(), b.data().data(),
+                  /*bias=*/nullptr, kernels::GemmInit::kZero,
+                  out.data().data());
   return out;
 }
 
@@ -233,37 +166,9 @@ Tensor Affine(const Tensor& a, const Tensor& b, const Tensor& bias) {
   HEAD_CHECK_EQ(bias.cols(), b.cols());
   const int m = a.rows(), kk = a.cols(), n = b.cols();
   Tensor out(m, n);
-  const double* pa = a.data().data();
-  const double* pb = b.data().data();
-  const double* pc = bias.data().data();
-  double* po = out.data().data();
-  const int64_t flops = int64_t{m} * kk * n;
-  if (n == 1) {
-    ForEachRowChunk(m, flops, [=](int64_t i0, int64_t i1) {
-      for (int64_t i = i0; i < i1; ++i) {
-        const double* arow = pa + static_cast<size_t>(i) * kk;
-        double s = 0.0;
-        for (int k = 0; k < kk; ++k) s += arow[k] * pb[k];
-        po[i] = s + pc[0];
-      }
-    });
-    return out;
-  }
-  // Same ikj schedule as MatMul, but output rows start as the bias row, so
-  // no separate broadcast-add pass (or its temporary) is needed.
-  ForEachRowChunk(m, flops, [=](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) {
-      const double* arow = pa + static_cast<size_t>(i) * kk;
-      double* orow = po + static_cast<size_t>(i) * n;
-      for (int j = 0; j < n; ++j) orow[j] = pc[j];
-      for (int k = 0; k < kk; ++k) {
-        const double aik = arow[k];
-        if (aik == 0.0) continue;
-        const double* brow = pb + static_cast<size_t>(k) * n;
-        for (int j = 0; j < n; ++j) orow[j] += aik * brow[j];
-      }
-    }
-  });
+  kernels::GemmNN(m, n, kk, a.data().data(), b.data().data(),
+                  bias.data().data(), kernels::GemmInit::kBias,
+                  out.data().data());
   return out;
 }
 
@@ -271,20 +176,8 @@ Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
   HEAD_CHECK_EQ(a.cols(), b.cols());
   const int m = a.rows(), kk = a.cols(), n = b.rows();
   Tensor out(m, n);
-  const double* pa = a.data().data();
-  const double* pb = b.data().data();
-  double* po = out.data().data();
-  // Each output element is a dot product of two contiguous rows.
-  for (int i = 0; i < m; ++i) {
-    const double* arow = pa + static_cast<size_t>(i) * kk;
-    double* orow = po + static_cast<size_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      const double* brow = pb + static_cast<size_t>(j) * kk;
-      double s = 0.0;
-      for (int k = 0; k < kk; ++k) s += arow[k] * brow[k];
-      orow[j] = s;
-    }
-  }
+  kernels::GemmNT(m, n, kk, a.data().data(), b.data().data(),
+                  out.data().data());
   return out;
 }
 
@@ -292,40 +185,8 @@ Tensor MatMulTransposeA(const Tensor& a, const Tensor& b) {
   HEAD_CHECK_EQ(a.rows(), b.rows());
   const int kk = a.rows(), m = a.cols(), n = b.cols();
   Tensor out(m, n);
-  const double* pa = a.data().data();
-  const double* pb = b.data().data();
-  double* po = out.data().data();
-  const int64_t flops = int64_t{m} * kk * n;
-  if (n == 1) {
-    // Column b (a gradient through a width-1 layer): accumulate b[k]·a[k,:]
-    // into the output column with a branch-free contiguous inner loop. The
-    // chunked form keeps k outermost per chunk, so every output element
-    // still accumulates over k in increasing order (bitwise parity).
-    ForEachRowChunk(m, flops, [=](int64_t i0, int64_t i1) {
-      for (int k = 0; k < kk; ++k) {
-        const double bk = pb[k];
-        const double* arow = pa + static_cast<size_t>(k) * m;
-        for (int64_t i = i0; i < i1; ++i) po[i] += bk * arow[i];
-      }
-    });
-    return out;
-  }
-  // kij: rank-1 update per shared row k — contiguous in b and out; a is read
-  // with a column stride only at chunk boundaries. Output rows partition
-  // across threads; k stays outermost within a chunk for bitwise parity
-  // with the serial schedule.
-  ForEachRowChunk(m, flops, [=](int64_t i0, int64_t i1) {
-    for (int k = 0; k < kk; ++k) {
-      const double* arow = pa + static_cast<size_t>(k) * m;
-      const double* brow = pb + static_cast<size_t>(k) * n;
-      for (int64_t i = i0; i < i1; ++i) {
-        const double aki = arow[i];
-        if (aki == 0.0) continue;
-        double* orow = po + static_cast<size_t>(i) * n;
-        for (int j = 0; j < n; ++j) orow[j] += aki * brow[j];
-      }
-    }
-  });
+  kernels::GemmTN(m, n, kk, a.data().data(), b.data().data(),
+                  kernels::GemmInit::kZero, out.data().data());
   return out;
 }
 
@@ -414,6 +275,14 @@ Tensor SumRows(const Tensor& a) {
     const double* arow = a.data().data() + static_cast<size_t>(r) * cols;
     for (int c = 0; c < cols; ++c) po[c] += arow[c];
   }
+  return out;
+}
+
+Tensor RowwiseMax(const Tensor& a) {
+  HEAD_CHECK_GE(a.cols(), 1);
+  Tensor out(a.rows(), 1);
+  kernels::RowwiseMax(a.rows(), a.cols(), a.data().data(), out.data().data(),
+                      /*argmax=*/nullptr);
   return out;
 }
 

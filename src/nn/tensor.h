@@ -82,11 +82,14 @@ std::ostream& operator<<(std::ostream& os, const Tensor& t);
 
 // ---- Raw matrix ops (allocate their result; shape-checked). ----
 //
-// MatMul, Affine and MatMulTransposeA row-partition across
+// The matmul family routes through the SIMD kernel layer (nn/kernels/
+// simd.h): runtime ISA dispatch (scalar vs AVX2 packed microkernel, gated
+// by the fast_math flag) plus row-partitioning across
 // parallel::ThreadPool::Global() once the multiply-add count clears a
-// threshold (~2^18); the partitioning preserves each output element's
-// accumulation order, so results are bitwise identical for any thread
-// count. Everything else is single-threaded.
+// threshold (~2^18). Per-element accumulation order is invariant to thread
+// count and blocking, so results are bitwise reproducible; with fast_math
+// off (or the scalar backend) they are additionally bitwise identical to
+// the original serial loops.
 
 Tensor MatMul(const Tensor& a, const Tensor& b);
 /// a·b + row-broadcast bias in one pass: output rows start as `bias`, so the
@@ -106,6 +109,10 @@ Tensor Scale(const Tensor& a, double s);
 Tensor AddRowBroadcast(const Tensor& a, const Tensor& row);
 /// Sums all rows of `a` into a 1×cols row vector.
 Tensor SumRows(const Tensor& a);
+/// rows×1 column of per-row maxima (first-max tie-break); `a` must have at
+/// least one column. Raw counterpart of the autograd RowwiseMax for
+/// no-grad consumers like the batched TD-target path.
+Tensor RowwiseMax(const Tensor& a);
 
 }  // namespace head::nn
 

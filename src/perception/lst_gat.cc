@@ -64,10 +64,15 @@ nn::Var LstGat::GatStep(const StepNodes& nodes) const {
       alpha = nn::Var::Constant(
           nn::Tensor::Full(1, kNodesPerTarget, 1.0 / kNodesPerTarget));
     }
-    // Weighted aggregation of value embeddings (Eq. 11): α·(φ3·h).
+    // Weighted aggregation of value embeddings (Eq. 11): α·(φ3·h), written
+    // as scale-rows + row sum — the identical multiply-then-add sequence
+    // GatStepStacked runs, so the two paths agree bitwise on any kernel
+    // backend (a 1×7 matmul may fold with FMA under fast_math).
     const nn::Var group_values =
         nn::SliceRows(values, r0, r0 + kNodesPerTarget);
-    updated.push_back(nn::MatMul(alpha, group_values));
+    const nn::Var alpha_col = nn::Reshape(alpha, kNodesPerTarget, 1);
+    updated.push_back(nn::SumRowGroups(nn::ScaleRows(group_values, alpha_col),
+                                       kNodesPerTarget));
   }
   return nn::ConcatRows(updated);  // (6×Dφ3)
 }

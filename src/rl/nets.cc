@@ -75,8 +75,9 @@ nn::Var BranchEncoder::ForwardStacked(const nn::Tensor& blocks,
   // vehicle makes plain ReLU units die irrecoverably during RL training
   // (observed empirically), freezing the whole branch; the leaky slope
   // preserves the architecture while keeping gradients alive.
-  const nn::Var h = nn::LeakyRelu(l1_.Forward(x));  // ((B·rows)×hidden)
-  const nn::Var e = nn::LeakyRelu(l2_.Forward(h));  // ((B·rows)×1)
+  // Fused affine+leaky-relu nodes (see nn::AffineAct).
+  const nn::Var h = l1_.Forward(x, nn::FusedAct::kLeakyRelu);  // ((B·rows)×hidden)
+  const nn::Var e = l2_.Forward(h, nn::FusedAct::kLeakyRelu);  // ((B·rows)×1)
   return nn::Reshape(e, batch, rows_);              // (B×rows)
 }
 
@@ -107,7 +108,7 @@ nn::Var BpXNet::ForwardBatch(
       {h_branch_.ForwardStacked(StackBlocks(batch, /*h_block=*/true), b),
        f_branch_.ForwardStacked(StackBlocks(batch, /*h_block=*/false),
                                 b)});                      // (B×13)
-  return nn::Scale(nn::Tanh(out_.Forward(merged)), a_max_);  // Eq. (25)
+  return nn::Scale(out_.Forward(merged, nn::FusedAct::kTanh), a_max_);  // Eq. (25)
 }
 
 std::vector<nn::Var> BpXNet::Params() const {
@@ -140,12 +141,12 @@ nn::Var BpQNet::ForwardBatch(const std::vector<const AugmentedState*>& batch,
   const int b = static_cast<int>(batch.size());
   HEAD_CHECK_EQ(x.value().rows(), b);
   const nn::Var xb =
-      nn::LeakyRelu(x2_.Forward(nn::LeakyRelu(x1_.Forward(x))));
+      x2_.Forward(x1_.Forward(x, nn::FusedAct::kLeakyRelu), nn::FusedAct::kLeakyRelu);
   const nn::Var merged = nn::ConcatCols(
       {h_branch_.ForwardStacked(StackBlocks(batch, /*h_block=*/true), b),
        f_branch_.ForwardStacked(StackBlocks(batch, /*h_block=*/false), b),
        xb});  // (B×16)
-  return out_.Forward(nn::LeakyRelu(fuse_.Forward(merged)));
+  return out_.Forward(fuse_.Forward(merged, nn::FusedAct::kLeakyRelu));
 }
 
 std::vector<nn::Var> BpQNet::Params() const {
@@ -190,8 +191,8 @@ nn::Var FlatQNet::Forward(const AugmentedState& s, const nn::Var& x) const {
   // features and the action parameters enter one shared layer.
   const nn::Var joint =
       nn::ConcatCols({nn::Var::Constant(FlattenState(s)), x});
-  return out_.Forward(
-      nn::Relu(mid_.Forward(nn::Relu(in_.Forward(joint)))));
+  return out_.Forward(mid_.Forward(
+      in_.Forward(joint, nn::FusedAct::kRelu), nn::FusedAct::kRelu));
 }
 
 nn::Var FlatQNet::ForwardBatch(const std::vector<const AugmentedState*>& batch,
@@ -199,8 +200,8 @@ nn::Var FlatQNet::ForwardBatch(const std::vector<const AugmentedState*>& batch,
   HEAD_CHECK_EQ(x.value().rows(), static_cast<int>(batch.size()));
   const nn::Var joint =
       nn::ConcatCols({nn::Var::Constant(FlattenStates(batch)), x});
-  return out_.Forward(
-      nn::Relu(mid_.Forward(nn::Relu(in_.Forward(joint)))));
+  return out_.Forward(mid_.Forward(
+      in_.Forward(joint, nn::FusedAct::kRelu), nn::FusedAct::kRelu));
 }
 
 std::vector<nn::Var> FlatQNet::Params() const {

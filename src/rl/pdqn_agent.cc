@@ -208,8 +208,10 @@ void PdqnAgent::UpdateCriticBatched(
   {
     const nn::NoGradGuard no_grad;
     const nn::Var x_next = x_target_->ForwardBatch(next_states);
+    // Raw rowwise-max kernel — no autograd node; this whole block is
+    // no-grad and the argmax is never needed.
     const nn::Tensor q_max =
-        nn::RowwiseMax(q_target_->ForwardBatch(next_states, x_next)).value();
+        nn::RowwiseMax(q_target_->ForwardBatch(next_states, x_next).value());
     for (int i = 0; i < b; ++i) {
       y[i] = batch[i]->reward +
              (batch[i]->terminal ? 0.0 : config_.gamma * q_max[i]);

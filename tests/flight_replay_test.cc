@@ -11,6 +11,7 @@
 
 #include "eval/episode_runner.h"
 #include "eval/replay.h"
+#include "nn/kernels/simd.h"
 #include "obs/recorder.h"
 #include "parallel/env_pool.h"
 #include "parallel/thread_pool.h"
@@ -26,6 +27,12 @@ namespace {
 class FlightReplayTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // The bitwise replay contract is defined over the scalar kernel
+    // schedules: a black box may be replayed by a different build (e.g. a
+    // scalar-only debug binary), so the parity suite pins fast_math off.
+    // See DESIGN.md "SIMD kernel dispatch" determinism matrix.
+    saved_fast_math_ = nn::kernels::FastMathEnabled();
+    nn::kernels::SetFastMath(false);
     saved_enabled_ = obs::RecordingEnabled();
     saved_config_ = obs::GetRecorderConfig();
     dir_ = (std::filesystem::path(::testing::TempDir()) /
@@ -38,6 +45,7 @@ class FlightReplayTest : public ::testing::Test {
   }
 
   void TearDown() override {
+    nn::kernels::SetFastMath(saved_fast_math_);
     obs::ConfigureRecorder(saved_config_);
     obs::SetRecordingEnabled(saved_enabled_);
     std::filesystem::remove_all(dir_);
@@ -79,6 +87,7 @@ class FlightReplayTest : public ::testing::Test {
 
   std::string dir_;
   bool saved_enabled_ = false;
+  bool saved_fast_math_ = true;
   obs::RecorderConfig saved_config_;
 };
 

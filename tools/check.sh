@@ -14,7 +14,12 @@
 #      training step must perform 0 arena/pool heap events
 #      (--require-zero-allocs). Emits BENCH_training_throughput.json and an
 #      obs metrics snapshot (nn_alloc_* gauges) next to the build.
-#   3. Flight-recorder smoke stage: drives head_cli end-to-end — records a
+#   3. Scalar-fallback stage: configures a tree with -DHEAD_SIMD_DISABLE=ON
+#      (no AVX2 TU — the portable scalar kernel backend only, as on a
+#      non-x86 or pre-AVX2 host) and runs the *entire* ctest suite against
+#      it. Proves the SIMD dispatch layer degrades to the seed-exact scalar
+#      schedules without losing a single test.
+#   4. Flight-recorder smoke stage: drives head_cli end-to-end — records a
 #      forced-collision episode (crash policy) into a scratch dump dir, then
 #      replays the dump and requires bitwise parity with the recording.
 #
@@ -23,6 +28,7 @@
 #   HEAD_SANITIZE=address tools/check.sh   # only the ASan+UBSan stage
 #   HEAD_SANITIZE=thread tools/check.sh    # only the TSan stage
 #   HEAD_SKIP_PERF=1 tools/check.sh        # skip the perf gate
+#   HEAD_SKIP_SCALAR=1 tools/check.sh      # skip the scalar-fallback suite
 #   HEAD_SKIP_SMOKE=1 tools/check.sh       # skip the flight-recorder smoke
 set -euo pipefail
 
@@ -36,7 +42,7 @@ fi
 
 SAN_TESTS=(obs_test obs_trace_test obs_recorder_test obs_timeseries_test
            flight_replay_test sim_simulation_test sim_models_test
-           nn_batched_ops_test nn_arena_test parallel_test
+           nn_batched_ops_test nn_arena_test nn_simd_test parallel_test
            parallel_determinism_test)
 
 for SANITIZER in "${SANITIZERS[@]}"; do
@@ -74,6 +80,20 @@ if [[ "${HEAD_SKIP_PERF:-0}" != "1" ]]; then
     --max-regress=0.30 \
     --require-zero-allocs
   echo "== perf smoke passed (JSON: ${PERF_BUILD_DIR}/BENCH_training_throughput.json) =="
+fi
+
+if [[ "${HEAD_SKIP_SCALAR:-0}" != "1" ]]; then
+  # Scalar-fallback suite: the whole test battery against a binary with no
+  # AVX2 TU at all — what a non-x86 / pre-AVX2 host would run. The SIMD
+  # parity tests GTEST_SKIP their AVX2 legs; everything else must pass on
+  # the portable scalar backend alone.
+  SCALAR_BUILD_DIR="build-scalar"
+  cmake -B "${SCALAR_BUILD_DIR}" -S . -DHEAD_SIMD_DISABLE=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "${SCALAR_BUILD_DIR}" -j
+  echo "== scalar-fallback suite: full ctest with -DHEAD_SIMD_DISABLE=ON =="
+  ctest --test-dir "${SCALAR_BUILD_DIR}" --output-on-failure
+  echo "== scalar-fallback suite passed =="
 fi
 
 if [[ "${HEAD_SKIP_SMOKE:-0}" != "1" ]]; then
