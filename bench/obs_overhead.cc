@@ -11,12 +11,21 @@
 // (BM_RecorderCommit) is a struct copy with no allocation, and
 // BM_SimStep_RecordingOff/_RecordingOn bound the end-to-end step cost. The
 // timeseries rows cost out the per-episode curve sink.
+//
+// The op-profiler rows (ISSUE 8 acceptance): BM_DisabledOpScope must sit in
+// the BM_DisabledSpan noise band (≲1 ns — one relaxed load), since
+// HEAD_PROF_OP lives permanently inside every kernel entry point and
+// autograd node; BM_EnabledOpScope prices the enabled record path (two clock
+// reads + relaxed adds into the per-thread table); the
+// BM_EnvStep_Profiling{Off,On} pair bounds the full env-step cost both ways.
 #include <benchmark/benchmark.h>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/recorder.h"
 #include "obs/span.h"
 #include "obs/timeseries.h"
+#include "rl/env.h"
 #include "sim/simulation.h"
 
 namespace {
@@ -49,6 +58,28 @@ void BM_EnabledSpan(benchmark::State& state) {
   obs::DrainTraceEvents();
 }
 BENCHMARK(BM_EnabledSpan);
+
+void BM_DisabledOpScope(benchmark::State& state) {
+  obs::StopProfiling();
+  for (auto _ : state) {
+    HEAD_PROF_OP("bench.noop", 64, 64, 64, 524288, 98304);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_DisabledOpScope);
+
+void BM_EnabledOpScope(benchmark::State& state) {
+  obs::ProfilerOptions options;
+  options.hw_counters = false;  // price the record path, not perf ioctls
+  obs::StartProfiling(options);
+  for (auto _ : state) {
+    HEAD_PROF_OP("bench.noop", 64, 64, 64, 524288, 98304);
+    benchmark::ClobberMemory();
+  }
+  obs::StopProfiling();
+  obs::ResetProfile();
+}
+BENCHMARK(BM_EnabledOpScope);
 
 void BM_CounterAdd(benchmark::State& state) {
   static obs::Counter& counter = obs::GetCounter("bench.counter");
@@ -172,6 +203,42 @@ void BM_SimStep_RecordingOn(benchmark::State& state) {
   obs::SetRecordingEnabled(false);
 }
 BENCHMARK(BM_SimStep_RecordingOn);
+
+/// Full env step (sim + sensor + phantom + st-graph, no predictor) — the
+/// densest permanent HEAD_PROF_OP instrumentation outside nn itself.
+void EnvStepLoop(benchmark::State& state) {
+  rl::EnvConfig config;
+  config.sim.road.length_m = 800.0;
+  config.sim.max_steps = 1 << 30;
+  config.use_prediction = false;
+  rl::DrivingEnv env(config, nullptr, /*seed=*/1);
+  uint64_t seed = 1;
+  env.Reset(seed);
+  const Maneuver keep{LaneChange::kKeep, 0.0};
+  for (auto _ : state) {
+    const auto out = env.Step(keep);
+    if (out.done) env.Reset(++seed);
+    benchmark::ClobberMemory();
+  }
+}
+
+void BM_EnvStep_ProfilingOff(benchmark::State& state) {
+  obs::SetTracingEnabled(false);
+  obs::StopProfiling();
+  EnvStepLoop(state);
+}
+BENCHMARK(BM_EnvStep_ProfilingOff);
+
+void BM_EnvStep_ProfilingOn(benchmark::State& state) {
+  obs::SetTracingEnabled(false);
+  obs::ProfilerOptions options;
+  options.hw_counters = false;
+  obs::StartProfiling(options);
+  EnvStepLoop(state);
+  obs::StopProfiling();
+  obs::ResetProfile();
+}
+BENCHMARK(BM_EnvStep_ProfilingOn);
 
 }  // namespace
 

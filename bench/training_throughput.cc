@@ -8,6 +8,14 @@
 //   training_throughput [--json-out=path] [--baseline=path]
 //                       [--max-regress=0.30] [--skip-per-sample] [--trials=N]
 //                       [--kernel=scalar|avx2] [--skip-gemm]
+//                       [--profile-out=path] [--min-profile-coverage=0.95]
+//
+// --profile-out runs one additional *profiled* pass over the RL update,
+// prediction training, and rollout paths (after and separate from the gate
+// measurements, which always run unprofiled), prints the top-10 op table,
+// and writes the head-profile-v1 JSON for tools/profile_diff.py.
+// --min-profile-coverage fails the run if the profiled pass attributes less
+// than the given fraction of root step time to per-op rows.
 //
 // --kernel pins the SIMD backend for the end-to-end measurements (default:
 // the best the CPU supports). The gemm_gflops axis below always measures
@@ -31,6 +39,7 @@
 #include "nn/arena.h"
 #include "nn/kernels/simd.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "parallel/env_pool.h"
 #include "parallel/thread_pool.h"
 #include "perception/lst_gat.h"
@@ -226,7 +235,9 @@ double MeasureRolloutThroughput(int num_envs, int episodes) {
 
 namespace kernels = head::nn::kernels;
 
-enum class GemmOp { kNN, kTN, kNT };
+// The kernel layer's transposition enum doubles as the bench op key, so the
+// flops math below and the profiler share kernels::FlopsFor — one formula.
+using GemmOp = kernels::GemmKind;
 
 struct GemmShape {
   const char* name;  // json-key fragment
@@ -278,7 +289,8 @@ double MeasureGemmGflops(const GemmShape& s, Rng& rng) {
         break;
     }
   };
-  const double flops = 2.0 * s.m * s.n * s.k;
+  const double flops =
+      static_cast<double>(kernels::FlopsFor(s.op, s.m, s.n, s.k));
   run();  // warm caches + thread-local panel scratch
   // Calibrate the repeat count for a ~20ms timed region.
   int reps = 4;
@@ -569,6 +581,35 @@ int main(int argc, char** argv) {
       }
       std::cout << "perf gate ok: " << gate.key << " = " << gate.current
                 << " >= " << floor << "\n";
+    }
+  }
+
+  // --profile-out: one additional *profiled* pass over the training hot
+  // paths. Kept separate from the timed measurements above so the perf gate
+  // numbers are never polluted by profiler overhead.
+  const std::string profile_out = ArgString(argc, argv, "--profile-out");
+  if (!profile_out.empty()) {
+    kernels::CalibrateProfilerRoofline();  // before Start: no stat pollution
+    head::obs::StartProfiling();
+    MeasureRlThroughput(/*batched=*/true, rl_updates);
+    MeasurePredictionThroughput(/*batched=*/true, pred_samples, pred_epochs);
+    MeasureRolloutThroughput(rollout_envs, std::max(2, rollout_episodes / 4));
+    head::obs::StopProfiling();
+    const head::obs::ProfileReport report = head::obs::CollectProfile();
+    std::cout << head::obs::ProfileToText(report, /*top_n=*/10);
+    std::ofstream os(profile_out);
+    os << head::obs::ProfileToJson(report);
+    if (!os.good()) {
+      std::cerr << "failed to write " << profile_out << "\n";
+      return 1;
+    }
+    std::cout << "profile written to " << profile_out << "\n";
+    const double min_coverage =
+        ArgValue(argc, argv, "--min-profile-coverage", 0.0);
+    if (min_coverage > 0.0 && report.coverage < min_coverage) {
+      std::cerr << "PROFILE COVERAGE: " << report.coverage
+                << " below required " << min_coverage << "\n";
+      return 1;
     }
   }
   return 0;

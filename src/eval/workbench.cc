@@ -4,8 +4,10 @@
 #include <filesystem>
 
 #include "common/logging.h"
+#include "nn/kernels/simd.h"
 #include "nn/serialize.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace head::eval {
 
@@ -42,6 +44,37 @@ void DumpTrainingMetrics(const BenchProfile& profile, const std::string& key) {
     HEAD_LOG(Warning) << "failed to write metrics snapshot to " << path;
   }
 }
+
+/// Profiles one TrainOrLoad* training region when HEAD_PROFILE_OUT names a
+/// directory: the op profiler runs across the wrapped training and the
+/// per-(op, shape) JSON lands next to the cached weights' metrics snapshot
+/// as <dir>/profile_<key>_<profile>.json. Unset env ⇒ zero effect.
+class ScopedTrainingProfile {
+ public:
+  ScopedTrainingProfile(const BenchProfile& profile, const std::string& key) {
+    const char* dir = std::getenv("HEAD_PROFILE_OUT");
+    if (dir == nullptr || dir[0] == '\0') return;
+    path_ = std::string(dir) + "/profile_" + key + "_" + profile.name +
+            ".json";
+    std::filesystem::create_directories(dir);
+    nn::kernels::CalibrateProfilerRoofline();
+    obs::StartProfiling();
+  }
+  ~ScopedTrainingProfile() {
+    if (path_.empty()) return;
+    obs::StopProfiling();
+    if (obs::WriteProfileJsonFile(path_)) {
+      HEAD_LOG(Info) << "op profile written to " << path_;
+    } else {
+      HEAD_LOG(Warning) << "failed to write op profile to " << path_;
+    }
+  }
+  ScopedTrainingProfile(const ScopedTrainingProfile&) = delete;
+  ScopedTrainingProfile& operator=(const ScopedTrainingProfile&) = delete;
+
+ private:
+  std::string path_;
+};
 
 }  // namespace
 
@@ -134,6 +167,7 @@ std::shared_ptr<perception::LstGat> TrainOrLoadLstGat(
   }
   HEAD_LOG(Info) << "LST-GAT: training on the REAL surrogate ("
                  << profile.name << " profile)";
+  ScopedTrainingProfile prof(profile, "lstgat");
   const data::RealDataset dataset = BuildRealDataset(profile);
   perception::TrainPredictor(*model, dataset.train, profile.pred_train);
   nn::SaveParamsToFile(*model, path);
@@ -169,6 +203,7 @@ std::shared_ptr<rl::PdqnAgent> TrainOrLoadHeadPolicy(
                  << profile.rl_train.episodes << " episodes, "
                  << profile.name << " profile, K=" << profile.rollout_envs
                  << " rollout envs)";
+  ScopedTrainingProfile prof(profile, key);
   rl::RlTrainConfig train = profile.rl_train;
   train.seed = profile.seed + 29;
   rl::RlTrainResult result;
@@ -208,6 +243,7 @@ std::shared_ptr<rl::DrlScAgent> TrainOrLoadDrlSc(
   HEAD_LOG(Info) << "DRL-SC: training (" << profile.rl_train.episodes
                  << " episodes, " << profile.name << " profile, K="
                  << profile.rollout_envs << " rollout envs)";
+  ScopedTrainingProfile prof(profile, "policy_DRL_SC");
   core::HeadVariant variant = core::HeadVariant::WithoutLstGat();
   rl::RlTrainConfig train = profile.rl_train;
   train.seed = profile.seed + 31;

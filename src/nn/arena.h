@@ -37,6 +37,9 @@ struct VarImpl {
   double aux_d = 0.0;        // Scale factor, LeakyRelu slope
   int aux_i = 0;             // SliceCols c0 / SliceRows r0 / group size
   std::vector<int> indices;  // gather rows / selected cols / argmax
+  /// Op literal for profiler backward attribution; set by MakeResult
+  /// whenever `backward` is, so it is never read stale after recycling.
+  const char* op_name = nullptr;
   uint64_t epoch = 0;        // arena epoch at creation; 0 = persistent leaf
   uint64_t visit_mark = 0;   // Backward traversal stamp
 

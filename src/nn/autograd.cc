@@ -92,7 +92,8 @@ uint64_t NextTraversalMark() {
 /// Creates a result node from the thread's arena; records parents/backward
 /// only if needed. `inputs` is a stack-backed pointer list — no per-op
 /// container allocation.
-Var MakeResult(Tensor value, std::initializer_list<const Var*> inputs,
+Var MakeResult(const char* op, Tensor value,
+               std::initializer_list<const Var*> inputs,
                void (*backward)(VarImpl&)) {
   bool needs = false;
   for (const Var* v : inputs) {
@@ -105,6 +106,7 @@ Var MakeResult(Tensor value, std::initializer_list<const Var*> inputs,
   VarImpl* node = arena.New();
   node->value = std::move(value);
   node->requires_grad = needs;
+  node->op_name = op;
   if (needs) {
     for (const Var* v : inputs) node->parents.push_back(v->node());
     node->backward = backward;
@@ -113,7 +115,7 @@ Var MakeResult(Tensor value, std::initializer_list<const Var*> inputs,
 }
 
 /// Variadic-input overload (Concat ops).
-Var MakeResult(Tensor value, const std::vector<Var>& inputs,
+Var MakeResult(const char* op, Tensor value, const std::vector<Var>& inputs,
                void (*backward)(VarImpl&)) {
   bool needs = false;
   for (const Var& v : inputs) {
@@ -126,6 +128,7 @@ Var MakeResult(Tensor value, const std::vector<Var>& inputs,
   VarImpl* node = arena.New();
   node->value = std::move(value);
   node->requires_grad = needs;
+  node->op_name = op;
   if (needs) {
     node->parents.reserve(inputs.size());
     for (const Var& v : inputs) node->parents.push_back(v.node());
@@ -143,6 +146,8 @@ NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
 NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
 
 void Backward(const Var& loss) {
+  HEAD_PROF_SCOPE("nn.backward");
+  obs::ScopedProfPhase prof_phase(obs::ProfPhase::kBackward);
   HEAD_CHECK(loss.defined());
   HEAD_DCHECK(loss.alive());
   HEAD_CHECK_EQ(loss.value().rows(), 1);
@@ -178,7 +183,13 @@ void Backward(const Var& loss) {
   root->AccumGrad(Tensor::Full(1, 1, 1.0));
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     VarImpl& node = **it;
-    if (node.backward != nullptr && !node.grad.empty()) node.backward(node);
+    if (node.backward != nullptr && !node.grad.empty()) {
+      // Per-node attribution: the node's own loops count as self time, the
+      // GEMMs its closure calls show up as nested kernel.* rows.
+      HEAD_PROF_OP(node.op_name != nullptr ? node.op_name : "nn.op",
+                   node.value.rows(), node.value.cols(), 0, 0, 0);
+      node.backward(node);
+    }
   }
   // Release intermediate gradients/graph edges so only leaf grads persist
   // and repeated Backward calls cannot double-apply backward functions.
@@ -284,22 +295,30 @@ void AddRowBroadcastBackward(VarImpl& self) {
 }  // namespace
 
 Var MatMul(const Var& a, const Var& b) {
+  HEAD_PROF_OP("nn.MatMul", a.value().rows(), b.value().cols(),
+               a.value().cols(), 0, 0);  // flops live on the nested kernel
   Tensor out = MatMul(a.value(), b.value());
-  return MakeResult(std::move(out), {&a, &b}, MatMulBackward);
+  return MakeResult("nn.MatMul", std::move(out), {&a, &b}, MatMulBackward);
 }
 
 Var Affine(const Var& a, const Var& b, const Var& bias) {
+  HEAD_PROF_OP("nn.Affine", a.value().rows(), b.value().cols(),
+               a.value().cols(), 0, 0);
   Tensor out = Affine(a.value(), b.value(), bias.value());
-  return MakeResult(std::move(out), {&a, &b, &bias}, AffineBackward);
+  return MakeResult("nn.Affine", std::move(out), {&a, &b, &bias},
+                    AffineBackward);
 }
 
 Var AffineAct(const Var& a, const Var& b, const Var& bias, FusedAct act,
               double leaky_slope) {
   if (act == FusedAct::kNone) return Affine(a, b, bias);
+  HEAD_PROF_OP("nn.AffineAct", a.value().rows(), b.value().cols(),
+               a.value().cols(), 0, 0);
   Tensor out = Affine(a.value(), b.value(), bias.value());
   const kernels::ActKind kind = ToActKind(act);
   kernels::ActForward(kind, leaky_slope, out.size(), out.data().data());
-  Var result = MakeResult(std::move(out), {&a, &b, &bias}, AffineActBackward);
+  Var result = MakeResult("nn.AffineAct", std::move(out), {&a, &b, &bias},
+                          AffineActBackward);
   result.node()->aux_i = static_cast<int>(kind);
   result.node()->aux_d = leaky_slope;
   return result;
@@ -314,6 +333,7 @@ Var DualAffine(const Var& a1, const Var& b1, const Var& a2, const Var& b2,
   HEAD_CHECK_EQ(bias.value().rows(), 1);
   HEAD_CHECK_EQ(bias.value().cols(), b1.value().cols());
   const int m = a1.value().rows(), n = b1.value().cols();
+  HEAD_PROF_OP("nn.DualAffine", m, n, a1.value().cols(), 0, 0);
   Tensor out(m, n);
   kernels::GemmNN(m, n, a1.value().cols(), a1.value().data().data(),
                   b1.value().data().data(), bias.value().data().data(),
@@ -321,41 +341,55 @@ Var DualAffine(const Var& a1, const Var& b1, const Var& a2, const Var& b2,
   kernels::GemmNN(m, n, a2.value().cols(), a2.value().data().data(),
                   b2.value().data().data(), /*bias=*/nullptr,
                   kernels::GemmInit::kAccumulate, out.data().data());
-  return MakeResult(std::move(out), {&a1, &b1, &a2, &b2, &bias},
-                    DualAffineBackward);
+  return MakeResult("nn.DualAffine", std::move(out),
+                    {&a1, &b1, &a2, &b2, &bias}, DualAffineBackward);
 }
 
 Var Add(const Var& a, const Var& b) {
+  HEAD_PROF_OP("nn.Add", a.value().rows(), a.value().cols(), 0,
+               int64_t{a.value().size()}, int64_t{24} * a.value().size());
   Tensor out = Add(a.value(), b.value());
-  return MakeResult(std::move(out), {&a, &b}, AddBackward);
+  return MakeResult("nn.Add", std::move(out), {&a, &b}, AddBackward);
 }
 
 Var Sub(const Var& a, const Var& b) {
+  HEAD_PROF_OP("nn.Sub", a.value().rows(), a.value().cols(), 0,
+               int64_t{a.value().size()}, int64_t{24} * a.value().size());
   Tensor out = Sub(a.value(), b.value());
-  return MakeResult(std::move(out), {&a, &b}, SubBackward);
+  return MakeResult("nn.Sub", std::move(out), {&a, &b}, SubBackward);
 }
 
 Var Mul(const Var& a, const Var& b) {
+  HEAD_PROF_OP("nn.Mul", a.value().rows(), a.value().cols(), 0,
+               int64_t{a.value().size()}, int64_t{24} * a.value().size());
   Tensor out = Mul(a.value(), b.value());
-  return MakeResult(std::move(out), {&a, &b}, MulBackward);
+  return MakeResult("nn.Mul", std::move(out), {&a, &b}, MulBackward);
 }
 
 Var Scale(const Var& a, double s) {
+  HEAD_PROF_OP("nn.Scale", a.value().rows(), a.value().cols(), 0,
+               int64_t{a.value().size()}, int64_t{16} * a.value().size());
   Tensor out = Scale(a.value(), s);
-  Var result = MakeResult(std::move(out), {&a}, ScaleBackward);
+  Var result = MakeResult("nn.Scale", std::move(out), {&a}, ScaleBackward);
   result.node()->aux_d = s;
   return result;
 }
 
 Var AddScalar(const Var& a, double s) {
+  HEAD_PROF_OP("nn.AddScalar", a.value().rows(), a.value().cols(), 0,
+               int64_t{a.value().size()}, int64_t{16} * a.value().size());
   Tensor out = a.value();
   for (int i = 0; i < out.size(); ++i) out[i] += s;
-  return MakeResult(std::move(out), {&a}, PassThroughBackward);
+  return MakeResult("nn.AddScalar", std::move(out), {&a},
+                    PassThroughBackward);
 }
 
 Var AddRowBroadcast(const Var& a, const Var& row) {
+  HEAD_PROF_OP("nn.AddRowBroadcast", a.value().rows(), a.value().cols(), 0,
+               int64_t{a.value().size()}, int64_t{24} * a.value().size());
   Tensor out = AddRowBroadcast(a.value(), row.value());
-  return MakeResult(std::move(out), {&a, &row}, AddRowBroadcastBackward);
+  return MakeResult("nn.AddRowBroadcast", std::move(out), {&a, &row},
+                    AddRowBroadcastBackward);
 }
 
 namespace {
@@ -384,10 +418,13 @@ void LeakyReluBackward(VarImpl& self) {
 }
 
 template <typename FwdFn>
-Var UnaryElementwise(const Var& a, FwdFn fwd, void (*backward)(VarImpl&)) {
+Var UnaryElementwise(const char* op, const Var& a, FwdFn fwd,
+                     void (*backward)(VarImpl&)) {
+  HEAD_PROF_OP(op, a.value().rows(), a.value().cols(), 0,
+               int64_t{a.value().size()}, int64_t{16} * a.value().size());
   Tensor out = a.value();
   for (int i = 0; i < out.size(); ++i) out[i] = fwd(out[i]);
-  return MakeResult(std::move(out), {&a}, backward);
+  return MakeResult(op, std::move(out), {&a}, backward);
 }
 
 double ReluD(double x, double /*y*/) { return x > 0.0 ? 1.0 : 0.0; }
@@ -399,12 +436,13 @@ double SquareD(double x, double /*y*/) { return 2.0 * x; }
 
 Var Relu(const Var& a) {
   return UnaryElementwise(
-      a, [](double x) { return x > 0.0 ? x : 0.0; }, UnaryBackward<ReluD>);
+      "nn.Relu", a, [](double x) { return x > 0.0 ? x : 0.0; },
+      UnaryBackward<ReluD>);
 }
 
 Var LeakyRelu(const Var& a, double negative_slope) {
   Var result = UnaryElementwise(
-      a,
+      "nn.LeakyRelu", a,
       [negative_slope](double x) { return x > 0.0 ? x : negative_slope * x; },
       LeakyReluBackward);
   result.node()->aux_d = negative_slope;
@@ -413,12 +451,13 @@ Var LeakyRelu(const Var& a, double negative_slope) {
 
 Var Tanh(const Var& a) {
   return UnaryElementwise(
-      a, [](double x) { return std::tanh(x); }, UnaryBackward<TanhD>);
+      "nn.Tanh", a, [](double x) { return std::tanh(x); },
+      UnaryBackward<TanhD>);
 }
 
 Var Sigmoid(const Var& a) {
   return UnaryElementwise(
-      a, [](double x) { return 1.0 / (1.0 + std::exp(-x)); },
+      "nn.Sigmoid", a, [](double x) { return 1.0 / (1.0 + std::exp(-x)); },
       UnaryBackward<SigmoidD>);
 }
 
@@ -442,6 +481,9 @@ void SoftmaxRowsBackward(VarImpl& self) {
 }  // namespace
 
 Var SoftmaxRows(const Var& a) {
+  HEAD_PROF_OP("nn.SoftmaxRows", a.value().rows(), a.value().cols(), 0,
+               int64_t{5} * a.value().size(),
+               int64_t{16} * a.value().size());
   Tensor out = a.value();
   for (int r = 0; r < out.rows(); ++r) {
     double mx = out.At(r, 0);
@@ -453,7 +495,8 @@ Var SoftmaxRows(const Var& a) {
     }
     for (int c = 0; c < out.cols(); ++c) out.At(r, c) /= sum;
   }
-  return MakeResult(std::move(out), {&a}, SoftmaxRowsBackward);
+  return MakeResult("nn.SoftmaxRows", std::move(out), {&a},
+                    SoftmaxRowsBackward);
 }
 
 namespace {
@@ -494,6 +537,8 @@ Var ConcatCols(const std::vector<Var>& parts) {
     HEAD_CHECK_EQ(p.value().rows(), rows);
     cols += p.value().cols();
   }
+  HEAD_PROF_OP("nn.ConcatCols", rows, cols, 0, 0,
+               int64_t{16} * rows * cols);
   Tensor out(rows, cols);
   int off = 0;
   for (const Var& p : parts) {
@@ -504,7 +549,8 @@ Var ConcatCols(const std::vector<Var>& parts) {
     }
     off += p.value().cols();
   }
-  return MakeResult(std::move(out), parts, ConcatColsBackward);
+  return MakeResult("nn.ConcatCols", std::move(out), parts,
+                    ConcatColsBackward);
 }
 
 Var ConcatRows(const std::vector<Var>& parts) {
@@ -515,6 +561,8 @@ Var ConcatRows(const std::vector<Var>& parts) {
     HEAD_CHECK_EQ(p.value().cols(), cols);
     rows += p.value().rows();
   }
+  HEAD_PROF_OP("nn.ConcatRows", rows, cols, 0, 0,
+               int64_t{16} * rows * cols);
   Tensor out(rows, cols);
   int off = 0;
   for (const Var& p : parts) {
@@ -523,7 +571,8 @@ Var ConcatRows(const std::vector<Var>& parts) {
     }
     off += p.value().rows();
   }
-  return MakeResult(std::move(out), parts, ConcatRowsBackward);
+  return MakeResult("nn.ConcatRows", std::move(out), parts,
+                    ConcatRowsBackward);
 }
 
 namespace {
@@ -572,7 +621,8 @@ Var SliceCols(const Var& a, int c0, int c1) {
   for (int r = 0; r < out.rows(); ++r) {
     for (int c = 0; c < out.cols(); ++c) out.At(r, c) = a.value().At(r, c0 + c);
   }
-  Var result = MakeResult(std::move(out), {&a}, SliceColsBackward);
+  Var result = MakeResult("nn.SliceCols", std::move(out), {&a},
+                          SliceColsBackward);
   result.node()->aux_i = c0;
   return result;
 }
@@ -583,7 +633,8 @@ Var SliceRows(const Var& a, int r0, int r1) {
   for (int r = 0; r < out.rows(); ++r) {
     for (int c = 0; c < out.cols(); ++c) out.At(r, c) = a.value().At(r0 + r, c);
   }
-  Var result = MakeResult(std::move(out), {&a}, SliceRowsBackward);
+  Var result = MakeResult("nn.SliceRows", std::move(out), {&a},
+                          SliceRowsBackward);
   result.node()->aux_i = r0;
   return result;
 }
@@ -595,13 +646,16 @@ Var Reshape(const Var& a, int rows, int cols) {
   Tensor out(rows, cols);
   const Tensor& av = a.value();
   for (int i = 0; i < out.size(); ++i) out[i] = av[i];
-  return MakeResult(std::move(out), {&a}, ReshapeBackward);
+  return MakeResult("nn.Reshape", std::move(out), {&a},
+                    ReshapeBackward);
 }
 
 Var Sum(const Var& a) {
+  HEAD_PROF_OP("nn.Sum", a.value().rows(), a.value().cols(), 0,
+               int64_t{a.value().size()}, int64_t{8} * a.value().size());
   double s = 0.0;
   for (int i = 0; i < a.value().size(); ++i) s += a.value()[i];
-  return MakeResult(Tensor::Full(1, 1, s), {&a}, SumBackward);
+  return MakeResult("nn.Sum", Tensor::Full(1, 1, s), {&a}, SumBackward);
 }
 
 Var Mean(const Var& a) {
@@ -611,7 +665,7 @@ Var Mean(const Var& a) {
 
 Var Square(const Var& a) {
   return UnaryElementwise(
-      a, [](double x) { return x * x; }, UnaryBackward<SquareD>);
+      "nn.Square", a, [](double x) { return x * x; }, UnaryBackward<SquareD>);
 }
 
 Var MseLoss(const Var& pred, const Var& target) {
@@ -709,6 +763,8 @@ void SumRowGroupsBackward(VarImpl& self) {
 Var GatherRows(const Var& a, std::vector<int> rows) {
   const Tensor& av = a.value();
   const int cols = av.cols();
+  HEAD_PROF_OP("nn.GatherRows", static_cast<int>(rows.size()), cols, 0, 0,
+               int64_t{16} * static_cast<int64_t>(rows.size()) * cols);
   Tensor out(static_cast<int>(rows.size()), cols);
   for (size_t i = 0; i < rows.size(); ++i) {
     const int r = rows[i];
@@ -717,7 +773,8 @@ Var GatherRows(const Var& a, std::vector<int> rows) {
     double* dst = out.data().data() + i * cols;
     for (int c = 0; c < cols; ++c) dst[c] = src[c];
   }
-  Var result = MakeResult(std::move(out), {&a}, GatherRowsBackward);
+  Var result = MakeResult("nn.GatherRows", std::move(out), {&a},
+                          GatherRowsBackward);
   result.node()->indices = std::move(rows);
   return result;
 }
@@ -725,12 +782,15 @@ Var GatherRows(const Var& a, std::vector<int> rows) {
 Var SelectColumnPerRow(const Var& a, std::vector<int> cols) {
   const Tensor& av = a.value();
   HEAD_CHECK_EQ(static_cast<int>(cols.size()), av.rows());
+  HEAD_PROF_OP("nn.SelectColumnPerRow", av.rows(), av.cols(), 0, 0,
+               int64_t{16} * av.rows());
   Tensor out(av.rows(), 1);
   for (int r = 0; r < av.rows(); ++r) {
     HEAD_CHECK(cols[r] >= 0 && cols[r] < av.cols());
     out[r] = av.At(r, cols[r]);
   }
-  Var result = MakeResult(std::move(out), {&a}, SelectColumnPerRowBackward);
+  Var result = MakeResult("nn.SelectColumnPerRow", std::move(out), {&a},
+                          SelectColumnPerRowBackward);
   result.node()->indices = std::move(cols);
   return result;
 }
@@ -738,7 +798,10 @@ Var SelectColumnPerRow(const Var& a, std::vector<int> cols) {
 Var RowwiseMax(const Var& a) {
   const Tensor& av = a.value();
   HEAD_CHECK_GT(av.cols(), 0);
-  Var result = MakeResult(Tensor(av.rows(), 1), {&a}, RowwiseMaxBackward);
+  HEAD_PROF_OP("nn.RowwiseMax", av.rows(), av.cols(), 0, 0,
+               int64_t{8} * (av.size() + av.rows()));
+  Var result = MakeResult("nn.RowwiseMax", Tensor(av.rows(), 1), {&a},
+                          RowwiseMaxBackward);
   VarImpl* node = result.node();
   // The argmax list reuses the node's index capacity across steps instead of
   // allocating a fresh vector per call.
@@ -756,8 +819,10 @@ Var RowwiseMax(const Var& a) {
 }
 
 Var SumRows(const Var& a) {
+  HEAD_PROF_OP("nn.SumRows", a.value().rows(), a.value().cols(), 0,
+               int64_t{a.value().size()}, int64_t{8} * a.value().size());
   Tensor out = SumRows(a.value());
-  return MakeResult(std::move(out), {&a}, SumRowsBackward);
+  return MakeResult("nn.SumRows", std::move(out), {&a}, SumRowsBackward);
 }
 
 Var ScaleRows(const Var& a, const Var& scale) {
@@ -765,6 +830,8 @@ Var ScaleRows(const Var& a, const Var& scale) {
   const Tensor& sv = scale.value();
   HEAD_CHECK_EQ(sv.rows(), av.rows());
   HEAD_CHECK_EQ(sv.cols(), 1);
+  HEAD_PROF_OP("nn.ScaleRows", av.rows(), av.cols(), 0,
+               int64_t{av.size()}, int64_t{24} * av.size());
   Tensor out(av.rows(), av.cols());
   const int cols = av.cols();
   for (int r = 0; r < av.rows(); ++r) {
@@ -773,7 +840,8 @@ Var ScaleRows(const Var& a, const Var& scale) {
     double* dst = out.data().data() + static_cast<size_t>(r) * cols;
     for (int c = 0; c < cols; ++c) dst[c] = src[c] * s;
   }
-  return MakeResult(std::move(out), {&a, &scale}, ScaleRowsBackward);
+  return MakeResult("nn.ScaleRows", std::move(out), {&a, &scale},
+                    ScaleRowsBackward);
 }
 
 Var SumRowGroups(const Var& a, int group_size) {
@@ -782,6 +850,8 @@ Var SumRowGroups(const Var& a, int group_size) {
   HEAD_CHECK_EQ(av.rows() % group_size, 0);
   const int groups = av.rows() / group_size;
   const int cols = av.cols();
+  HEAD_PROF_OP("nn.SumRowGroups", av.rows(), cols, 0, int64_t{av.size()},
+               int64_t{16} * av.size());
   Tensor out(groups, cols);
   for (int g = 0; g < groups; ++g) {
     double* dst = out.data().data() + static_cast<size_t>(g) * cols;
@@ -791,7 +861,8 @@ Var SumRowGroups(const Var& a, int group_size) {
       for (int c = 0; c < cols; ++c) dst[c] += src[c];
     }
   }
-  Var result = MakeResult(std::move(out), {&a}, SumRowGroupsBackward);
+  Var result = MakeResult("nn.SumRowGroups", std::move(out), {&a},
+                          SumRowGroupsBackward);
   result.node()->aux_i = group_size;
   return result;
 }

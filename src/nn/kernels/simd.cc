@@ -16,7 +16,10 @@
 #include <cstring>
 #include <vector>
 
+#include <chrono>
+
 #include "nn/kernels/kernel_table.h"
+#include "obs/profiler.h"
 #include "parallel/thread_pool.h"
 
 namespace head::nn::kernels {
@@ -173,8 +176,21 @@ void SetFastMath(bool enabled) {
   FastMathRef().store(enabled, std::memory_order_relaxed);
 }
 
+int64_t FlopsFor(GemmKind kind, int m, int n, int k) {
+  (void)kind;  // every transposition variant runs the same multiply-adds
+  return int64_t{2} * m * n * k;
+}
+
+int64_t BytesFor(GemmKind kind, int m, int n, int k) {
+  (void)kind;
+  return int64_t{8} *
+         (int64_t{m} * k + int64_t{k} * n + int64_t{m} * n);
+}
+
 void GemmNN(int m, int n, int k, const double* a, const double* b,
             const double* bias, GemmInit init, double* c) {
+  HEAD_PROF_OP("kernel.gemm_nn", m, n, k, FlopsFor(GemmKind::kNN, m, n, k),
+               BytesFor(GemmKind::kNN, m, n, k));
   const KernelTable* t = GemmTable();
   const int64_t flops = int64_t{m} * n * k;
   if (t->gemm_packed != nullptr && n > 1 && m >= kPackMinRows) {
@@ -203,6 +219,8 @@ void GemmNN(int m, int n, int k, const double* a, const double* b,
 
 void GemmTN(int m, int n, int k, const double* a, const double* b,
             GemmInit init, double* c) {
+  HEAD_PROF_OP("kernel.gemm_tn", m, n, k, FlopsFor(GemmKind::kTN, m, n, k),
+               BytesFor(GemmKind::kTN, m, n, k));
   const KernelTable* t = GemmTable();
   const int64_t flops = int64_t{m} * n * k;
   if (t->gemm_packed != nullptr && n > 1) {
@@ -225,6 +243,8 @@ void GemmTN(int m, int n, int k, const double* a, const double* b,
 
 void GemmNT(int m, int n, int k, const double* a, const double* b,
             double* c) {
+  HEAD_PROF_OP("kernel.gemm_nt", m, n, k, FlopsFor(GemmKind::kNT, m, n, k),
+               BytesFor(GemmKind::kNT, m, n, k));
   const KernelTable* t = GemmTable();
   const int64_t flops = int64_t{m} * n * k;
   if (n == 1) {
@@ -255,28 +275,80 @@ void GemmNT(int m, int n, int k, const double* a, const double* b,
 }
 
 void Axpy(int n, double alpha, const double* x, double* y) {
+  HEAD_PROF_OP("kernel.axpy", n, 0, 0, int64_t{2} * n, int64_t{24} * n);
   ElementwiseTable()->axpy(n, alpha, x, y);
 }
 
 void ActForward(ActKind kind, double leaky_slope, int n, double* x) {
+  HEAD_PROF_OP("kernel.act_fwd", n, 0, 0, int64_t{n}, int64_t{16} * n);
   ElementwiseTable()->act_forward(kind, leaky_slope, n, x);
 }
 
 void ActBackward(ActKind kind, double leaky_slope, int n, const double* y,
                  const double* gout, double* gin) {
+  HEAD_PROF_OP("kernel.act_bwd", n, 0, 0, int64_t{2} * n, int64_t{24} * n);
   ElementwiseTable()->act_backward(kind, leaky_slope, n, y, gout, gin);
 }
 
 void RowwiseMax(int rows, int cols, const double* a, double* out,
                 int* argmax) {
+  HEAD_PROF_OP("kernel.rowwise_max", rows, cols, 0, 0,
+               int64_t{8} * (int64_t{rows} * cols + rows));
   ElementwiseTable()->rowwise_max(rows, cols, a, out, argmax);
 }
 
 void AdamStep(int n, double lr, double beta1, double beta2, double eps,
               double bc1, double bc2, const double* g, double* m, double* v,
               double* value) {
+  HEAD_PROF_OP("kernel.adam", n, 0, 0, int64_t{10} * n, int64_t{56} * n);
   ElementwiseTable()->adam_step(n, lr, beta1, beta2, eps, bc1, bc2, g, m, v,
                                 value);
+}
+
+namespace {
+
+uint64_t CalNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+double MeasurePeakGemmGflops() {
+  constexpr int kDim = 64;  // 3 × 32 KB: resident in L2, streams through L1
+  std::vector<double> a(kDim * kDim), b(kDim * kDim), c(kDim * kDim, 0.0);
+  for (int i = 0; i < kDim * kDim; ++i) {
+    a[i] = 0.25 + 1e-4 * (i % 61);
+    b[i] = 0.50 - 1e-4 * (i % 53);
+  }
+  const int64_t flops = FlopsFor(GemmKind::kNN, kDim, kDim, kDim);
+  GemmNN(kDim, kDim, kDim, a.data(), b.data(), nullptr, GemmInit::kZero,
+         c.data());  // warm scratch + branch predictors
+  double best = 0.0;
+  constexpr int kTrials = 8, kReps = 16;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const uint64_t t0 = CalNowNs();
+    for (int rep = 0; rep < kReps; ++rep) {
+      GemmNN(kDim, kDim, kDim, a.data(), b.data(), nullptr, GemmInit::kZero,
+             c.data());
+    }
+    const uint64_t t1 = CalNowNs();
+    if (t1 > t0) {
+      best = std::max(
+          best, static_cast<double>(flops) * kReps / static_cast<double>(t1 - t0));
+    }
+  }
+  return best;
+}
+
+obs::RooflinePeaks CalibrateProfilerRoofline() {
+  obs::RooflinePeaks peaks;
+  peaks.gflops = MeasurePeakGemmGflops();
+  peaks.gbps = obs::MeasurePeakBandwidthGbps();
+  peaks.source = std::string("gemm-") + IsaName(ActiveIsa());
+  obs::SetRooflinePeaks(peaks);
+  return peaks;
 }
 
 }  // namespace head::nn::kernels

@@ -31,9 +31,26 @@
 #ifndef HEAD_NN_KERNELS_SIMD_H_
 #define HEAD_NN_KERNELS_SIMD_H_
 
+#include <cstdint>
+
+#include "obs/profiler.h"
+
 namespace head::nn::kernels {
 
 enum class Isa : int { kScalar = 0, kAvx2 = 1 };
+
+/// GEMM transposition variants, for flop/byte accounting call sites.
+enum class GemmKind : int { kNN = 0, kTN, kNT };
+
+/// Multiply-add flop count (2·m·n·k) of one C(m×n) = A·B GEMM. The single
+/// formula shared by the op profiler and bench/training_throughput — every
+/// transposition variant runs the same arithmetic.
+int64_t FlopsFor(GemmKind kind, int m, int n, int k);
+
+/// Minimum double-precision bytes moved by one GEMM (read A and B once,
+/// write C once) — the compulsory-traffic floor arithmetic intensity is
+/// computed against, not a cache-model estimate.
+int64_t BytesFor(GemmKind kind, int m, int n, int k);
 
 /// How a GEMM kernel seeds its output accumulators.
 enum class GemmInit : int {
@@ -119,6 +136,19 @@ void RowwiseMax(int rows, int cols, const double* a, double* out, int* argmax);
 void AdamStep(int n, double lr, double beta1, double beta2, double eps,
               double bc1, double bc2, const double* g, double* m, double* v,
               double* value);
+
+// ---- Profiler roofline calibration ----
+
+/// Peak achieved GFLOP/s of the *active* backend on a cache-resident
+/// 64×64×64 GemmNN (best of several short trials) — the compute roof the
+/// profiler's %roof column is drawn against. ~5 ms.
+double MeasurePeakGemmGflops();
+
+/// Measures both roofline peaks (GEMM compute roof above + the portable
+/// stream-bandwidth sweep) and injects them via obs::SetRooflinePeaks so
+/// profile reports rate ops against this machine/backend. Call before
+/// StartProfiling so the calibration GEMMs don't pollute the stats.
+obs::RooflinePeaks CalibrateProfilerRoofline();
 
 }  // namespace head::nn::kernels
 

@@ -1,0 +1,213 @@
+#include "obs/perf_counters.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace head::obs {
+
+namespace {
+
+std::atomic<int> g_forced_open_errno{0};
+
+bool EnvDisabled() {
+  const char* v = std::getenv("HEAD_PERF_COUNTERS");
+  if (v == nullptr || *v == '\0') return false;
+  return std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+         std::strcmp(v, "false") == 0;
+}
+
+const char* ErrnoTag(int err) {
+  switch (err) {
+    case EACCES: return "eacces";
+    case EPERM: return "eperm";
+    case ENOSYS: return "enosys";
+    case ENOENT: return "enoent";
+    case ENODEV: return "enodev";
+    case EOPNOTSUPP: return "eopnotsupp";
+    default: return "errno";
+  }
+}
+
+#if defined(__linux__)
+
+const uint64_t kEventConfigs[PerfCounterGroup::kNumEvents] = {
+    PERF_COUNT_HW_CPU_CYCLES,
+    PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_MISSES,
+};
+
+int PerfEventOpen(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                  unsigned long flags) {
+  const int forced = g_forced_open_errno.load(std::memory_order_relaxed);
+  if (forced != 0) {
+    errno = forced;
+    return -1;
+  }
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags));
+}
+
+/// u64 triple {value, time_enabled, time_running} per fd — the read format
+/// every event below is opened with.
+struct ReadTriple {
+  uint64_t value;
+  uint64_t enabled;
+  uint64_t running;
+};
+
+uint64_t ScaledValue(const ReadTriple& t) {
+  if (t.running == 0) return 0;
+  if (t.running >= t.enabled) return t.value;
+  const double scale =
+      static_cast<double>(t.enabled) / static_cast<double>(t.running);
+  return static_cast<uint64_t>(static_cast<double>(t.value) * scale);
+}
+
+#endif  // __linux__
+
+}  // namespace
+
+PerfCounterGroup::~PerfCounterGroup() {
+#if defined(__linux__)
+  for (int& fd : fds_) {
+    if (fd >= 0) close(fd);
+    fd = -1;
+  }
+  leader_fd_ = -1;
+#endif
+}
+
+bool PerfCounterGroup::Open() {
+#if defined(__linux__)
+  if (open()) return true;
+  if (EnvDisabled()) {
+    status_ = "disabled";
+    return false;
+  }
+  for (int i = 0; i < kNumEvents; ++i) {
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.size = sizeof(attr);
+    attr.config = kEventConfigs[i];
+    attr.disabled = (i == 0) ? 1 : 0;  // group enables through the leader
+    attr.exclude_kernel = 1;           // works at perf_event_paranoid <= 2
+    attr.exclude_hv = 1;
+    attr.read_format =
+        PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+    const int group_fd = (i == 0) ? -1 : fds_[0];
+    const int fd = PerfEventOpen(&attr, /*pid=*/0, /*cpu=*/-1, group_fd, 0);
+    if (fd < 0) {
+      if (i == 0) {
+        status_ = ErrnoTag(errno);
+        return false;  // no leader, no group
+      }
+      continue;  // optional member (e.g. cache-misses in a VM): skip
+    }
+    fds_[i] = fd;
+  }
+  leader_fd_ = fds_[0];
+  status_ = "ok";
+  return true;
+#else
+  status_ = "unsupported";
+  return false;
+#endif
+}
+
+void PerfCounterGroup::Enable() {
+#if defined(__linux__)
+  if (leader_fd_ >= 0) {
+    ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  }
+#endif
+}
+
+void PerfCounterGroup::Disable() {
+#if defined(__linux__)
+  if (leader_fd_ >= 0) {
+    ioctl(leader_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  }
+#endif
+}
+
+void PerfCounterGroup::Reset() {
+#if defined(__linux__)
+  if (leader_fd_ >= 0) {
+    ioctl(leader_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  }
+#endif
+}
+
+bool PerfCounterGroup::Read(PerfCounterValues* out) const {
+  *out = PerfCounterValues{};
+#if defined(__linux__)
+  if (!open()) return false;
+  uint64_t values[kNumEvents] = {0, 0, 0, 0};
+  for (int i = 0; i < kNumEvents; ++i) {
+    if (fds_[i] < 0) continue;
+    ReadTriple triple{};
+    if (read(fds_[i], &triple, sizeof(triple)) !=
+        static_cast<ssize_t>(sizeof(triple))) {
+      continue;
+    }
+    values[i] = ScaledValue(triple);
+    if (i == 0) {
+      out->enabled_ns = triple.enabled;
+      out->running_ns = triple.running;
+    }
+  }
+  out->cycles = values[0];
+  out->instructions = values[1];
+  out->cache_misses = values[2];
+  out->branch_misses = values[3];
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+const char* ProbeOnce() {
+  PerfCounterGroup probe;
+  probe.Open();
+  return probe.status();
+}
+
+std::atomic<const char*> g_probe_status{nullptr};
+
+}  // namespace
+
+const char* PerfCountersStatus() {
+  const char* cached = g_probe_status.load(std::memory_order_acquire);
+  if (cached != nullptr) return cached;
+  const char* status = ProbeOnce();
+  g_probe_status.store(status, std::memory_order_release);
+  return status;
+}
+
+bool PerfCountersAvailableImpl() {
+  return std::strcmp(PerfCountersStatus(), "ok") == 0;
+}
+
+namespace internal {
+
+void SetPerfOpenFailureForTest(int err) {
+  g_forced_open_errno.store(err, std::memory_order_relaxed);
+  g_probe_status.store(nullptr, std::memory_order_release);  // re-probe
+}
+
+}  // namespace internal
+
+}  // namespace head::obs

@@ -1,0 +1,91 @@
+// Thin wrapper over Linux perf_event_open for the op profiler's hardware
+// view: one per-thread group of four PERF_TYPE_HARDWARE counters (cycles,
+// instructions, cache-misses, branch-misses) that can be enabled, reset,
+// and read around a profiled region.
+//
+// Hardware counters are a *capability*, not a requirement: containers with
+// a restrictive perf_event_paranoid, seccomp filters that reject the
+// syscall (EPERM/EACCES), kernels built without perf (ENOSYS), and non-x86
+// or non-Linux hosts must all degrade to the wall-clock-only profile. Open()
+// therefore never aborts — it records a short status tag ("eacces",
+// "enosys", …) and the profiler reports "hw: unavailable (<tag>)" instead
+// of cycle counts. PerfCountersStatus() probes the capability once per
+// process so callers can branch without paying an open/close per query.
+#ifndef HEAD_OBS_PERF_COUNTERS_H_
+#define HEAD_OBS_PERF_COUNTERS_H_
+
+#include <cstdint>
+
+namespace head::obs {
+
+/// One read of the counter group. Values are multiplex-scaled: when the PMU
+/// ran the group only part of the time (running < enabled), each count is
+/// extrapolated by enabled/running, the standard perf correction.
+struct PerfCounterValues {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t cache_misses = 0;
+  uint64_t branch_misses = 0;
+  uint64_t enabled_ns = 0;  ///< leader's TOTAL_TIME_ENABLED
+  uint64_t running_ns = 0;  ///< leader's TOTAL_TIME_RUNNING
+
+  double Ipc() const {
+    return cycles > 0 ? static_cast<double>(instructions) / cycles : 0.0;
+  }
+};
+
+/// A group of hardware counters bound to the thread that calls Open().
+/// Reading / ioctl from another thread is fine (fd operations); only Open()
+/// is thread-affine. Counters start disabled.
+class PerfCounterGroup {
+ public:
+  PerfCounterGroup() = default;
+  ~PerfCounterGroup();
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  /// Opens the group for the calling thread. Returns false (with status()
+  /// explaining why) on any failure of the leader event; member events that
+  /// fail individually are skipped (their values read 0) without failing
+  /// the group.
+  bool Open();
+
+  bool open() const { return leader_fd_ >= 0; }
+  /// "ok" once open; otherwise "unopened", "disabled" (env kill switch),
+  /// "unsupported" (non-Linux build), or the errno tag of the failed open
+  /// ("eacces", "eperm", "enosys", "enoent", "errno:<n>").
+  const char* status() const { return status_; }
+
+  void Enable();
+  void Disable();
+  void Reset();
+  /// False when the group is not open (out is zeroed).
+  bool Read(PerfCounterValues* out) const;
+
+  static constexpr int kNumEvents = 4;
+
+ private:
+  int fds_[kNumEvents] = {-1, -1, -1, -1};  // [0] is the group leader
+  int leader_fd_ = -1;
+  const char* status_ = "unopened";
+};
+
+/// One-shot capability probe (opens and closes a scratch group on first
+/// call): "ok" when perf counters work here, else the failure tag. Honors
+/// HEAD_PERF_COUNTERS=0|off ("disabled") so CI can pin the fallback path.
+const char* PerfCountersStatus();
+inline bool PerfCountersAvailable() {
+  extern bool PerfCountersAvailableImpl();
+  return PerfCountersAvailableImpl();
+}
+
+namespace internal {
+/// Test seam: force every subsequent Open() to fail as if perf_event_open
+/// had returned `err` (e.g. EACCES, ENOSYS). 0 restores real behavior. Also
+/// resets the PerfCountersStatus() probe cache.
+void SetPerfOpenFailureForTest(int err);
+}  // namespace internal
+
+}  // namespace head::obs
+
+#endif  // HEAD_OBS_PERF_COUNTERS_H_

@@ -10,6 +10,7 @@
 #include "nn/autograd.h"
 #include "nn/optimizer.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/span.h"
 
 namespace head::perception {
@@ -104,6 +105,7 @@ PredictionTrainResult TrainPredictor(
     std::shuffle(order.begin(), order.end(), rng.engine());
     double epoch_loss = 0.0;
     for (size_t b = 0; b < order.size(); b += config.batch_size) {
+      HEAD_PROF_SCOPE("perception.train.step");  // profiler root per batch
       const size_t end = std::min(order.size(), b + config.batch_size);
       nn::ResetTape();  // steady state: the whole batch reuses recycled nodes
       opt.ZeroGrad();

@@ -22,6 +22,11 @@
 #   4. Flight-recorder smoke stage: drives head_cli end-to-end — records a
 #      forced-collision episode (crash policy) into a scratch dump dir, then
 #      replays the dump and requires bitwise parity with the recording.
+#   5. Profile stage: records a short op profile from the optimized tree
+#      (training_throughput --profile-out at --threads=1, requiring ≥95%
+#      of root wall time attributed to per-op rows) and diffs it against
+#      the committed baseline with tools/profile_diff.py — fails when any
+#      sizable op's per-call self time regressed ≥50%.
 #
 # Usage:
 #   tools/check.sh                         # all stages (tsan + asan + perf)
@@ -30,6 +35,7 @@
 #   HEAD_SKIP_PERF=1 tools/check.sh        # skip the perf gate
 #   HEAD_SKIP_SCALAR=1 tools/check.sh      # skip the scalar-fallback suite
 #   HEAD_SKIP_SMOKE=1 tools/check.sh       # skip the flight-recorder smoke
+#   HEAD_SKIP_PROFILE=1 tools/check.sh     # skip the op-profile diff gate
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -41,9 +47,9 @@ if [[ -n "${HEAD_SANITIZE:-}" ]]; then
 fi
 
 SAN_TESTS=(obs_test obs_trace_test obs_recorder_test obs_timeseries_test
-           flight_replay_test sim_simulation_test sim_models_test
-           nn_batched_ops_test nn_arena_test nn_simd_test parallel_test
-           parallel_determinism_test)
+           obs_profiler_test flight_replay_test sim_simulation_test
+           sim_models_test nn_batched_ops_test nn_arena_test nn_simd_test
+           parallel_test parallel_determinism_test)
 
 for SANITIZER in "${SANITIZERS[@]}"; do
   BUILD_DIR="build-${SANITIZER}san"
@@ -112,4 +118,24 @@ if [[ "${HEAD_SKIP_SMOKE:-0}" != "1" ]]; then
   [[ -n "${MANIFEST}" ]] || { echo "no flight dump produced" >&2; exit 1; }
   "${SMOKE_BUILD_DIR}/tools/head_cli" replay "${MANIFEST}"
   echo "== flight-recorder smoke passed (${MANIFEST}) =="
+fi
+
+if [[ "${HEAD_SKIP_PROFILE:-0}" != "1" ]]; then
+  # Shares the optimized tree with the perf/smoke stages. The profiled pass
+  # is deliberately tiny (1 trial, no gemm sweep) — the gate is per-call
+  # self time, which a short run measures as well as a long one.
+  PROFILE_BUILD_DIR="build-perf"
+  cmake -B "${PROFILE_BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${PROFILE_BUILD_DIR}" -j --target training_throughput
+
+  echo "== op-profile: record (--threads=1, coverage >= 95%) and diff vs baseline =="
+  "${PROFILE_BUILD_DIR}/bench/training_throughput" \
+    --skip-per-sample --skip-gemm --trials=1 --threads=1 \
+    --profile-out="${PROFILE_BUILD_DIR}/BENCH_profile.json" \
+    --min-profile-coverage=0.95 > /dev/null
+  python3 tools/profile_diff.py \
+    bench/baselines/profile_training_throughput.json \
+    "${PROFILE_BUILD_DIR}/BENCH_profile.json" \
+    --threshold=0.5
+  echo "== op-profile diff passed (${PROFILE_BUILD_DIR}/BENCH_profile.json) =="
 fi

@@ -20,6 +20,11 @@
 //                          JSON on exit (open in chrome://tracing/Perfetto).
 //   --record-dir=<path>    Enable the flight recorder; collisions (and other
 //                          configured triggers) dump JSONL + manifest there.
+//   --profile-out=<path>   Enable the op profiler; write the per-(op, shape)
+//                          profile JSON on exit (tools/profile_diff.py input)
+//                          and print the top-10 table to stderr. Combined
+//                          with --trace-out, the trace additionally carries
+//                          the profiler's GFLOP/s / GB/s counter tracks.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -33,7 +38,9 @@
 #include "eval/replay.h"
 #include "eval/table.h"
 #include "eval/trace.h"
+#include "nn/kernels/simd.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/recorder.h"
 #include "obs/span.h"
 #include "sim/scenario.h"
@@ -52,7 +59,7 @@ int Usage() {
                "  head_cli [flags] render <scenario> [seed]\n"
                "  head_cli [flags] replay <manifest.json>\n"
                "flags: --metrics-out=<path> | --trace-out=<path> | "
-               "--record-dir=<path>\n"
+               "--record-dir=<path> | --profile-out=<path>\n"
                "policies: idm | acc | tpbts | crash | head\n"
                "scenarios:");
   for (const std::string& name : sim::ScenarioNames()) {
@@ -153,6 +160,7 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
   std::string record_dir;
+  std::string profile_out;
   std::vector<char*> args;
   args.reserve(argc);
   for (int i = 0; i < argc; ++i) {
@@ -163,11 +171,17 @@ int main(int argc, char** argv) {
       trace_out = arg.substr(std::string("--trace-out=").size());
     } else if (arg.rfind("--record-dir=", 0) == 0) {
       record_dir = arg.substr(std::string("--record-dir=").size());
+    } else if (arg.rfind("--profile-out=", 0) == 0) {
+      profile_out = arg.substr(std::string("--profile-out=").size());
     } else {
       args.push_back(argv[i]);
     }
   }
   if (!trace_out.empty()) head::obs::SetTracingEnabled(true);
+  if (!profile_out.empty()) {
+    head::nn::kernels::CalibrateProfilerRoofline();
+    head::obs::StartProfiling();
+  }
   if (!record_dir.empty()) {
     head::obs::RecorderConfig rc;
     rc.dump_dir = record_dir;
@@ -195,8 +209,26 @@ int main(int argc, char** argv) {
     rc = Usage();
   }
 
+  if (!profile_out.empty()) {
+    head::obs::StopProfiling();
+    const head::obs::ProfileReport report = head::obs::CollectProfile();
+    std::fputs(head::obs::ProfileToText(report, 10).c_str(), stderr);
+    if (head::obs::WriteProfileJsonFile(profile_out)) {
+      std::fprintf(stderr, "profile written to %s\n", profile_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write profile to %s\n",
+                   profile_out.c_str());
+      rc = rc == 0 ? 1 : rc;
+    }
+  }
   if (!trace_out.empty()) {
-    if (head::obs::WriteChromeTraceFile(trace_out)) {
+    // With the profiler on, merge its throughput counter tracks into the
+    // span trace; plain spans otherwise.
+    const bool ok = profile_out.empty()
+                        ? head::obs::WriteChromeTraceFile(trace_out)
+                        : head::obs::WriteChromeTraceWithCountersFile(
+                              trace_out);
+    if (ok) {
       std::fprintf(stderr, "trace written to %s\n", trace_out.c_str());
     } else {
       std::fprintf(stderr, "cannot write trace to %s\n", trace_out.c_str());

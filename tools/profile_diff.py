@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Compare two op-profiler JSON dumps and flag per-op regressions.
+
+Usage:
+  tools/profile_diff.py BASELINE.json CURRENT.json [options]
+
+Both inputs are "head-profile-v1" files as written by --profile-out
+(bench/training_throughput, head_cli) or obs::WriteProfileJsonFile.
+
+Ops are matched by their full key (op, phase, m, n, k). The compared
+quantity is per-call self time (self_ns / count) — counts routinely differ
+between runs (different episode lengths, trial counts), so totals would
+mostly diff the workload, not the code. An op regresses when its per-call
+self time grew by at least --threshold (fraction) AND the op is big enough
+to matter (--min-self-ms of self time in the current profile); ops below
+the floor are noise on a shared box. Exit status: 0 = no regression,
+1 = at least one flagged op, 2 = bad input.
+
+Example gate (see tools/check.sh "profile" stage):
+  tools/profile_diff.py bench/baselines/profile_training_throughput.json \
+      build-perf/BENCH_profile.json --threshold=0.5
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_profile(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.stderr.write(f"profile_diff: cannot read {path}: {e}\n")
+        sys.exit(2)
+    if doc.get("schema") != "head-profile-v1":
+        sys.stderr.write(
+            f"profile_diff: {path}: unexpected schema "
+            f"{doc.get('schema')!r} (want head-profile-v1)\n")
+        sys.exit(2)
+    return doc
+
+
+def op_key(op):
+    return (op["op"], op["phase"], op["m"], op["n"], op["k"])
+
+
+def per_call_self_us(op):
+    count = op.get("count", 0)
+    return op["self_ns"] / count / 1e3 if count > 0 else 0.0
+
+
+def shape_str(op):
+    m, n, k = op["m"], op["n"], op["k"]
+    if m == 0 and n == 0 and k == 0:
+        return "-"
+    dims = [d for d in (m, n, k) if d != 0]
+    return "x".join(str(d) for d in dims)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold", type=float, default=0.5,
+        help="per-call self-time growth fraction that counts as a regression "
+             "(default 0.5 = +50%%; generous because shared CI boxes are noisy)")
+    parser.add_argument(
+        "--min-self-ms", type=float, default=0.5,
+        help="ignore ops with less current self time than this (default 0.5)")
+    parser.add_argument(
+        "--top", type=int, default=15,
+        help="rows shown in the comparison table (default 15; 0 = all)")
+    args = parser.parse_args()
+
+    base = load_profile(args.baseline)
+    curr = load_profile(args.current)
+    base_ops = {op_key(o): o for o in base.get("ops", [])}
+    curr_ops = {op_key(o): o for o in curr.get("ops", [])}
+
+    rows = []        # (delta_frac, key, base_us, curr_us, curr_self_ms)
+    regressions = []
+    new_ops = []
+    for key, c in curr_ops.items():
+        self_ms = c["self_ns"] / 1e6
+        b = base_ops.get(key)
+        if b is None:
+            if self_ms >= args.min_self_ms:
+                new_ops.append((key, c))
+            continue
+        b_us, c_us = per_call_self_us(b), per_call_self_us(c)
+        if b_us <= 0.0:
+            continue
+        delta = c_us / b_us - 1.0
+        rows.append((delta, key, b_us, c_us, self_ms))
+        if self_ms >= args.min_self_ms and delta >= args.threshold:
+            regressions.append((delta, key, b_us, c_us, self_ms))
+    removed = [k for k in base_ops if k not in curr_ops
+               and base_ops[k]["self_ns"] / 1e6 >= args.min_self_ms]
+
+    print(f"baseline: {args.baseline}  "
+          f"(coverage {base.get('coverage', 0):.1%}, "
+          f"{len(base_ops)} ops, roofline {base['roofline']['gflops']:.1f} GFLOP/s)")
+    print(f"current:  {args.current}  "
+          f"(coverage {curr.get('coverage', 0):.1%}, "
+          f"{len(curr_ops)} ops, roofline {curr['roofline']['gflops']:.1f} GFLOP/s)")
+    print()
+
+    rows.sort(reverse=True)
+    shown = rows if args.top == 0 else rows[: args.top]
+    header = (f"{'op':<26} {'ph':<3} {'shape':<16} {'base us/call':>12} "
+              f"{'curr us/call':>12} {'delta':>8} {'self ms':>8}")
+    print(header)
+    print("-" * len(header))
+    for delta, key, b_us, c_us, self_ms in shown:
+        op, phase, m, n, k = key
+        flag = "  <-- REGRESSION" if any(r[1] == key for r in regressions) else ""
+        print(f"{op:<26} {phase:<3} "
+              f"{shape_str({'m': m, 'n': n, 'k': k}):<16} "
+              f"{b_us:>12.2f} {c_us:>12.2f} {delta:>+7.1%} "
+              f"{self_ms:>8.3f}{flag}")
+    if args.top != 0 and len(rows) > args.top:
+        print(f"... ({len(rows) - args.top} more matched ops)")
+
+    for key, c in sorted(new_ops, key=lambda e: -e[1]["self_ns"]):
+        print(f"new op: {key[0]} {key[1]} {shape_str(c)} "
+              f"({c['self_ns'] / 1e6:.3f} ms self)")
+    for key in removed:
+        print(f"removed op: {key[0]} {key[1]}")
+
+    print()
+    if regressions:
+        print(f"PROFILE DIFF: {len(regressions)} op(s) regressed "
+              f">= {args.threshold:.0%} per-call self time "
+              f"(>= {args.min_self_ms} ms self):")
+        for delta, key, b_us, c_us, _ in sorted(regressions, reverse=True):
+            print(f"  {key[0]} [{key[1]}] {b_us:.2f} -> {c_us:.2f} us/call "
+                  f"({delta:+.1%})")
+        return 1
+    print(f"profile diff OK: no op regressed >= {args.threshold:.0%} "
+          f"(matched {len(rows)}, new {len(new_ops)}, removed {len(removed)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
