@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "nn/arena.h"
 #include "nn/kernels/simd.h"
+#include "nn/plan.h"
 
 namespace head::nn {
 
@@ -24,6 +25,13 @@ Var Var::Param(Tensor value) {
 }
 
 Var Var::Constant(Tensor value) {
+  if (plan_internal::Active()) {
+    // Captured constants freeze into the plan (initial LSTM state, ones
+    // columns, …). Per-step data must come in through nn::PlanInput.
+    VarImpl* node = plan_internal::NewNode();
+    node->value = std::move(value);
+    return Var(node, 0);
+  }
   GraphArena& arena = GraphArena::ThreadLocal();
   VarImpl* node = arena.New();
   node->value = std::move(value);
@@ -91,10 +99,13 @@ uint64_t NextTraversalMark() {
 
 /// Creates a result node from the thread's arena; records parents/backward
 /// only if needed. `inputs` is a stack-backed pointer list — no per-op
-/// container allocation.
+/// container allocation. Under plan capture (plan.h) the node comes from
+/// the plan's persistent storage instead, parents are always recorded
+/// (replay needs the data edges even with gradients disabled), and
+/// `forward` — the op's replay-recompute function — is frozen in.
 Var MakeResult(const char* op, Tensor value,
                std::initializer_list<const Var*> inputs,
-               void (*backward)(VarImpl&)) {
+               void (*backward)(VarImpl&), void (*forward)(VarImpl&)) {
   bool needs = false;
   for (const Var* v : inputs) {
     HEAD_CHECK(v->defined());
@@ -102,6 +113,16 @@ Var MakeResult(const char* op, Tensor value,
     if (v->node()->requires_grad) needs = true;
   }
   if (!g_grad_enabled) needs = false;
+  if (plan_internal::Active()) {
+    VarImpl* node = plan_internal::NewNode();
+    node->value = std::move(value);
+    node->requires_grad = needs;
+    node->op_name = op;
+    node->forward = forward;
+    for (const Var* v : inputs) node->parents.push_back(v->node());
+    if (needs) node->backward = backward;
+    return Var(node, 0);
+  }
   GraphArena& arena = GraphArena::ThreadLocal();
   VarImpl* node = arena.New();
   node->value = std::move(value);
@@ -116,7 +137,7 @@ Var MakeResult(const char* op, Tensor value,
 
 /// Variadic-input overload (Concat ops).
 Var MakeResult(const char* op, Tensor value, const std::vector<Var>& inputs,
-               void (*backward)(VarImpl&)) {
+               void (*backward)(VarImpl&), void (*forward)(VarImpl&)) {
   bool needs = false;
   for (const Var& v : inputs) {
     HEAD_CHECK(v.defined());
@@ -124,6 +145,17 @@ Var MakeResult(const char* op, Tensor value, const std::vector<Var>& inputs,
     if (v.node()->requires_grad) needs = true;
   }
   if (!g_grad_enabled) needs = false;
+  if (plan_internal::Active()) {
+    VarImpl* node = plan_internal::NewNode();
+    node->value = std::move(value);
+    node->requires_grad = needs;
+    node->op_name = op;
+    node->forward = forward;
+    node->parents.reserve(inputs.size());
+    for (const Var& v : inputs) node->parents.push_back(v.node());
+    if (needs) node->backward = backward;
+    return Var(node, 0);
+  }
   GraphArena& arena = GraphArena::ThreadLocal();
   VarImpl* node = arena.New();
   node->value = std::move(value);
@@ -190,6 +222,17 @@ void Backward(const Var& loss) {
                    node.value.rows(), node.value.cols(), 0, 0, 0);
       node.backward(node);
     }
+  }
+  if (plan_internal::Active()) {
+    // Plan capture: freeze the reverse schedule instead of tearing the tape
+    // down — replay re-runs these exact closures in this exact order.
+    // Intermediate grads are still dropped, so the captured step leaves the
+    // same observable state (param grads only) as an eager step.
+    plan_internal::RecordBackward(root, order);
+    for (VarImpl* node : order) {
+      if (node->backward != nullptr) node->grad = Tensor();
+    }
+    return;
   }
   // Release intermediate gradients/graph edges so only leaf grads persist
   // and repeated Backward calls cannot double-apply backward functions.
@@ -292,13 +335,110 @@ void AddRowBroadcastBackward(VarImpl& self) {
   self.parents[1]->AccumGrad(SumRows(self.grad));
 }
 
+// ---- Plan-replay forward functions ----
+//
+// Each re-runs its op's eager arithmetic verbatim against the node's
+// (re-fed) parents: the same kernel-table entry points, the same loop
+// structure, the same HEAD_PROF_OP line — so a replayed step is bitwise
+// identical to the eager step it was captured from, and the profiler
+// attributes replayed ops under the same keys. Output geometry is static
+// per plan and read back from the node's previous value where needed.
+
+void MatMulForward(VarImpl& self) {
+  const Tensor& a = self.parents[0]->value;
+  const Tensor& b = self.parents[1]->value;
+  HEAD_PROF_OP("nn.MatMul", a.rows(), b.cols(), a.cols(), 0, 0);
+  self.value = MatMul(a, b);
+}
+
+void AffineForward(VarImpl& self) {
+  const Tensor& a = self.parents[0]->value;
+  const Tensor& b = self.parents[1]->value;
+  HEAD_PROF_OP("nn.Affine", a.rows(), b.cols(), a.cols(), 0, 0);
+  self.value = Affine(a, b, self.parents[2]->value);
+}
+
+void AffineActForward(VarImpl& self) {
+  const Tensor& a = self.parents[0]->value;
+  const Tensor& b = self.parents[1]->value;
+  HEAD_PROF_OP("nn.AffineAct", a.rows(), b.cols(), a.cols(), 0, 0);
+  Tensor out = Affine(a, b, self.parents[2]->value);
+  kernels::ActForward(static_cast<kernels::ActKind>(self.aux_i), self.aux_d,
+                      out.size(), out.data().data());
+  self.value = std::move(out);
+}
+
+void DualAffineForward(VarImpl& self) {
+  const Tensor& a1 = self.parents[0]->value;
+  const Tensor& b1 = self.parents[1]->value;
+  const Tensor& a2 = self.parents[2]->value;
+  const Tensor& b2 = self.parents[3]->value;
+  const Tensor& bias = self.parents[4]->value;
+  const int m = a1.rows(), n = b1.cols();
+  HEAD_PROF_OP("nn.DualAffine", m, n, a1.cols(), 0, 0);
+  Tensor out = Tensor::Uninitialized(m, n);
+  kernels::GemmNN(m, n, a1.cols(), a1.data().data(), b1.data().data(),
+                  bias.data().data(), kernels::GemmInit::kBias,
+                  out.data().data());
+  kernels::GemmNN(m, n, a2.cols(), a2.data().data(), b2.data().data(),
+                  /*bias=*/nullptr, kernels::GemmInit::kAccumulate,
+                  out.data().data());
+  self.value = std::move(out);
+}
+
+void AddForward(VarImpl& self) {
+  const Tensor& a = self.parents[0]->value;
+  HEAD_PROF_OP("nn.Add", a.rows(), a.cols(), 0, int64_t{a.size()},
+               int64_t{24} * a.size());
+  self.value = Add(a, self.parents[1]->value);
+}
+
+void SubForward(VarImpl& self) {
+  const Tensor& a = self.parents[0]->value;
+  HEAD_PROF_OP("nn.Sub", a.rows(), a.cols(), 0, int64_t{a.size()},
+               int64_t{24} * a.size());
+  self.value = Sub(a, self.parents[1]->value);
+}
+
+void MulForward(VarImpl& self) {
+  const Tensor& a = self.parents[0]->value;
+  HEAD_PROF_OP("nn.Mul", a.rows(), a.cols(), 0, int64_t{a.size()},
+               int64_t{24} * a.size());
+  self.value = Mul(a, self.parents[1]->value);
+}
+
+void ScaleForward(VarImpl& self) {
+  const Tensor& a = self.parents[0]->value;
+  HEAD_PROF_OP("nn.Scale", a.rows(), a.cols(), 0, int64_t{a.size()},
+               int64_t{16} * a.size());
+  self.value = Scale(a, self.aux_d);
+}
+
+void AddScalarForward(VarImpl& self) {
+  const Tensor& a = self.parents[0]->value;
+  HEAD_PROF_OP("nn.AddScalar", a.rows(), a.cols(), 0, int64_t{a.size()},
+               int64_t{16} * a.size());
+  const double s = self.aux_d;
+  Tensor out = a;
+  for (int i = 0; i < out.size(); ++i) out[i] += s;
+  self.value = std::move(out);
+}
+
+void AddRowBroadcastForward(VarImpl& self) {
+  const Tensor& a = self.parents[0]->value;
+  HEAD_PROF_OP("nn.AddRowBroadcast", a.rows(), a.cols(), 0, int64_t{a.size()},
+               int64_t{24} * a.size());
+  self.value = AddRowBroadcast(a, self.parents[1]->value);
+}
+
 }  // namespace
 
 Var MatMul(const Var& a, const Var& b) {
   HEAD_PROF_OP("nn.MatMul", a.value().rows(), b.value().cols(),
                a.value().cols(), 0, 0);  // flops live on the nested kernel
   Tensor out = MatMul(a.value(), b.value());
-  return MakeResult("nn.MatMul", std::move(out), {&a, &b}, MatMulBackward);
+  return MakeResult("nn.MatMul", std::move(out), {&a, &b}, MatMulBackward,
+                    MatMulForward);
 }
 
 Var Affine(const Var& a, const Var& b, const Var& bias) {
@@ -306,7 +446,7 @@ Var Affine(const Var& a, const Var& b, const Var& bias) {
                a.value().cols(), 0, 0);
   Tensor out = Affine(a.value(), b.value(), bias.value());
   return MakeResult("nn.Affine", std::move(out), {&a, &b, &bias},
-                    AffineBackward);
+                    AffineBackward, AffineForward);
 }
 
 Var AffineAct(const Var& a, const Var& b, const Var& bias, FusedAct act,
@@ -318,7 +458,7 @@ Var AffineAct(const Var& a, const Var& b, const Var& bias, FusedAct act,
   const kernels::ActKind kind = ToActKind(act);
   kernels::ActForward(kind, leaky_slope, out.size(), out.data().data());
   Var result = MakeResult("nn.AffineAct", std::move(out), {&a, &b, &bias},
-                          AffineActBackward);
+                          AffineActBackward, AffineActForward);
   result.node()->aux_i = static_cast<int>(kind);
   result.node()->aux_d = leaky_slope;
   return result;
@@ -334,7 +474,7 @@ Var DualAffine(const Var& a1, const Var& b1, const Var& a2, const Var& b2,
   HEAD_CHECK_EQ(bias.value().cols(), b1.value().cols());
   const int m = a1.value().rows(), n = b1.value().cols();
   HEAD_PROF_OP("nn.DualAffine", m, n, a1.value().cols(), 0, 0);
-  Tensor out(m, n);
+  Tensor out = Tensor::Uninitialized(m, n);
   kernels::GemmNN(m, n, a1.value().cols(), a1.value().data().data(),
                   b1.value().data().data(), bias.value().data().data(),
                   kernels::GemmInit::kBias, out.data().data());
@@ -342,35 +482,40 @@ Var DualAffine(const Var& a1, const Var& b1, const Var& a2, const Var& b2,
                   b2.value().data().data(), /*bias=*/nullptr,
                   kernels::GemmInit::kAccumulate, out.data().data());
   return MakeResult("nn.DualAffine", std::move(out),
-                    {&a1, &b1, &a2, &b2, &bias}, DualAffineBackward);
+                    {&a1, &b1, &a2, &b2, &bias}, DualAffineBackward,
+                    DualAffineForward);
 }
 
 Var Add(const Var& a, const Var& b) {
   HEAD_PROF_OP("nn.Add", a.value().rows(), a.value().cols(), 0,
                int64_t{a.value().size()}, int64_t{24} * a.value().size());
   Tensor out = Add(a.value(), b.value());
-  return MakeResult("nn.Add", std::move(out), {&a, &b}, AddBackward);
+  return MakeResult("nn.Add", std::move(out), {&a, &b}, AddBackward,
+                    AddForward);
 }
 
 Var Sub(const Var& a, const Var& b) {
   HEAD_PROF_OP("nn.Sub", a.value().rows(), a.value().cols(), 0,
                int64_t{a.value().size()}, int64_t{24} * a.value().size());
   Tensor out = Sub(a.value(), b.value());
-  return MakeResult("nn.Sub", std::move(out), {&a, &b}, SubBackward);
+  return MakeResult("nn.Sub", std::move(out), {&a, &b}, SubBackward,
+                    SubForward);
 }
 
 Var Mul(const Var& a, const Var& b) {
   HEAD_PROF_OP("nn.Mul", a.value().rows(), a.value().cols(), 0,
                int64_t{a.value().size()}, int64_t{24} * a.value().size());
   Tensor out = Mul(a.value(), b.value());
-  return MakeResult("nn.Mul", std::move(out), {&a, &b}, MulBackward);
+  return MakeResult("nn.Mul", std::move(out), {&a, &b}, MulBackward,
+                    MulForward);
 }
 
 Var Scale(const Var& a, double s) {
   HEAD_PROF_OP("nn.Scale", a.value().rows(), a.value().cols(), 0,
                int64_t{a.value().size()}, int64_t{16} * a.value().size());
   Tensor out = Scale(a.value(), s);
-  Var result = MakeResult("nn.Scale", std::move(out), {&a}, ScaleBackward);
+  Var result = MakeResult("nn.Scale", std::move(out), {&a}, ScaleBackward,
+                          ScaleForward);
   result.node()->aux_d = s;
   return result;
 }
@@ -380,8 +525,10 @@ Var AddScalar(const Var& a, double s) {
                int64_t{a.value().size()}, int64_t{16} * a.value().size());
   Tensor out = a.value();
   for (int i = 0; i < out.size(); ++i) out[i] += s;
-  return MakeResult("nn.AddScalar", std::move(out), {&a},
-                    PassThroughBackward);
+  Var result = MakeResult("nn.AddScalar", std::move(out), {&a},
+                          PassThroughBackward, AddScalarForward);
+  result.node()->aux_d = s;
+  return result;
 }
 
 Var AddRowBroadcast(const Var& a, const Var& row) {
@@ -389,7 +536,7 @@ Var AddRowBroadcast(const Var& a, const Var& row) {
                int64_t{a.value().size()}, int64_t{24} * a.value().size());
   Tensor out = AddRowBroadcast(a.value(), row.value());
   return MakeResult("nn.AddRowBroadcast", std::move(out), {&a, &row},
-                    AddRowBroadcastBackward);
+                    AddRowBroadcastBackward, AddRowBroadcastForward);
 }
 
 namespace {
@@ -417,14 +564,43 @@ void LeakyReluBackward(VarImpl& self) {
   a->AccumGrad(std::move(g));
 }
 
+// Scalar forward functions shared by the eager op and its plan-replay
+// function — one definition, so the two paths cannot drift.
+double ReluF(double x) { return x > 0.0 ? x : 0.0; }
+double TanhF(double x) { return std::tanh(x); }
+double SigmoidF(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+double SquareF(double x) { return x * x; }
+
+template <double (*Fwd)(double)>
+void UnaryForward(VarImpl& self) {
+  const Tensor& a = self.parents[0]->value;
+  HEAD_PROF_OP(self.op_name, a.rows(), a.cols(), 0, int64_t{a.size()},
+               int64_t{16} * a.size());
+  Tensor out = a;
+  for (int i = 0; i < out.size(); ++i) out[i] = Fwd(out[i]);
+  self.value = std::move(out);
+}
+
+void LeakyReluForward(VarImpl& self) {
+  const Tensor& a = self.parents[0]->value;
+  HEAD_PROF_OP("nn.LeakyRelu", a.rows(), a.cols(), 0, int64_t{a.size()},
+               int64_t{16} * a.size());
+  const double negative_slope = self.aux_d;
+  Tensor out = a;
+  for (int i = 0; i < out.size(); ++i) {
+    out[i] = out[i] > 0.0 ? out[i] : negative_slope * out[i];
+  }
+  self.value = std::move(out);
+}
+
 template <typename FwdFn>
 Var UnaryElementwise(const char* op, const Var& a, FwdFn fwd,
-                     void (*backward)(VarImpl&)) {
+                     void (*backward)(VarImpl&), void (*forward)(VarImpl&)) {
   HEAD_PROF_OP(op, a.value().rows(), a.value().cols(), 0,
                int64_t{a.value().size()}, int64_t{16} * a.value().size());
   Tensor out = a.value();
   for (int i = 0; i < out.size(); ++i) out[i] = fwd(out[i]);
-  return MakeResult(op, std::move(out), {&a}, backward);
+  return MakeResult(op, std::move(out), {&a}, backward, forward);
 }
 
 double ReluD(double x, double /*y*/) { return x > 0.0 ? 1.0 : 0.0; }
@@ -435,30 +611,27 @@ double SquareD(double x, double /*y*/) { return 2.0 * x; }
 }  // namespace
 
 Var Relu(const Var& a) {
-  return UnaryElementwise(
-      "nn.Relu", a, [](double x) { return x > 0.0 ? x : 0.0; },
-      UnaryBackward<ReluD>);
+  return UnaryElementwise("nn.Relu", a, ReluF, UnaryBackward<ReluD>,
+                          UnaryForward<ReluF>);
 }
 
 Var LeakyRelu(const Var& a, double negative_slope) {
   Var result = UnaryElementwise(
       "nn.LeakyRelu", a,
       [negative_slope](double x) { return x > 0.0 ? x : negative_slope * x; },
-      LeakyReluBackward);
+      LeakyReluBackward, LeakyReluForward);
   result.node()->aux_d = negative_slope;
   return result;
 }
 
 Var Tanh(const Var& a) {
-  return UnaryElementwise(
-      "nn.Tanh", a, [](double x) { return std::tanh(x); },
-      UnaryBackward<TanhD>);
+  return UnaryElementwise("nn.Tanh", a, TanhF, UnaryBackward<TanhD>,
+                          UnaryForward<TanhF>);
 }
 
 Var Sigmoid(const Var& a) {
-  return UnaryElementwise(
-      "nn.Sigmoid", a, [](double x) { return 1.0 / (1.0 + std::exp(-x)); },
-      UnaryBackward<SigmoidD>);
+  return UnaryElementwise("nn.Sigmoid", a, SigmoidF, UnaryBackward<SigmoidD>,
+                          UnaryForward<SigmoidF>);
 }
 
 namespace {
@@ -476,6 +649,24 @@ void SoftmaxRowsBackward(VarImpl& self) {
     }
   }
   self.parents[0]->AccumGrad(std::move(g));
+}
+
+void SoftmaxRowsForward(VarImpl& self) {
+  const Tensor& a = self.parents[0]->value;
+  HEAD_PROF_OP("nn.SoftmaxRows", a.rows(), a.cols(), 0, int64_t{5} * a.size(),
+               int64_t{16} * a.size());
+  Tensor out = a;
+  for (int r = 0; r < out.rows(); ++r) {
+    double mx = out.At(r, 0);
+    for (int c = 1; c < out.cols(); ++c) mx = std::max(mx, out.At(r, c));
+    double sum = 0.0;
+    for (int c = 0; c < out.cols(); ++c) {
+      out.At(r, c) = std::exp(out.At(r, c) - mx);
+      sum += out.At(r, c);
+    }
+    for (int c = 0; c < out.cols(); ++c) out.At(r, c) /= sum;
+  }
+  self.value = std::move(out);
 }
 
 }  // namespace
@@ -496,7 +687,7 @@ Var SoftmaxRows(const Var& a) {
     for (int c = 0; c < out.cols(); ++c) out.At(r, c) /= sum;
   }
   return MakeResult("nn.SoftmaxRows", std::move(out), {&a},
-                    SoftmaxRowsBackward);
+                    SoftmaxRowsBackward, SoftmaxRowsForward);
 }
 
 namespace {
@@ -527,6 +718,38 @@ void ConcatRowsBackward(VarImpl& self) {
   }
 }
 
+void ConcatColsForward(VarImpl& self) {
+  const int rows = self.value.rows();
+  const int cols = self.value.cols();
+  HEAD_PROF_OP("nn.ConcatCols", rows, cols, 0, 0, int64_t{16} * rows * cols);
+  Tensor out = Tensor::Uninitialized(rows, cols);
+  int off = 0;
+  for (VarImpl* pi : self.parents) {
+    const Tensor& pv = pi->value;
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < pv.cols(); ++c) out.At(r, off + c) = pv.At(r, c);
+    }
+    off += pv.cols();
+  }
+  self.value = std::move(out);
+}
+
+void ConcatRowsForward(VarImpl& self) {
+  const int rows = self.value.rows();
+  const int cols = self.value.cols();
+  HEAD_PROF_OP("nn.ConcatRows", rows, cols, 0, 0, int64_t{16} * rows * cols);
+  Tensor out = Tensor::Uninitialized(rows, cols);
+  int off = 0;
+  for (VarImpl* pi : self.parents) {
+    const Tensor& pv = pi->value;
+    for (int r = 0; r < pv.rows(); ++r) {
+      for (int c = 0; c < cols; ++c) out.At(off + r, c) = pv.At(r, c);
+    }
+    off += pv.rows();
+  }
+  self.value = std::move(out);
+}
+
 }  // namespace
 
 Var ConcatCols(const std::vector<Var>& parts) {
@@ -539,7 +762,7 @@ Var ConcatCols(const std::vector<Var>& parts) {
   }
   HEAD_PROF_OP("nn.ConcatCols", rows, cols, 0, 0,
                int64_t{16} * rows * cols);
-  Tensor out(rows, cols);
+  Tensor out = Tensor::Uninitialized(rows, cols);
   int off = 0;
   for (const Var& p : parts) {
     for (int r = 0; r < rows; ++r) {
@@ -550,7 +773,7 @@ Var ConcatCols(const std::vector<Var>& parts) {
     off += p.value().cols();
   }
   return MakeResult("nn.ConcatCols", std::move(out), parts,
-                    ConcatColsBackward);
+                    ConcatColsBackward, ConcatColsForward);
 }
 
 Var ConcatRows(const std::vector<Var>& parts) {
@@ -563,7 +786,7 @@ Var ConcatRows(const std::vector<Var>& parts) {
   }
   HEAD_PROF_OP("nn.ConcatRows", rows, cols, 0, 0,
                int64_t{16} * rows * cols);
-  Tensor out(rows, cols);
+  Tensor out = Tensor::Uninitialized(rows, cols);
   int off = 0;
   for (const Var& p : parts) {
     for (int r = 0; r < p.value().rows(); ++r) {
@@ -572,7 +795,7 @@ Var ConcatRows(const std::vector<Var>& parts) {
     off += p.value().rows();
   }
   return MakeResult("nn.ConcatRows", std::move(out), parts,
-                    ConcatRowsBackward);
+                    ConcatRowsBackward, ConcatRowsForward);
 }
 
 namespace {
@@ -613,28 +836,64 @@ void SumBackward(VarImpl& self) {
   a->AccumGrad(Tensor::Full(a->value.rows(), a->value.cols(), self.grad[0]));
 }
 
+void SliceColsForward(VarImpl& self) {
+  const Tensor& av = self.parents[0]->value;
+  const int c0 = self.aux_i;
+  Tensor out = Tensor::Uninitialized(self.value.rows(), self.value.cols());
+  for (int r = 0; r < out.rows(); ++r) {
+    for (int c = 0; c < out.cols(); ++c) out.At(r, c) = av.At(r, c0 + c);
+  }
+  self.value = std::move(out);
+}
+
+void SliceRowsForward(VarImpl& self) {
+  const Tensor& av = self.parents[0]->value;
+  const int r0 = self.aux_i;
+  Tensor out = Tensor::Uninitialized(self.value.rows(), self.value.cols());
+  for (int r = 0; r < out.rows(); ++r) {
+    for (int c = 0; c < out.cols(); ++c) out.At(r, c) = av.At(r0 + r, c);
+  }
+  self.value = std::move(out);
+}
+
+void ReshapeForward(VarImpl& self) {
+  const Tensor& av = self.parents[0]->value;
+  Tensor out = Tensor::Uninitialized(self.value.rows(), self.value.cols());
+  for (int i = 0; i < out.size(); ++i) out[i] = av[i];
+  self.value = std::move(out);
+}
+
+void SumForward(VarImpl& self) {
+  const Tensor& av = self.parents[0]->value;
+  HEAD_PROF_OP("nn.Sum", av.rows(), av.cols(), 0, int64_t{av.size()},
+               int64_t{8} * av.size());
+  double s = 0.0;
+  for (int i = 0; i < av.size(); ++i) s += av[i];
+  self.value = Tensor::Full(1, 1, s);
+}
+
 }  // namespace
 
 Var SliceCols(const Var& a, int c0, int c1) {
   HEAD_CHECK(0 <= c0 && c0 < c1 && c1 <= a.value().cols());
-  Tensor out(a.value().rows(), c1 - c0);
+  Tensor out = Tensor::Uninitialized(a.value().rows(), c1 - c0);
   for (int r = 0; r < out.rows(); ++r) {
     for (int c = 0; c < out.cols(); ++c) out.At(r, c) = a.value().At(r, c0 + c);
   }
   Var result = MakeResult("nn.SliceCols", std::move(out), {&a},
-                          SliceColsBackward);
+                          SliceColsBackward, SliceColsForward);
   result.node()->aux_i = c0;
   return result;
 }
 
 Var SliceRows(const Var& a, int r0, int r1) {
   HEAD_CHECK(0 <= r0 && r0 < r1 && r1 <= a.value().rows());
-  Tensor out(r1 - r0, a.value().cols());
+  Tensor out = Tensor::Uninitialized(r1 - r0, a.value().cols());
   for (int r = 0; r < out.rows(); ++r) {
     for (int c = 0; c < out.cols(); ++c) out.At(r, c) = a.value().At(r0 + r, c);
   }
   Var result = MakeResult("nn.SliceRows", std::move(out), {&a},
-                          SliceRowsBackward);
+                          SliceRowsBackward, SliceRowsForward);
   result.node()->aux_i = r0;
   return result;
 }
@@ -643,11 +902,11 @@ Var Reshape(const Var& a, int rows, int cols) {
   HEAD_CHECK_EQ(a.value().size(), rows * cols);
   // Element copy into a pooled buffer (constructing from a.value().data()
   // would copy the vector outside the pool).
-  Tensor out(rows, cols);
+  Tensor out = Tensor::Uninitialized(rows, cols);
   const Tensor& av = a.value();
   for (int i = 0; i < out.size(); ++i) out[i] = av[i];
-  return MakeResult("nn.Reshape", std::move(out), {&a},
-                    ReshapeBackward);
+  return MakeResult("nn.Reshape", std::move(out), {&a}, ReshapeBackward,
+                    ReshapeForward);
 }
 
 Var Sum(const Var& a) {
@@ -655,7 +914,8 @@ Var Sum(const Var& a) {
                int64_t{a.value().size()}, int64_t{8} * a.value().size());
   double s = 0.0;
   for (int i = 0; i < a.value().size(); ++i) s += a.value()[i];
-  return MakeResult("nn.Sum", Tensor::Full(1, 1, s), {&a}, SumBackward);
+  return MakeResult("nn.Sum", Tensor::Full(1, 1, s), {&a}, SumBackward,
+                    SumForward);
 }
 
 Var Mean(const Var& a) {
@@ -664,8 +924,8 @@ Var Mean(const Var& a) {
 }
 
 Var Square(const Var& a) {
-  return UnaryElementwise(
-      "nn.Square", a, [](double x) { return x * x; }, UnaryBackward<SquareD>);
+  return UnaryElementwise("nn.Square", a, SquareF, UnaryBackward<SquareD>,
+                          UnaryForward<SquareF>);
 }
 
 Var MseLoss(const Var& pred, const Var& target) {
@@ -758,6 +1018,94 @@ void SumRowGroupsBackward(VarImpl& self) {
   a->AccumGrad(std::move(g));
 }
 
+void GatherRowsForward(VarImpl& self) {
+  const Tensor& av = self.parents[0]->value;
+  const int cols = av.cols();
+  const std::vector<int>& rows = self.indices;  // frozen at capture
+  HEAD_PROF_OP("nn.GatherRows", static_cast<int>(rows.size()), cols, 0, 0,
+               int64_t{16} * static_cast<int64_t>(rows.size()) * cols);
+  Tensor out = Tensor::Uninitialized(static_cast<int>(rows.size()), cols);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const double* src =
+        av.data().data() + static_cast<size_t>(rows[i]) * cols;
+    double* dst = out.data().data() + i * cols;
+    for (int c = 0; c < cols; ++c) dst[c] = src[c];
+  }
+  self.value = std::move(out);
+}
+
+void SelectColumnPerRowForward(VarImpl& self) {
+  const Tensor& av = self.parents[0]->value;
+  const std::vector<int>& cols = self.indices;  // re-fed per replay
+  HEAD_PROF_OP("nn.SelectColumnPerRow", av.rows(), av.cols(), 0, 0,
+               int64_t{16} * av.rows());
+  Tensor out = Tensor::Uninitialized(av.rows(), 1);
+  for (int r = 0; r < av.rows(); ++r) {
+    HEAD_CHECK(cols[r] >= 0 && cols[r] < av.cols());
+    out[r] = av.At(r, cols[r]);
+  }
+  self.value = std::move(out);
+}
+
+void RowwiseMaxForward(VarImpl& self) {
+  const Tensor& av = self.parents[0]->value;
+  HEAD_PROF_OP("nn.RowwiseMax", av.rows(), av.cols(), 0, 0,
+               int64_t{8} * (av.size() + av.rows()));
+  Tensor out = Tensor::Uninitialized(av.rows(), 1);
+  self.indices.assign(av.rows(), 0);  // argmax recomputed for backward
+  for (int r = 0; r < av.rows(); ++r) {
+    int best = 0;
+    for (int c = 1; c < av.cols(); ++c) {
+      if (av.At(r, c) > av.At(r, best)) best = c;
+    }
+    self.indices[r] = best;
+    out[r] = av.At(r, best);
+  }
+  self.value = std::move(out);
+}
+
+void SumRowsForward(VarImpl& self) {
+  const Tensor& a = self.parents[0]->value;
+  HEAD_PROF_OP("nn.SumRows", a.rows(), a.cols(), 0, int64_t{a.size()},
+               int64_t{8} * a.size());
+  self.value = SumRows(a);
+}
+
+void ScaleRowsForward(VarImpl& self) {
+  const Tensor& av = self.parents[0]->value;
+  const Tensor& sv = self.parents[1]->value;
+  HEAD_PROF_OP("nn.ScaleRows", av.rows(), av.cols(), 0, int64_t{av.size()},
+               int64_t{24} * av.size());
+  const int cols = av.cols();
+  Tensor out = Tensor::Uninitialized(av.rows(), cols);
+  for (int r = 0; r < av.rows(); ++r) {
+    const double s = sv[r];
+    const double* src = av.data().data() + static_cast<size_t>(r) * cols;
+    double* dst = out.data().data() + static_cast<size_t>(r) * cols;
+    for (int c = 0; c < cols; ++c) dst[c] = src[c] * s;
+  }
+  self.value = std::move(out);
+}
+
+void SumRowGroupsForward(VarImpl& self) {
+  const Tensor& av = self.parents[0]->value;
+  const int group_size = self.aux_i;
+  const int groups = av.rows() / group_size;
+  const int cols = av.cols();
+  HEAD_PROF_OP("nn.SumRowGroups", av.rows(), cols, 0, int64_t{av.size()},
+               int64_t{16} * av.size());
+  Tensor out(groups, cols);  // zero-initialized, matching the eager op
+  for (int g = 0; g < groups; ++g) {
+    double* dst = out.data().data() + static_cast<size_t>(g) * cols;
+    for (int n = 0; n < group_size; ++n) {
+      const double* src =
+          av.data().data() + static_cast<size_t>(g * group_size + n) * cols;
+      for (int c = 0; c < cols; ++c) dst[c] += src[c];
+    }
+  }
+  self.value = std::move(out);
+}
+
 }  // namespace
 
 Var GatherRows(const Var& a, std::vector<int> rows) {
@@ -765,7 +1113,7 @@ Var GatherRows(const Var& a, std::vector<int> rows) {
   const int cols = av.cols();
   HEAD_PROF_OP("nn.GatherRows", static_cast<int>(rows.size()), cols, 0, 0,
                int64_t{16} * static_cast<int64_t>(rows.size()) * cols);
-  Tensor out(static_cast<int>(rows.size()), cols);
+  Tensor out = Tensor::Uninitialized(static_cast<int>(rows.size()), cols);
   for (size_t i = 0; i < rows.size(); ++i) {
     const int r = rows[i];
     HEAD_CHECK(r >= 0 && r < av.rows());
@@ -774,7 +1122,7 @@ Var GatherRows(const Var& a, std::vector<int> rows) {
     for (int c = 0; c < cols; ++c) dst[c] = src[c];
   }
   Var result = MakeResult("nn.GatherRows", std::move(out), {&a},
-                          GatherRowsBackward);
+                          GatherRowsBackward, GatherRowsForward);
   result.node()->indices = std::move(rows);
   return result;
 }
@@ -784,14 +1132,18 @@ Var SelectColumnPerRow(const Var& a, std::vector<int> cols) {
   HEAD_CHECK_EQ(static_cast<int>(cols.size()), av.rows());
   HEAD_PROF_OP("nn.SelectColumnPerRow", av.rows(), av.cols(), 0, 0,
                int64_t{16} * av.rows());
-  Tensor out(av.rows(), 1);
+  Tensor out = Tensor::Uninitialized(av.rows(), 1);
   for (int r = 0; r < av.rows(); ++r) {
     HEAD_CHECK(cols[r] >= 0 && cols[r] < av.cols());
     out[r] = av.At(r, cols[r]);
   }
   Var result = MakeResult("nn.SelectColumnPerRow", std::move(out), {&a},
-                          SelectColumnPerRowBackward);
+                          SelectColumnPerRowBackward,
+                          SelectColumnPerRowForward);
   result.node()->indices = std::move(cols);
+  // The selected columns change per step (sampled behaviors): replays feed
+  // them through the plan's index slots.
+  if (plan_internal::Active()) plan_internal::RegisterIndexSlot(result.node());
   return result;
 }
 
@@ -800,8 +1152,8 @@ Var RowwiseMax(const Var& a) {
   HEAD_CHECK_GT(av.cols(), 0);
   HEAD_PROF_OP("nn.RowwiseMax", av.rows(), av.cols(), 0, 0,
                int64_t{8} * (av.size() + av.rows()));
-  Var result = MakeResult("nn.RowwiseMax", Tensor(av.rows(), 1), {&a},
-                          RowwiseMaxBackward);
+  Var result = MakeResult("nn.RowwiseMax", Tensor::Uninitialized(av.rows(), 1), {&a},
+                          RowwiseMaxBackward, RowwiseMaxForward);
   VarImpl* node = result.node();
   // The argmax list reuses the node's index capacity across steps instead of
   // allocating a fresh vector per call.
@@ -822,7 +1174,8 @@ Var SumRows(const Var& a) {
   HEAD_PROF_OP("nn.SumRows", a.value().rows(), a.value().cols(), 0,
                int64_t{a.value().size()}, int64_t{8} * a.value().size());
   Tensor out = SumRows(a.value());
-  return MakeResult("nn.SumRows", std::move(out), {&a}, SumRowsBackward);
+  return MakeResult("nn.SumRows", std::move(out), {&a}, SumRowsBackward,
+                    SumRowsForward);
 }
 
 Var ScaleRows(const Var& a, const Var& scale) {
@@ -832,7 +1185,7 @@ Var ScaleRows(const Var& a, const Var& scale) {
   HEAD_CHECK_EQ(sv.cols(), 1);
   HEAD_PROF_OP("nn.ScaleRows", av.rows(), av.cols(), 0,
                int64_t{av.size()}, int64_t{24} * av.size());
-  Tensor out(av.rows(), av.cols());
+  Tensor out = Tensor::Uninitialized(av.rows(), av.cols());
   const int cols = av.cols();
   for (int r = 0; r < av.rows(); ++r) {
     const double s = sv[r];
@@ -841,7 +1194,7 @@ Var ScaleRows(const Var& a, const Var& scale) {
     for (int c = 0; c < cols; ++c) dst[c] = src[c] * s;
   }
   return MakeResult("nn.ScaleRows", std::move(out), {&a, &scale},
-                    ScaleRowsBackward);
+                    ScaleRowsBackward, ScaleRowsForward);
 }
 
 Var SumRowGroups(const Var& a, int group_size) {
@@ -862,7 +1215,7 @@ Var SumRowGroups(const Var& a, int group_size) {
     }
   }
   Var result = MakeResult("nn.SumRowGroups", std::move(out), {&a},
-                          SumRowGroupsBackward);
+                          SumRowGroupsBackward, SumRowGroupsForward);
   result.node()->aux_i = group_size;
   return result;
 }

@@ -273,9 +273,103 @@ inline void MicroKernel4x8(int rows, int k, const double* ap,
   }
 }
 
+/// Small-k variant of the packed path. At k ≤ 8 a 4×8 block is only 32
+/// fmas, so the generic path's per-quad A-packing, runtime k-loop control,
+/// and tail-mask setup rival the arithmetic itself. This kernel requires
+/// contiguous row-major A (a_row_stride == K, a_k_stride == 1) so rows are
+/// read in place, fully unrolls the k loop at compile time, and handles
+/// only whole panels (n % 8 == 0) so every store is a plain storeu. The
+/// accumulation is the same per-element k-ordered fold over the same
+/// packed panels as MicroKernel4x8 — bitwise-identical output; taking this
+/// path is purely a performance choice (see file header).
+template <int K>
+void Avx2GemmPackedSmallK(int m, int n, const double* a, const double* bp,
+                          const double* bias_p, GemmInit init, double* c) {
+  const int panels = n / kPanelWidth;
+  int i0 = 0;
+  for (; i0 + kMr <= m; i0 += kMr) {
+    const double* arow = a + static_cast<size_t>(i0) * K;
+    double* cblock = c + static_cast<size_t>(i0) * n;
+    for (int p = 0; p < panels; ++p) {
+      const double* panel = bp + static_cast<size_t>(p) * K * kPanelWidth;
+      double* c0 = cblock + static_cast<size_t>(p) * kPanelWidth;
+      __m256d acc[kMr][2];
+      if (init == GemmInit::kBias) {
+        const __m256d b0 =
+            _mm256_loadu_pd(bias_p + static_cast<size_t>(p) * kPanelWidth);
+        const __m256d b1 =
+            _mm256_loadu_pd(bias_p + static_cast<size_t>(p) * kPanelWidth + 4);
+        for (int r = 0; r < kMr; ++r) {
+          acc[r][0] = b0;
+          acc[r][1] = b1;
+        }
+      } else if (init == GemmInit::kAccumulate) {
+        for (int r = 0; r < kMr; ++r) {
+          acc[r][0] = _mm256_loadu_pd(c0 + static_cast<size_t>(r) * n);
+          acc[r][1] = _mm256_loadu_pd(c0 + static_cast<size_t>(r) * n + 4);
+        }
+      } else {
+        for (int r = 0; r < kMr; ++r) {
+          acc[r][0] = _mm256_setzero_pd();
+          acc[r][1] = _mm256_setzero_pd();
+        }
+      }
+#pragma GCC unroll 8
+      for (int kk = 0; kk < K; ++kk) {
+        const __m256d b0 =
+            _mm256_loadu_pd(panel + static_cast<size_t>(kk) * kPanelWidth);
+        const __m256d b1 =
+            _mm256_loadu_pd(panel + static_cast<size_t>(kk) * kPanelWidth + 4);
+        for (int r = 0; r < kMr; ++r) {
+          const __m256d va = _mm256_set1_pd(arow[static_cast<size_t>(r) * K + kk]);
+          acc[r][0] = _mm256_fmadd_pd(va, b0, acc[r][0]);
+          acc[r][1] = _mm256_fmadd_pd(va, b1, acc[r][1]);
+        }
+      }
+      for (int r = 0; r < kMr; ++r) {
+        _mm256_storeu_pd(c0 + static_cast<size_t>(r) * n, acc[r][0]);
+        _mm256_storeu_pd(c0 + static_cast<size_t>(r) * n + 4, acc[r][1]);
+      }
+    }
+  }
+  // Row tail (< 4 rows): scalar std::fma runs the identical per-element
+  // fold (a fused multiply-add is one correctly-rounded operation in both
+  // lane and scalar form), so the tail is bitwise-consistent with the
+  // vector block above and with MicroKernel4x8's zero-padded rows.
+  for (; i0 < m; ++i0) {
+    const double* arow = a + static_cast<size_t>(i0) * K;
+    double* crow = c + static_cast<size_t>(i0) * n;
+    for (int j = 0; j < n; ++j) {
+      const double* panel = bp + static_cast<size_t>(j / kPanelWidth) * K * kPanelWidth;
+      const int lane = j % kPanelWidth;
+      double acc = init == GemmInit::kBias         ? bias_p[j]
+                   : init == GemmInit::kAccumulate ? crow[j]
+                                                   : 0.0;
+      for (int kk = 0; kk < K; ++kk) {
+        acc = std::fma(arow[kk], panel[static_cast<size_t>(kk) * kPanelWidth + lane],
+                       acc);
+      }
+      crow[j] = acc;
+    }
+  }
+}
+
 void Avx2GemmPacked(int m, int n, int k, const double* a, int a_row_stride,
                     int a_k_stride, const double* bp, const double* bias_p,
                     GemmInit init, double* c) {
+  if (a_k_stride == 1 && a_row_stride == k && n % kPanelWidth == 0) {
+    switch (k) {
+      case 1: return Avx2GemmPackedSmallK<1>(m, n, a, bp, bias_p, init, c);
+      case 2: return Avx2GemmPackedSmallK<2>(m, n, a, bp, bias_p, init, c);
+      case 3: return Avx2GemmPackedSmallK<3>(m, n, a, bp, bias_p, init, c);
+      case 4: return Avx2GemmPackedSmallK<4>(m, n, a, bp, bias_p, init, c);
+      case 5: return Avx2GemmPackedSmallK<5>(m, n, a, bp, bias_p, init, c);
+      case 6: return Avx2GemmPackedSmallK<6>(m, n, a, bp, bias_p, init, c);
+      case 7: return Avx2GemmPackedSmallK<7>(m, n, a, bp, bias_p, init, c);
+      case 8: return Avx2GemmPackedSmallK<8>(m, n, a, bp, bias_p, init, c);
+      default: break;  // large k: the packed microkernel amortizes fine
+    }
+  }
   // Per-thread A-panel scratch: one 4×k block, k-major, zero-padded rows.
   // Grows once per thread to the largest k seen; no steady-state heap.
   thread_local std::vector<double> a_panel;

@@ -87,6 +87,22 @@ Tensor& Tensor::operator=(Tensor&& other) noexcept {
 
 Tensor::~Tensor() { PoolRelease(std::move(data_)); }
 
+Tensor Tensor::Uninitialized(int rows, int cols) {
+  HEAD_CHECK_GE(rows, 0);
+  HEAD_CHECK_GE(cols, 0);
+  Tensor t;
+  t.rows_ = rows;
+  t.cols_ = cols;
+  const size_t n = static_cast<size_t>(rows) * cols;
+  t.data_ = PoolAcquire(n);
+  // A recycled buffer keeps the size it was released with, which in a
+  // steady-state loop of fixed shapes is exactly n — the resize is then a
+  // no-op. Only a size-mismatched (or freshly heap-backed) buffer pays a
+  // value-init, and only for the gap.
+  t.data_.resize(n);
+  return t;
+}
+
 Tensor Tensor::Uniform(int rows, int cols, double lo, double hi, Rng& rng) {
   Tensor t(rows, cols);
   for (double& v : t.data_) v = rng.Uniform(lo, hi);
@@ -153,7 +169,7 @@ std::ostream& operator<<(std::ostream& os, const Tensor& t) {
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   HEAD_CHECK_EQ(a.cols(), b.rows());
   const int m = a.rows(), kk = a.cols(), n = b.cols();
-  Tensor out(m, n);
+  Tensor out = Tensor::Uninitialized(m, n);
   kernels::GemmNN(m, n, kk, a.data().data(), b.data().data(),
                   /*bias=*/nullptr, kernels::GemmInit::kZero,
                   out.data().data());
@@ -165,7 +181,7 @@ Tensor Affine(const Tensor& a, const Tensor& b, const Tensor& bias) {
   HEAD_CHECK_EQ(bias.rows(), 1);
   HEAD_CHECK_EQ(bias.cols(), b.cols());
   const int m = a.rows(), kk = a.cols(), n = b.cols();
-  Tensor out(m, n);
+  Tensor out = Tensor::Uninitialized(m, n);
   kernels::GemmNN(m, n, kk, a.data().data(), b.data().data(),
                   bias.data().data(), kernels::GemmInit::kBias,
                   out.data().data());
@@ -175,7 +191,7 @@ Tensor Affine(const Tensor& a, const Tensor& b, const Tensor& bias) {
 Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
   HEAD_CHECK_EQ(a.cols(), b.cols());
   const int m = a.rows(), kk = a.cols(), n = b.rows();
-  Tensor out(m, n);
+  Tensor out = Tensor::Uninitialized(m, n);
   kernels::GemmNT(m, n, kk, a.data().data(), b.data().data(),
                   out.data().data());
   return out;
@@ -184,7 +200,7 @@ Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
 Tensor MatMulTransposeA(const Tensor& a, const Tensor& b) {
   HEAD_CHECK_EQ(a.rows(), b.rows());
   const int kk = a.rows(), m = a.cols(), n = b.cols();
-  Tensor out(m, n);
+  Tensor out = Tensor::Uninitialized(m, n);
   kernels::GemmTN(m, n, kk, a.data().data(), b.data().data(),
                   kernels::GemmInit::kZero, out.data().data());
   return out;
@@ -192,7 +208,7 @@ Tensor MatMulTransposeA(const Tensor& a, const Tensor& b) {
 
 Tensor Transpose(const Tensor& a) {
   const int rows = a.rows(), cols = a.cols();
-  Tensor out(cols, rows);
+  Tensor out = Tensor::Uninitialized(cols, rows);
   const double* pa = a.data().data();
   double* po = out.data().data();
   // Cache-blocked: both the row-major read and the strided write stay within
@@ -236,7 +252,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
-  Tensor out(a.rows(), a.cols());
+  Tensor out = Tensor::Uninitialized(a.rows(), a.cols());
   const double* pa = a.data().data();
   const double* pb = b.data().data();
   double* po = out.data().data();
@@ -246,7 +262,7 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Scale(const Tensor& a, double s) {
-  Tensor out(a.rows(), a.cols());
+  Tensor out = Tensor::Uninitialized(a.rows(), a.cols());
   const double* pa = a.data().data();
   double* po = out.data().data();
   const int n = a.size();
@@ -280,7 +296,7 @@ Tensor SumRows(const Tensor& a) {
 
 Tensor RowwiseMax(const Tensor& a) {
   HEAD_CHECK_GE(a.cols(), 1);
-  Tensor out(a.rows(), 1);
+  Tensor out = Tensor::Uninitialized(a.rows(), 1);
   kernels::RowwiseMax(a.rows(), a.cols(), a.data().data(), out.data().data(),
                       /*argmax=*/nullptr);
   return out;

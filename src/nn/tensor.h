@@ -36,6 +36,13 @@ class Tensor {
   Tensor& operator=(Tensor&& other) noexcept;
   ~Tensor();
 
+  /// rows×cols tensor with unspecified contents — for outputs whose every
+  /// element the caller writes before any read (GEMM results, transposes).
+  /// Skips the zero-fill Tensor(rows, cols) would pay just to have the
+  /// kernel overwrite it; in a warm steady-state loop the recycled pool
+  /// buffer already has the right size, so construction touches no memory.
+  static Tensor Uninitialized(int rows, int cols);
+
   static Tensor Zeros(int rows, int cols) { return Tensor(rows, cols, 0.0); }
   static Tensor Full(int rows, int cols, double v) {
     return Tensor(rows, cols, v);

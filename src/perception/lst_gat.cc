@@ -8,7 +8,7 @@
 
 namespace head::perception {
 
-nn::Var PackStepNodes(const StepNodes& nodes) {
+nn::Tensor PackStepTensor(const StepNodes& nodes) {
   nn::Tensor m(kNumAreas * kNodesPerTarget, kFeatureDim);
   for (int i = 0; i < kNumAreas; ++i) {
     for (int n = 0; n < kNodesPerTarget; ++n) {
@@ -17,8 +17,43 @@ nn::Var PackStepNodes(const StepNodes& nodes) {
       }
     }
   }
-  return nn::Var::Constant(std::move(m));
+  return m;
 }
+
+nn::Var PackStepNodes(const StepNodes& nodes) {
+  return nn::PlanInput(PackStepTensor(nodes));
+}
+
+namespace {
+
+/// Stacks every sample's step-k nodes into one (B·42×4) tensor — the data
+/// matrix ForwardScaledBatch consumes per step, and what the batch replay
+/// feeder re-feeds. Each sample packs into a disjoint block, so the loop
+/// fans out across the pool (grain keeps small batches on one worker).
+nn::Tensor StackStepBatch(const std::vector<const StGraph*>& graphs, int k) {
+  const int batch = static_cast<int>(graphs.size());
+  const int rows_per_sample = kNumAreas * kNodesPerTarget;
+  nn::Tensor m(batch * rows_per_sample, kFeatureDim);
+  double* base = m.data().data();
+  parallel::ThreadPool& pool = parallel::ThreadPool::Global();
+  const int64_t block = int64_t{rows_per_sample} * kFeatureDim;
+  pool.ParallelFor(0, batch, /*grain=*/16, [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      double* dst = base + b * block;
+      const StepNodes& nodes = graphs[b]->steps[k];
+      for (int i = 0; i < kNumAreas; ++i) {
+        for (int n = 0; n < kNodesPerTarget; ++n) {
+          for (int f = 0; f < kFeatureDim; ++f) {
+            *dst++ = nodes.feat[i][n][f];
+          }
+        }
+      }
+    }
+  });
+  return m;
+}
+
+}  // namespace
 
 LstGat::LstGat(const LstGatConfig& config, Rng& rng, FeatureScale scale)
     : StatePredictor(scale),
@@ -118,33 +153,29 @@ nn::Var LstGat::ForwardScaledBatch(
     if (g->z() != z) return StatePredictor::ForwardScaledBatch(graphs);
   }
   const int batch = static_cast<int>(graphs.size());
-  const int rows_per_sample = kNumAreas * kNodesPerTarget;
   nn::LstmState state = lstm_.InitialState(batch * kNumAreas);
-  // Each sample packs into a disjoint block of `m`, so the stacking loop
-  // fans out across the pool (grain keeps small batches on one worker).
-  parallel::ThreadPool& pool = parallel::ThreadPool::Global();
-  const int64_t block = int64_t{rows_per_sample} * kFeatureDim;
   for (int k = 0; k < z; ++k) {
-    nn::Tensor m(batch * rows_per_sample, kFeatureDim);
-    double* base = m.data().data();
-    pool.ParallelFor(0, batch, /*grain=*/16, [&](int64_t b0, int64_t b1) {
-      for (int64_t b = b0; b < b1; ++b) {
-        double* dst = base + b * block;
-        const StepNodes& nodes = graphs[b]->steps[k];
-        for (int i = 0; i < kNumAreas; ++i) {
-          for (int n = 0; n < kNodesPerTarget; ++n) {
-            for (int f = 0; f < kFeatureDim; ++f) {
-              *dst++ = nodes.feat[i][n][f];
-            }
-          }
-        }
-      }
-    });
     const nn::Var h_updated = GatStepStacked(
-        nn::Var::Constant(std::move(m)), batch * kNumAreas);
+        nn::PlanInput(StackStepBatch(graphs, k)), batch * kNumAreas);
     state = lstm_.Forward(h_updated, state);  // Eq. (12), batched over B·6
   }
   return head_.Forward(state.h);  // (B·6×3), Eq. (13)
+}
+
+void LstGat::AppendPlanInputs(const StGraph& graph,
+                              std::vector<nn::Tensor>* inputs) const {
+  // One PlanInput per historical step, in ForwardScaled's loop order.
+  for (int k = 0; k < graph.z(); ++k) {
+    inputs->push_back(PackStepTensor(graph.steps[k]));
+  }
+}
+
+void LstGat::AppendPlanInputsBatch(const std::vector<const StGraph*>& graphs,
+                                   std::vector<nn::Tensor>* inputs) const {
+  HEAD_CHECK(!graphs.empty());
+  for (int k = 0; k < graphs[0]->z(); ++k) {
+    inputs->push_back(StackStepBatch(graphs, k));
+  }
 }
 
 nn::Var LstGat::ForwardScaled(const StGraph& graph) const {

@@ -42,6 +42,17 @@ class LstGat : public StatePredictor {
   nn::Var ForwardScaledBatch(
       const std::vector<const StGraph*>& graphs) const override;
 
+  /// Both forward passes build a fixed graph for a given z whose data
+  /// enters only through nn::PlanInput — compilable into an ExecPlan.
+  bool PlanCapturable() const override { return true; }
+  void AppendPlanInputs(const StGraph& graph,
+                        std::vector<nn::Tensor>* inputs) const override;
+  void AppendPlanInputsBatch(const std::vector<const StGraph*>& graphs,
+                             std::vector<nn::Tensor>* inputs) const override;
+  const char* ForwardSpanName() const override {
+    return "perception.lstgat.forward";
+  }
+
   std::vector<nn::Var> Params() const override;
 
   const LstGatConfig& config() const { return config_; }
@@ -66,8 +77,12 @@ class LstGat : public StatePredictor {
   nn::Linear head_;  // φ4 (+ b4): D_l → 3
 };
 
-/// Packs one step's 42 node features into a (42×4) constant Var, grouped as
+/// Packs one step's 42 node features into a (42×4) tensor, grouped as
 /// 7 consecutive rows per target (self first).
+nn::Tensor PackStepTensor(const StepNodes& nodes);
+
+/// PackStepTensor as a Var — an nn::PlanInput, so a capturing caller gets a
+/// replay slot; outside capture it is a plain constant.
 nn::Var PackStepNodes(const StepNodes& nodes);
 
 }  // namespace head::perception

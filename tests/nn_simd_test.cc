@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include "nn/autograd.h"
+#include "nn/kernels/kernel_table.h"
 #include "nn/kernels/simd.h"
 #include "nn/layers.h"
 #include "nn/optimizer.h"
@@ -352,6 +353,54 @@ TEST_F(SimdTest, PackedPathIsRowPrefixInvariant) {
     }
   }
 }
+
+#if defined(HEAD_HAVE_AVX2_TU)
+TEST_F(SimdTest, SmallKPackedPathBitwiseMatchesGenericMicrokernel) {
+  // The compile-time small-k kernel (k <= 8, contiguous A, whole panels)
+  // must be a pure performance choice: same per-element k-ordered fold,
+  // same bits, as the generic packed microkernel. The generic path is
+  // forced by widening A with one padding column (a_row_stride = k + 1),
+  // which feeds it the identical row data through the strided reader.
+  if (!UseAvx2()) GTEST_SKIP() << "no AVX2+FMA on this machine";
+  namespace internal = kernels::internal;
+  const internal::KernelTable& t = internal::kAvx2Table;
+  Rng rng(53);
+  using kernels::GemmInit;
+  for (const int k : {1, 2, 3, 4, 5, 7, 8}) {
+    for (const int m : {8, 9, 11}) {
+      for (const int n : {8, 16, 64}) {
+        const nn::Tensor a = nn::Tensor::Uniform(m, k, -1.0, 1.0, rng);
+        const nn::Tensor b = nn::Tensor::Uniform(k, n, -1.0, 1.0, rng);
+        const nn::Tensor bias = nn::Tensor::Uniform(1, n, -1.0, 1.0, rng);
+        nn::Tensor a_padded(m, k + 1);
+        for (int r = 0; r < m; ++r) {
+          for (int c = 0; c < k; ++c) a_padded.At(r, c) = a.At(r, c);
+        }
+        std::vector<double> bp(internal::PackedBSize(n, k));
+        std::vector<double> bias_p(internal::PackedBiasSize(n));
+        t.pack_b(n, k, b.data().data(), /*transposed=*/false, bp.data());
+        t.pack_bias(n, bias.data().data(), bias_p.data());
+        for (const GemmInit init :
+             {GemmInit::kZero, GemmInit::kBias, GemmInit::kAccumulate}) {
+          const nn::Tensor seed = nn::Tensor::Uniform(m, n, -1.0, 1.0, rng);
+          nn::Tensor c_small = seed, c_generic = seed;
+          t.gemm_packed(m, n, k, a.data().data(), /*a_row_stride=*/k,
+                        /*a_k_stride=*/1, bp.data(), bias_p.data(), init,
+                        c_small.data().data());
+          t.gemm_packed(m, n, k, a_padded.data().data(),
+                        /*a_row_stride=*/k + 1, /*a_k_stride=*/1, bp.data(),
+                        bias_p.data(), init, c_generic.data().data());
+          for (int i = 0; i < m * n; ++i) {
+            ASSERT_EQ(c_small[i], c_generic[i])
+                << "m=" << m << " n=" << n << " k=" << k
+                << " init=" << static_cast<int>(init) << " i=" << i;
+          }
+        }
+      }
+    }
+  }
+}
+#endif  // HEAD_HAVE_AVX2_TU
 
 TEST_F(SimdTest, GemmThreadCountInvariant) {
   // Large enough to cross the parallel flop threshold (2·256³ ≈ 3.4e7).

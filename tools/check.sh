@@ -27,6 +27,10 @@
 #      of root wall time attributed to per-op rows) and diffs it against
 #      the committed baseline with tools/profile_diff.py — fails when any
 #      sizable op's per-call self time regressed ≥50%.
+#   6. Plans-off stage: the full ctest suite with HEAD_PLANS=0, pinning
+#      every capture-capable call site to the eager tape. Proves the
+#      static-plan fallback path (and everything downstream of it) stays
+#      healthy when plans are globally disabled.
 #
 # Usage:
 #   tools/check.sh                         # all stages (tsan + asan + perf)
@@ -36,6 +40,7 @@
 #   HEAD_SKIP_SCALAR=1 tools/check.sh      # skip the scalar-fallback suite
 #   HEAD_SKIP_SMOKE=1 tools/check.sh       # skip the flight-recorder smoke
 #   HEAD_SKIP_PROFILE=1 tools/check.sh     # skip the op-profile diff gate
+#   HEAD_SKIP_PLANS=1 tools/check.sh       # skip the plans-off ctest suite
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -49,7 +54,7 @@ fi
 SAN_TESTS=(obs_test obs_trace_test obs_recorder_test obs_timeseries_test
            obs_profiler_test flight_replay_test sim_simulation_test
            sim_models_test nn_batched_ops_test nn_arena_test nn_simd_test
-           parallel_test parallel_determinism_test)
+           nn_plan_test parallel_test parallel_determinism_test)
 
 for SANITIZER in "${SANITIZERS[@]}"; do
   BUILD_DIR="build-${SANITIZER}san"
@@ -123,7 +128,11 @@ fi
 if [[ "${HEAD_SKIP_PROFILE:-0}" != "1" ]]; then
   # Shares the optimized tree with the perf/smoke stages. The profiled pass
   # is deliberately tiny (1 trial, no gemm sweep) — the gate is per-call
-  # self time, which a short run measures as well as a long one.
+  # self time, which a short run measures as well as a long one. The
+  # committed baseline records each op's *noise envelope* (per-op max
+  # us/call over repeated runs on the reference container, whose scheduler
+  # jitter swings sub-ms ops several-fold run to run), so the diff is a
+  # backstop against step-change regressions, not a ±50% microbenchmark.
   PROFILE_BUILD_DIR="build-perf"
   cmake -B "${PROFILE_BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build "${PROFILE_BUILD_DIR}" -j --target training_throughput
@@ -138,4 +147,17 @@ if [[ "${HEAD_SKIP_PROFILE:-0}" != "1" ]]; then
     "${PROFILE_BUILD_DIR}/BENCH_profile.json" \
     --threshold=0.5
   echo "== op-profile diff passed (${PROFILE_BUILD_DIR}/BENCH_profile.json) =="
+fi
+
+if [[ "${HEAD_SKIP_PLANS:-0}" != "1" ]]; then
+  # Plans-off suite: the whole test battery with HEAD_PLANS=0, so every
+  # static_plans call site takes its eager fallback. Shares the optimized
+  # tree with the perf/smoke/profile stages; building the remaining test
+  # targets there is incremental.
+  PLANS_BUILD_DIR="build-perf"
+  cmake -B "${PLANS_BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${PLANS_BUILD_DIR}" -j
+  echo "== plans-off suite: full ctest with HEAD_PLANS=0 =="
+  HEAD_PLANS=0 ctest --test-dir "${PLANS_BUILD_DIR}" --output-on-failure
+  echo "== plans-off suite passed =="
 fi

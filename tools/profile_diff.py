@@ -19,6 +19,9 @@ the floor are noise on a shared box. Exit status: 0 = no regression,
 Example gate (see tools/check.sh "profile" stage):
   tools/profile_diff.py bench/baselines/profile_training_throughput.json \
       build-perf/BENCH_profile.json --threshold=0.5
+
+--json replaces the table with a machine-readable head-profile-diff-v1
+document on stdout (same exit codes), for dashboards and bots.
 """
 
 import argparse
@@ -33,12 +36,40 @@ def load_profile(path):
     except (OSError, ValueError) as e:
         sys.stderr.write(f"profile_diff: cannot read {path}: {e}\n")
         sys.exit(2)
-    if doc.get("schema") != "head-profile-v1":
+    if not isinstance(doc, dict) or doc.get("schema") != "head-profile-v1":
+        schema = doc.get("schema") if isinstance(doc, dict) else type(doc).__name__
         sys.stderr.write(
             f"profile_diff: {path}: unexpected schema "
-            f"{doc.get('schema')!r} (want head-profile-v1)\n")
+            f"{schema!r} (want head-profile-v1)\n")
         sys.exit(2)
+    ops = doc.get("ops")
+    if not isinstance(ops, list):
+        sys.stderr.write(
+            f"profile_diff: {path}: malformed profile — \"ops\" is "
+            f"{type(ops).__name__}, expected a list\n")
+        sys.exit(2)
+    for i, op in enumerate(ops):
+        if not isinstance(op, dict):
+            sys.stderr.write(
+                f"profile_diff: {path}: ops[{i}] is not an object\n")
+            sys.exit(2)
+        missing = [f for f in ("op", "phase", "m", "n", "k", "self_ns")
+                   if f not in op]
+        if missing:
+            sys.stderr.write(
+                f"profile_diff: {path}: ops[{i}] "
+                f"({op.get('op', '?')!r}) is missing {', '.join(missing)}\n")
+            sys.exit(2)
     return doc
+
+
+def roofline_gflops(doc):
+    """Roofline peak as text; older dumps may lack the calibration block."""
+    roofline = doc.get("roofline")
+    if isinstance(roofline, dict) and isinstance(
+            roofline.get("gflops"), (int, float)):
+        return f"{roofline['gflops']:.1f} GFLOP/s"
+    return "n/a"
 
 
 def op_key(op):
@@ -73,6 +104,10 @@ def main():
     parser.add_argument(
         "--top", type=int, default=15,
         help="rows shown in the comparison table (default 15; 0 = all)")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable head-profile-diff-v1 document on "
+             "stdout instead of the table (exit codes unchanged)")
     args = parser.parse_args()
 
     base = load_profile(args.baseline)
@@ -100,12 +135,45 @@ def main():
     removed = [k for k in base_ops if k not in curr_ops
                and base_ops[k]["self_ns"] / 1e6 >= args.min_self_ms]
 
+    if args.json:
+        def key_obj(key):
+            op, phase, m, n, k = key
+            return {"op": op, "phase": phase, "m": m, "n": n, "k": k}
+
+        regressed_keys = {key for _, key, _, _, _ in regressions}
+        doc = {
+            "schema": "head-profile-diff-v1",
+            "baseline": args.baseline,
+            "current": args.current,
+            "threshold": args.threshold,
+            "min_self_ms": args.min_self_ms,
+            "ops": [
+                {**key_obj(key),
+                 "base_us_per_call": b_us,
+                 "curr_us_per_call": c_us,
+                 "delta_frac": delta,
+                 "curr_self_ms": self_ms,
+                 "regressed": key in regressed_keys}
+                for delta, key, b_us, c_us, self_ms in sorted(rows, reverse=True)
+            ],
+            "new_ops": [
+                {**key_obj(key), "curr_self_ms": c["self_ns"] / 1e6}
+                for key, c in sorted(new_ops, key=lambda e: -e[1]["self_ns"])
+            ],
+            "removed_ops": [key_obj(key) for key in removed],
+            "regression_count": len(regressions),
+            "ok": not regressions,
+        }
+        json.dump(doc, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return 1 if regressions else 0
+
     print(f"baseline: {args.baseline}  "
           f"(coverage {base.get('coverage', 0):.1%}, "
-          f"{len(base_ops)} ops, roofline {base['roofline']['gflops']:.1f} GFLOP/s)")
+          f"{len(base_ops)} ops, roofline {roofline_gflops(base)})")
     print(f"current:  {args.current}  "
           f"(coverage {curr.get('coverage', 0):.1%}, "
-          f"{len(curr_ops)} ops, roofline {curr['roofline']['gflops']:.1f} GFLOP/s)")
+          f"{len(curr_ops)} ops, roofline {roofline_gflops(curr)})")
     print()
 
     rows.sort(reverse=True)
@@ -145,4 +213,7 @@ def main():
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # stdout piped into head/grep and closed early
+        sys.exit(0)
