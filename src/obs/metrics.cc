@@ -251,6 +251,13 @@ const std::vector<double>& CachedExponentialBounds(double start, double factor,
   });
 }
 
+const std::vector<double>& CachedMicroLatencyBounds() {
+  // 1 µs × 1.5^41 ≈ 24 s: covers sub-ms serve latencies with ±22% bucket
+  // resolution while still catching pathological multi-second stalls in the
+  // overflow-adjacent buckets.
+  return CachedExponentialBounds(1e-6, 1.5, 42);
+}
+
 const std::vector<double>& CachedLinearBounds(double lo, double hi,
                                               double step) {
   HEAD_CHECK_LT(lo, hi);
@@ -385,6 +392,11 @@ Histogram& GetHistogram(const std::string& name, std::vector<double> bounds) {
 
 Histogram& LatencyHistogram(const std::string& name) {
   return Registry::Global().GetHistogram(name + ".seconds");
+}
+
+Histogram& MicroLatencyHistogram(const std::string& name) {
+  return Registry::Global().GetHistogram(name + ".seconds",
+                                         CachedMicroLatencyBounds());
 }
 
 bool WriteMetricsJsonFile(const std::string& path, bool reset) {

@@ -102,6 +102,13 @@ const std::vector<double>& CachedExponentialBounds(double start, double factor,
 const std::vector<double>& CachedLinearBounds(double lo, double hi,
                                               double step);
 
+/// Memoized µs-scale latency bounds: 1 µs … ~24 s at factor 1.5. The default
+/// latency preset (factor 2.5) is tuned for ms-scale training loops; serve
+/// request latencies live in the tens-to-hundreds of µs, where a 2.5× bucket
+/// ratio makes p99 interpolation meaningless. Factor 1.5 keeps adjacent
+/// buckets within ±22% of the true quantile across the whole range.
+const std::vector<double>& CachedMicroLatencyBounds();
+
 /// Escapes a string for embedding inside a JSON string literal: quotes,
 /// backslashes, and control characters (the latter as \u00XX).
 std::string JsonEscape(const std::string& s);
@@ -161,6 +168,10 @@ Histogram& GetHistogram(const std::string& name,
                         std::vector<double> bounds = {});
 /// Histogram named `<name>.seconds` with the default latency bounds.
 Histogram& LatencyHistogram(const std::string& name);
+/// Histogram named `<name>.seconds` with CachedMicroLatencyBounds() — for
+/// µs-scale latencies (serve request/batch timings) that need finer low-end
+/// resolution than the default preset.
+Histogram& MicroLatencyHistogram(const std::string& name);
 
 /// Writes Registry::Global().Snapshot() as JSON to `path` (false on I/O
 /// error). When `reset` is true the values are zeroed after the snapshot.

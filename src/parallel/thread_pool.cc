@@ -29,6 +29,28 @@ ThreadPool* g_override = nullptr;  // see GlobalPoolOverride
 
 }  // namespace
 
+void WaitToken::Release() {
+  // The decrement, the notify, and Wait's predicate reads all happen under
+  // the lock. That closes two lifetime/lost-wakeup holes at once: a waiter
+  // cannot miss the notify between its predicate check and its block, and a
+  // waiter that returns from Wait() is ordered strictly after the final
+  // releaser has left the mutex — so the caller may destroy the token
+  // immediately after Wait() (DecisionService does exactly that at
+  // shutdown). A lock-free fast path that observes pending_ == 0 outside
+  // the lock would let Wait return while a releaser is still inside
+  // notify_all on the about-to-be-destroyed condvar.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    cv_.notify_all();
+  }
+}
+
+void WaitToken::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock,
+           [this] { return pending_.load(std::memory_order_acquire) == 0; });
+}
+
 int HardwareThreads() {
   return std::max(1u, std::thread::hardware_concurrency());
 }
@@ -85,6 +107,19 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
   queue_depth.Set(static_cast<double>(depth));
   cv_.notify_one();
   return future;
+}
+
+std::future<void> ThreadPool::SubmitWithToken(WaitToken* token,
+                                              std::function<void()> fn) {
+  HEAD_CHECK(token != nullptr);
+  token->Acquire();
+  return Submit([token, fn = std::move(fn)] {
+    struct Releaser {
+      WaitToken* t;
+      ~Releaser() { t->Release(); }
+    } releaser{token};
+    fn();
+  });
 }
 
 bool ThreadPool::PopTask(Task* task) {

@@ -43,6 +43,32 @@ int HardwareThreads();
 /// integer, otherwise HardwareThreads(). Read once per process.
 int ConfiguredThreadCount();
 
+/// In-flight work counter for scoped draining: a task group (e.g. every
+/// batch dispatched against one model snapshot) shares a token, and
+/// WaitToken::Wait blocks until only that group's submissions have finished —
+/// no full-pool barrier, no interference with unrelated work. Acquire/Release
+/// pair automatically through ThreadPool::SubmitWithToken; manual pairs are
+/// allowed for work that runs outside the pool. The token must outlive every
+/// submission made under it.
+class WaitToken {
+ public:
+  WaitToken() = default;
+  WaitToken(const WaitToken&) = delete;
+  WaitToken& operator=(const WaitToken&) = delete;
+
+  void Acquire() { pending_.fetch_add(1, std::memory_order_relaxed); }
+  void Release();
+  /// Blocks until every Acquire has been matched by a Release. A token with
+  /// no in-flight work returns immediately.
+  void Wait();
+  int64_t pending() const { return pending_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<int64_t> pending_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
 class ThreadPool {
  public:
   /// `threads` >= 1. A 1-thread pool runs everything inline on the caller.
@@ -58,6 +84,13 @@ class ThreadPool {
   /// (exceptions propagate through the future). On a 1-thread pool the task
   /// runs inline before Submit returns.
   std::future<void> Submit(std::function<void()> fn);
+
+  /// Submit under a drain token: `token` is acquired before the task is
+  /// enqueued and released when it finishes (even if it throws), so
+  /// token->Wait() blocks until exactly this group's submissions have
+  /// drained — a retiring model snapshot waits for its own in-flight batches
+  /// instead of a whole-pool barrier.
+  std::future<void> SubmitWithToken(WaitToken* token, std::function<void()> fn);
 
   /// Runs fn(lo, hi) over a partition of [begin, end) in chunks of at least
   /// `grain` iterations, using the pool's workers plus the calling thread.

@@ -6,6 +6,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -22,6 +24,60 @@ TEST(ThreadPoolTest, SubmitRunsTask) {
   std::atomic<int> ran{0};
   pool.Submit([&] { ran.fetch_add(1); }).wait();
   EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitWithTokenDrainsOnlyOwnGroup) {
+  parallel::ThreadPool pool(4);
+  parallel::WaitToken group_a;
+  parallel::WaitToken group_b;
+
+  // Group B holds a task hostage; draining group A must not wait for it.
+  std::mutex gate;
+  gate.lock();
+  pool.SubmitWithToken(&group_b, [&] {
+    std::lock_guard<std::mutex> held(gate);
+  });
+
+  std::atomic<int> ran{0};
+  constexpr int kTasks = 16;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.SubmitWithToken(&group_a, [&] { ran.fetch_add(1); });
+  }
+  group_a.Wait();
+  EXPECT_EQ(ran.load(), kTasks);
+  EXPECT_EQ(group_a.pending(), 0);
+  EXPECT_GE(group_b.pending(), 0);
+
+  gate.unlock();
+  group_b.Wait();
+  EXPECT_EQ(group_b.pending(), 0);
+}
+
+TEST(ThreadPoolTest, WaitTokenReleasesOnThrowingTask) {
+  parallel::ThreadPool pool(2);
+  parallel::WaitToken token;
+  auto future = pool.SubmitWithToken(
+      &token, [] { throw std::runtime_error("task failed"); });
+  token.Wait();  // must not hang: the Releaser fires even on throw
+  EXPECT_EQ(token.pending(), 0);
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, WaitTokenOnIdleTokenReturnsImmediately) {
+  parallel::WaitToken token;
+  token.Wait();
+  EXPECT_EQ(token.pending(), 0);
+}
+
+TEST(ThreadPoolTest, SubmitWithTokenInlinePool) {
+  parallel::ThreadPool pool(1);
+  parallel::WaitToken token;
+  int ran = 0;
+  pool.SubmitWithToken(&token, [&] { ++ran; });
+  // Inline pool: the task (and its release) completed inside Submit.
+  EXPECT_EQ(token.pending(), 0);
+  token.Wait();
+  EXPECT_EQ(ran, 1);
 }
 
 TEST(ThreadPoolTest, OneThreadPoolRunsInline) {

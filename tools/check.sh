@@ -31,6 +31,12 @@
 #      every capture-capable call site to the eager tape. Proves the
 #      static-plan fallback path (and everything downstream of it) stays
 #      healthy when plans are globally disabled.
+#   7. Serve stage: optimized build of bench/serve_throughput (single-request
+#      vs cross-client-batched decision serving plus three open-loop Poisson
+#      load points), gated against the checked-in baseline — fails if serving
+#      throughput regresses more than 30%, if the 0.6x-load p99 blows past
+#      its recorded noise envelope, or if a warmed-up batched replay performs
+#      any arena/pool heap event per request (--require-zero-allocs).
 #
 # Usage:
 #   tools/check.sh                         # all stages (tsan + asan + perf)
@@ -41,6 +47,7 @@
 #   HEAD_SKIP_SMOKE=1 tools/check.sh       # skip the flight-recorder smoke
 #   HEAD_SKIP_PROFILE=1 tools/check.sh     # skip the op-profile diff gate
 #   HEAD_SKIP_PLANS=1 tools/check.sh       # skip the plans-off ctest suite
+#   HEAD_SKIP_SERVE=1 tools/check.sh       # skip the serve throughput gate
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -54,7 +61,7 @@ fi
 SAN_TESTS=(obs_test obs_trace_test obs_recorder_test obs_timeseries_test
            obs_profiler_test flight_replay_test sim_simulation_test
            sim_models_test nn_batched_ops_test nn_arena_test nn_simd_test
-           nn_plan_test parallel_test parallel_determinism_test)
+           nn_plan_test parallel_test parallel_determinism_test serve_test)
 
 for SANITIZER in "${SANITIZERS[@]}"; do
   BUILD_DIR="build-${SANITIZER}san"
@@ -160,4 +167,24 @@ if [[ "${HEAD_SKIP_PLANS:-0}" != "1" ]]; then
   echo "== plans-off suite: full ctest with HEAD_PLANS=0 =="
   HEAD_PLANS=0 ctest --test-dir "${PLANS_BUILD_DIR}" --output-on-failure
   echo "== plans-off suite passed =="
+fi
+
+if [[ "${HEAD_SKIP_SERVE:-0}" != "1" ]]; then
+  # Shares the optimized tree with the perf/smoke/profile stages. Like the
+  # perf stage, the committed baseline was recorded at --threads=1 on the
+  # 1-core reference container; HEAD_PERF_THREADS overrides.
+  SERVE_BUILD_DIR="build-perf"
+  cmake -B "${SERVE_BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${SERVE_BUILD_DIR}" -j --target serve_throughput
+
+  SERVE_THREADS="${HEAD_PERF_THREADS:-1}"
+  echo "== serve smoke: decision-serving throughput (--threads=${SERVE_THREADS}) vs checked-in baseline =="
+  "${SERVE_BUILD_DIR}/bench/serve_throughput" \
+    --threads="${SERVE_THREADS}" \
+    --json-out="${SERVE_BUILD_DIR}/BENCH_serve_throughput.json" \
+    --metrics-out="${SERVE_BUILD_DIR}/BENCH_serve_metrics.json" \
+    --baseline=bench/baselines/serve_throughput.json \
+    --max-regress=0.30 \
+    --require-zero-allocs
+  echo "== serve smoke passed (JSON: ${SERVE_BUILD_DIR}/BENCH_serve_throughput.json) =="
 fi
